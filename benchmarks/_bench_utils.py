@@ -1,0 +1,27 @@
+"""Helpers importable by benchmark modules.
+
+Kept separate from ``conftest.py`` so benchmark modules can import plain
+functions without relying on pytest's conftest module-name handling.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Number of storage units used by the benchmark deployments (the paper's
+#: prototype uses 60).
+NUM_UNITS = 60
+
+#: Trace down-scaling factor used throughout the harness.
+TRACE_SCALE = 0.8
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,129 @@
+"""Ablation: automatic configuration of multiple semantic R-trees (§2.4).
+
+A single D-dimensional semantic R-tree serves every query, but queries that
+constrain a small attribute subset may be poorly served by the full-dimension
+grouping.  The automatic configuration builds extra trees for attribute
+subsets whose grouping differs enough from the full tree (index-unit-count
+difference above the 10 % threshold).  This ablation reports how many trees
+are retained and how well the retained trees match subset queries compared
+with always using the full tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import record_result
+from repro.core.autoconfig import AutoConfigurator
+from repro.core.semantic_rtree import SemanticRTree, StorageUnitDescriptor
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.rtree.mbr import MBR
+
+NUM_UNITS = 40
+
+
+def _build_configurator(store: SmartStore) -> AutoConfigurator:
+    """Assemble the per-unit centroid matrix and the tree-builder callback."""
+    units = []
+    matrix = []
+    for unit_id in store.cluster.unit_ids():
+        server = store.cluster.server(unit_id)
+        centroid = server.centroid()
+        matrix.append(centroid if centroid is not None else np.zeros(DEFAULT_SCHEMA.dimension))
+        units.append(unit_id)
+    matrix = np.vstack(matrix)
+    span = matrix.max(axis=0) - matrix.min(axis=0)
+    span = np.where(span > 0, span, 1.0)
+    normalised = (matrix - matrix.min(axis=0)) / span
+
+    def build_tree(vectors: np.ndarray) -> SemanticRTree:
+        centred = vectors - vectors.mean(axis=0)
+        descriptors = []
+        for i, unit_id in enumerate(units):
+            server = store.cluster.server(unit_id)
+            descriptors.append(
+                StorageUnitDescriptor(
+                    unit_id=unit_id,
+                    mbr=server.mbr(),
+                    centroid=server.centroid(),
+                    semantic_vector=centred[i],
+                    filenames=[],
+                    file_count=len(server),
+                )
+            )
+        return SemanticRTree.build(
+            descriptors, thresholds=store.tree.thresholds, max_fanout=store.config.max_fanout
+        )
+
+    return AutoConfigurator(
+        DEFAULT_SCHEMA,
+        normalised,
+        build_tree,
+        difference_threshold=store.config.autoconfig_threshold,
+    )
+
+
+def test_ablation_autoconfig_retained_trees(benchmark, msn_files):
+    store = SmartStore.build(msn_files, SmartStoreConfig(num_units=NUM_UNITS, seed=2))
+    configurator = _build_configurator(store)
+
+    trees = benchmark.pedantic(
+        configurator.configure, kwargs={"max_subset_size": 3}, rounds=1, iterations=1
+    )
+    summary = configurator.summary()
+
+    rows = [
+        ["attribute subsets examined", summary["examined_subsets"]],
+        ["semantic R-trees retained", summary["retained_trees"]],
+        ["index units in the full-dimension tree", summary["index_units_full"]],
+    ]
+    for t in trees[1:6]:
+        rows.append([f"retained subset {', '.join(t.attributes)}", t.num_index_units])
+    table = format_table(
+        ["quantity", "value"],
+        rows,
+        title="Ablation — automatic configuration (10% index-unit-difference threshold), MSN",
+    )
+    record_result("ablation_autoconfig_trees", table)
+
+    assert trees[0].is_full
+    assert summary["retained_trees"] >= 1
+    # The retained subset trees must genuinely differ from the full tree.
+    reference = trees[0].num_index_units
+    for t in trees[1:]:
+        assert abs(t.num_index_units - reference) > 0.10 * reference
+
+
+def test_ablation_autoconfig_query_matching(benchmark, msn_files):
+    """Subset queries select a retained tree whose attributes cover them better."""
+    store = SmartStore.build(msn_files, SmartStoreConfig(num_units=NUM_UNITS, seed=2))
+    configurator = _build_configurator(store)
+    configurator.configure(max_subset_size=3)
+
+    query_subsets = [("mtime",), ("size", "mtime"), ("read_bytes", "write_bytes"), DEFAULT_SCHEMA.names]
+
+    def match_scores():
+        scores = []
+        for subset in query_subsets:
+            chosen = configurator.select_tree(subset)
+            overlap = len(set(chosen.attributes) & set(subset)) / len(set(subset))
+            scores.append((subset, chosen.attributes, overlap))
+        return scores
+
+    scores = benchmark.pedantic(match_scores, rounds=1, iterations=1)
+    rows = [
+        [", ".join(subset), ", ".join(chosen) if len(chosen) < 8 else "<full tree>", f"{overlap:.2f}"]
+        for subset, chosen, overlap in scores
+    ]
+    table = format_table(
+        ["query attributes", "selected tree", "attribute coverage"],
+        rows,
+        title="Ablation — tree selection for subset queries, MSN",
+    )
+    record_result("ablation_autoconfig_selection", table)
+    # Every query's attributes must be at least partially covered, and the
+    # full-attribute query must select the full tree.
+    assert all(overlap > 0 for _, _, overlap in scores)
+    assert scores[-1][2] == 1.0

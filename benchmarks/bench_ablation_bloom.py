@@ -1,0 +1,78 @@
+"""Ablation: Bloom-filter sizing for the filename point-query path.
+
+The prototype fixes 1024-bit filters with 7 hash functions (§5.1).  This
+ablation sweeps the filter size and hash count and reports the resulting
+false-positive probability and the number of storage units a point query
+must verify — the trade-off that motivated the prototype's choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import record_result
+from repro.bloom.bloom import BloomFilter
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.workloads.generator import QueryWorkloadGenerator
+
+FILTER_CONFIGS = [(256, 4), (512, 7), (1024, 7), (2048, 7), (4096, 10)]
+KEYS_PER_UNIT = 60
+NUM_UNITS = 40
+
+
+def _false_positive_rate(bits: int, hashes: int, n_keys: int, probes: int = 2000) -> float:
+    bloom = BloomFilter(bits, hashes)
+    bloom.add_many(f"present-{i}.dat" for i in range(n_keys))
+    false = sum(1 for i in range(probes) if f"absent-{i}.bin" in bloom)
+    return false / probes
+
+
+def test_ablation_bloom_sizing(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            (bits, hashes, _false_positive_rate(bits, hashes, KEYS_PER_UNIT))
+            for bits, hashes in FILTER_CONFIGS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["filter bits", "hash functions", f"false-positive rate ({KEYS_PER_UNIT} keys)"],
+        [[b, k, f"{fp * 100:.2f}%"] for b, k, fp in rows],
+        title="Ablation — Bloom filter sizing",
+    )
+    record_result("ablation_bloom_sizing", table)
+
+    by_config = {(b, k): fp for b, k, fp in rows}
+    # Larger filters reduce the false-positive rate; the prototype's 1024/7
+    # point keeps it small at 128 bytes per unit.
+    assert by_config[(1024, 7)] <= by_config[(256, 4)]
+    assert by_config[(4096, 10)] <= by_config[(1024, 7)] + 0.01
+    assert by_config[(1024, 7)] < 0.05
+
+
+def test_ablation_bloom_effect_on_point_queries(benchmark, msn_files):
+    """Smaller filters cause more spurious unit verifications per point query."""
+
+    def measure():
+        generator = QueryWorkloadGenerator(msn_files, seed=5)
+        queries = generator.point_queries(150, existing_fraction=0.5)
+        results = {}
+        for bits, hashes in ((256, 4), (1024, 7)):
+            store = SmartStore.build(
+                msn_files,
+                SmartStoreConfig(num_units=NUM_UNITS, seed=3, bloom_bits=bits, bloom_hashes=hashes),
+            )
+            visited = [len(store.point_query(q).metrics.units_visited) for q in queries]
+            results[(bits, hashes)] = float(np.mean(visited))
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["filter configuration", "mean storage units verified per point query"],
+        [[f"{bits} bits / {hashes} hashes", f"{mean:.2f}"] for (bits, hashes), mean in results.items()],
+        title="Ablation — Bloom filter size vs. point-query verification cost, MSN",
+    )
+    record_result("ablation_bloom_point_queries", table)
+    assert results[(1024, 7)] <= results[(256, 4)]

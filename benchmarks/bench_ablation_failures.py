@@ -1,0 +1,112 @@
+"""Ablation: reliability under storage-unit failures (§4.3).
+
+The paper argues that the decentralised semantic organisation avoids single
+points of failure, and that multi-mapping the root removes the remaining
+one.  This ablation crashes increasing fractions of a deployment's storage
+units and records (a) how much of the file population and of the
+complex-query recall survives, and (b) that the root stays reachable and can
+fail over to a replica when its primary host dies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_result
+from repro.cluster.failures import FailureInjector
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.generator import QueryWorkloadGenerator
+
+NUM_UNITS = 40
+N_QUERIES = 20
+CRASH_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+
+
+@pytest.fixture(scope="module")
+def deployment(msn_files):
+    return SmartStore.build(msn_files, SmartStoreConfig(num_units=NUM_UNITS, seed=17))
+
+
+@pytest.fixture(scope="module")
+def queries(msn_files):
+    generator = QueryWorkloadGenerator(msn_files, DEFAULT_SCHEMA, seed=19)
+    return generator.mixed_complex_queries(N_QUERIES, N_QUERIES, distribution="zipf", k=8)
+
+
+def test_availability_and_recall_vs_crashed_units(benchmark, deployment, queries):
+    """Graceful degradation: availability and recall as units crash."""
+
+    def sweep():
+        rows = []
+        injector = FailureInjector(deployment, seed=7)
+        for fraction in CRASH_FRACTIONS:
+            injector.recover_all()
+            count = int(NUM_UNITS * fraction)
+            if count:
+                injector.crash_random_units(count)
+            report = injector.availability_report()
+            rows.append(
+                (fraction, count, report.file_availability,
+                 injector.degraded_recall(queries), report.root_reachable)
+            )
+        injector.recover_all()
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["crashed fraction", "units", "file availability", "mean recall", "root reachable"],
+        [[f"{f:.0%}", c, f"{a:.1%}", f"{r:.1%}", ok] for f, c, a, r, ok in rows],
+        title=f"Ablation — degradation under failures, MSN, {NUM_UNITS} units",
+    )
+    record_result("ablation_failures_degradation", table)
+
+    availabilities = [a for _, _, a, _, _ in rows]
+    recalls = [r for _, _, _, r, _ in rows]
+    # Healthy deployment loses nothing; degradation is monotone and roughly
+    # proportional to the crashed fraction (files are spread across units).
+    assert availabilities[0] == 1.0 and recalls[0] >= 0.9
+    assert all(a2 <= a1 + 1e-9 for a1, a2 in zip(availabilities, availabilities[1:]))
+    assert availabilities[-1] >= 0.25  # 50% crash cannot lose (almost) everything
+    assert recalls[-1] <= recalls[0]
+
+
+def test_root_failover_keeps_service_up(benchmark, deployment):
+    """§4.3: crashing the root's primary host must not make the root unreachable."""
+
+    def run():
+        injector = FailureInjector(deployment, seed=11)
+        primary = deployment.tree.root.hosted_on
+        injector.crash_unit(primary)
+        reachable_before_promotion = injector.root_reachable()
+        report = injector.root_failover()
+        reachable_after = injector.root_reachable()
+        injector.recover_all()
+        # Undo the promotion so the module-scoped deployment stays pristine.
+        deployment.tree.root.replica_hosts = list(
+            dict.fromkeys([report.old_host] + deployment.tree.root.replica_hosts)
+        ) if report.failed_over else deployment.tree.root.replica_hosts
+        return primary, reachable_before_promotion, report, reachable_after
+
+    primary, reachable_before, report, reachable_after = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["measure", "value"],
+        [
+            ["root primary host", primary],
+            ["reachable via replicas before promotion", reachable_before],
+            ["failover performed", report.failed_over],
+            ["new primary host", report.new_host],
+            ["messages spent on failover", report.messages],
+            ["reachable after failover", reachable_after],
+        ],
+        title="Ablation — root multi-mapping failover (§4.3), MSN",
+    )
+    record_result("ablation_failures_root_failover", table)
+
+    assert reachable_before        # the multi-mapped replicas keep the root visible
+    assert report.failed_over
+    assert reachable_after
+    assert report.new_host != primary

@@ -1,0 +1,43 @@
+"""Figure 11: optimal grouping thresholds vs. system scale and tree level.
+
+The admission threshold epsilon that minimises the paper's quantitative
+semantic-correlation measure (total squared distance to group centroids) is
+computed (a) for deployments of increasing size and (b) per level of the
+semantic R-tree for a 60-unit deployment.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import NUM_UNITS, record_result
+from repro.eval.reporting import format_table
+from repro.eval.thresholds import optimal_threshold_per_level, optimal_threshold_vs_scale
+
+UNIT_COUNTS = (20, 40, 60, 80, 100)
+
+
+def test_fig11a_threshold_vs_system_scale(benchmark, msn_files):
+    rows = benchmark.pedantic(
+        optimal_threshold_vs_scale, args=(msn_files, UNIT_COUNTS), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["storage units", "optimal threshold"],
+        [[n, f"{t:.2f}"] for n, t in rows],
+        title="Figure 11(a) — optimal threshold vs. system scale (MSN)",
+    )
+    record_result("fig11a_threshold_vs_scale", table)
+    assert len(rows) == len(UNIT_COUNTS)
+    assert all(0.0 <= t <= 1.0 for _, t in rows)
+
+
+def test_fig11b_threshold_per_level(benchmark, msn_files):
+    rows = benchmark.pedantic(
+        optimal_threshold_per_level, args=(msn_files, NUM_UNITS), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["semantic R-tree level", "optimal threshold"],
+        [[level, f"{t:.2f}"] for level, t in rows],
+        title=f"Figure 11(b) — optimal threshold per tree level ({NUM_UNITS} units, MSN)",
+    )
+    record_result("fig11b_threshold_per_level", table)
+    assert rows[0][0] == 1
+    assert all(0.0 <= t <= 1.0 for _, t in rows)

@@ -1,0 +1,96 @@
+"""Figure 14: versioning overhead in space and access latency.
+
+Versioning keeps replicas consistent by attaching aggregated change batches
+("versions") to the first-level index units.  The paper varies the version
+ratio (file modifications per version) and reports (a) the space consumed by
+the attached versions per index unit and (b) the extra query latency spent
+rolling through the versions — no more than 10 % of the total query latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import record_result
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.harness import StalenessExperiment, run_query_workload
+from repro.eval.reporting import format_bytes, format_table
+from repro.workloads.generator import QueryWorkloadGenerator
+
+VERSION_RATIOS = (1, 2, 4, 8, 16)
+UPDATE_FRACTION = 0.10
+N_QUERIES = 40
+
+
+def _space_per_index_unit(files, version_ratio: int) -> float:
+    experiment = StalenessExperiment(
+        files,
+        update_fraction=UPDATE_FRACTION,
+        config=SmartStoreConfig(num_units=40, seed=4, version_ratio=version_ratio),
+        seed=9,
+    )
+    store = experiment.build(versioning=True)
+    for f in experiment.update_files:
+        store.insert_file(f)
+    space = store.versioning.space_bytes_per_group(
+        store.config.cost_model.metadata_record_bytes
+    )
+    return float(np.mean(list(space.values()))) if space else 0.0
+
+
+def _extra_latency_fraction(files, trace_seed: int) -> float:
+    """Latency overhead of consulting versions: (with - without) / with."""
+    experiment = StalenessExperiment(
+        files,
+        update_fraction=UPDATE_FRACTION,
+        config=SmartStoreConfig(num_units=40, seed=4),
+        seed=trace_seed,
+    )
+    generator = QueryWorkloadGenerator(files, seed=33)
+    queries = generator.mixed_complex_queries(N_QUERIES // 2, N_QUERIES // 2, distribution="zipf")
+    latencies = {}
+    for versioning in (True, False):
+        store = experiment.build(versioning=versioning)
+        for f in experiment.update_files:
+            store.insert_file(f)
+        latencies[versioning] = run_query_workload(store, queries).mean_latency
+    with_v, without_v = latencies[True], latencies[False]
+    return max(0.0, (with_v - without_v) / with_v) if with_v > 0 else 0.0
+
+
+@pytest.mark.parametrize("trace_name", ["MSN", "EECS"])
+def test_fig14a_version_space_vs_ratio(benchmark, trace_name, request):
+    files = request.getfixturevalue(f"{trace_name.lower()}_files")
+    rows = benchmark.pedantic(
+        lambda: [(r, _space_per_index_unit(files, r)) for r in VERSION_RATIOS],
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["version ratio", "version space per index unit"],
+        [[ratio, format_bytes(space)] for ratio, space in rows],
+        title=f"Figure 14(a) — versioning space overhead, {trace_name}",
+    )
+    record_result(f"fig14a_version_space_{trace_name.lower()}", table)
+
+    # Comprehensive versioning (ratio=1) must be the most expensive point;
+    # space shrinks (weakly) as more changes aggregate per version.
+    spaces = [s for _, s in rows]
+    assert spaces[0] == max(spaces)
+    assert spaces[-1] <= spaces[0]
+    assert all(s > 0 for s in spaces)
+
+
+@pytest.mark.parametrize("trace_name", ["MSN", "EECS"])
+def test_fig14b_extra_query_latency(benchmark, trace_name, request):
+    files = request.getfixturevalue(f"{trace_name.lower()}_files")
+    fraction = benchmark.pedantic(_extra_latency_fraction, args=(files, 9), rounds=1, iterations=1)
+    table = format_table(
+        ["trace", "extra latency from version checks"],
+        [[trace_name, f"{fraction * 100:.2f}%"]],
+        title=f"Figure 14(b) — versioning latency overhead, {trace_name}",
+    )
+    record_result(f"fig14b_version_latency_{trace_name.lower()}", table)
+    # The paper's bound: the additional latency is no more than 10%.
+    assert fraction <= 0.10

@@ -1,0 +1,53 @@
+"""Figure 8: routing distance (hops) of operations.
+
+The paper reports that 87.3-90.6 % of operations are served within a single
+semantic group (0-hop routing distance), confirming the effectiveness of the
+semantic grouping.  The reproduced workload mirrors a file-system operation
+mix: filename point queries dominate (as in real metadata workloads), with
+range and top-k queries mixed in; the hop count of an operation is the
+number of additional semantic groups it had to touch beyond the first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_result
+from repro.eval.harness import run_query_workload
+from repro.eval.reporting import format_table
+
+#: Operation mix: point queries dominate file-system metadata workloads.
+N_POINT, N_RANGE, N_TOPK = 200, 40, 40
+
+
+def _mixed_workload(generator):
+    queries = []
+    queries += generator.point_queries(N_POINT, existing_fraction=0.95)
+    queries += generator.range_queries(N_RANGE, distribution="zipf", ensure_nonempty=True)
+    queries += generator.topk_queries(N_TOPK, k=8, distribution="zipf")
+    return queries
+
+
+@pytest.mark.parametrize("trace_name", ["MSN", "EECS", "HP"])
+def test_fig8_routing_hops(benchmark, trace_name, request):
+    store = request.getfixturevalue(f"{trace_name.lower()}_store")
+    generator = request.getfixturevalue(f"{trace_name.lower()}_generator")
+    queries = _mixed_workload(generator)
+
+    result = benchmark.pedantic(run_query_workload, args=(store, queries), rounds=1, iterations=1)
+    histogram = result.hop_histogram()
+
+    rows = [[hops, f"{fraction * 100:.1f}%"] for hops, fraction in sorted(histogram.items())]
+    table = format_table(
+        ["routing distance (hops)", "fraction of operations"],
+        rows,
+        title=f"Figure 8 — routing distance distribution, {trace_name} "
+              f"({N_POINT} point / {N_RANGE} range / {N_TOPK} top-k)",
+    )
+    record_result(f"fig8_routing_hops_{trace_name.lower()}", table)
+
+    # Qualitative claim: the distribution is dominated by 0-hop operations
+    # and queries never degenerate to visiting every group.
+    zero_hop = histogram.get(0, 0.0)
+    assert zero_hop > 0.6
+    assert max(histogram.keys()) < len(store.tree.first_level_groups())

@@ -1,0 +1,66 @@
+"""Figure 9: average hit rate of filename point queries.
+
+Point queries route over the Bloom filters embedded in the semantic R-tree;
+false positives (hash collisions) and stale filters can cause misses, but
+the paper observes that over 88.2 % of point queries are served accurately.
+The reproduction measures the hit rate for existing filenames both on a
+freshly built deployment and after a batch of insertions that have not yet
+been folded into the Bloom filters (served from the version chains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_result
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.harness import StalenessExperiment, point_query_hit_rate
+from repro.eval.reporting import format_table
+from repro.workloads.generator import QueryWorkloadGenerator
+
+N_QUERIES = 300
+
+
+@pytest.mark.parametrize("trace_name", ["MSN", "EECS", "HP"])
+def test_fig9_point_query_hit_rate(benchmark, trace_name, request):
+    store = request.getfixturevalue(f"{trace_name.lower()}_store")
+    generator = request.getfixturevalue(f"{trace_name.lower()}_generator")
+    queries = generator.point_queries(N_QUERIES, existing_fraction=0.9)
+
+    hit_rate = benchmark.pedantic(point_query_hit_rate, args=(store, queries), rounds=1, iterations=1)
+
+    table = format_table(
+        ["trace", "point queries", "hit rate"],
+        [[trace_name, N_QUERIES, f"{hit_rate * 100:.1f}%"]],
+        title=f"Figure 9 — point query hit rate, {trace_name}",
+    )
+    record_result(f"fig9_point_hit_rate_{trace_name.lower()}", table)
+    assert hit_rate >= 0.882  # the paper's floor
+
+
+def test_fig9_hit_rate_with_recent_insertions(benchmark, msn_files):
+    """Hit rate when 10% of files arrived after the Bloom filters were built."""
+    experiment = StalenessExperiment(
+        msn_files, update_fraction=0.10, config=SmartStoreConfig(num_units=40, seed=5), seed=6
+    )
+    store = experiment.build(versioning=True)
+    for f in experiment.update_files:
+        store.insert_file(f)
+    generator = QueryWorkloadGenerator(msn_files, seed=21)
+    queries = generator.point_queries(N_QUERIES, existing_fraction=1.0)
+
+    def measure() -> float:
+        existing = {f.filename for f in msn_files}
+        hits = sum(1 for q in queries if store.point_query(q).found and q.filename in existing)
+        return hits / len(queries)
+
+    hit_rate = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_result(
+        "fig9_point_hit_rate_with_staleness",
+        format_table(
+            ["scenario", "hit rate"],
+            [["10% files inserted after build (versioning on)", f"{hit_rate * 100:.1f}%"]],
+            title="Figure 9 — point query hit rate under staleness",
+        ),
+    )
+    assert hit_rate >= 0.882

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Administrator scenario from the paper's introduction (§1).
+
+"After installing or updating software, a system administrator may hope to
+track and find the changed files, which exist in both system and user
+directories, to ward off malicious operations."
+
+Namespace locality does not help here (the affected files are scattered
+across directories), but their metadata is strongly correlated: they were
+all modified inside the update window and written with similar volumes.
+The script compares three ways of answering the question over the same
+population:
+
+* SmartStore range query (semantic groups bound the search);
+* the centralised non-semantic R-tree baseline;
+* the per-attribute B+-tree DBMS baseline.
+
+Run with:  python examples/admin_range_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SmartStore, SmartStoreConfig
+from repro.baselines import DBMSBaseline, RTreeBaseline
+from repro.eval.reporting import format_seconds, format_table
+from repro.metadata.file_metadata import FileMetadata
+from repro.traces import hp_trace
+from repro.workloads.types import RangeQuery
+
+
+def inject_update_burst(files, start: float, n: int = 120, seed: int = 5):
+    """Simulate a software update touching files all over the namespace."""
+    rng = np.random.default_rng(seed)
+    updated = []
+    directories = ["/usr/lib", "/etc", "/home/alice/.config", "/opt/app", "/var/lib"]
+    for i in range(n):
+        size = float(rng.lognormal(np.log(96 * 1024), 0.4))
+        mtime = start + float(rng.uniform(0, 1500.0))
+        updated.append(
+            FileMetadata(
+                path=f"{directories[i % len(directories)]}/pkg-{i:04d}.so",
+                attributes={
+                    "size": size,
+                    "ctime": mtime - 10.0,
+                    "mtime": mtime,
+                    "atime": mtime + 5.0,
+                    "read_bytes": size * 0.2,
+                    "write_bytes": size,
+                    "access_count": 2.0,
+                    "owner": 0.0,
+                },
+                extra={"update_burst": True},
+            )
+        )
+    return list(files) + updated, updated
+
+
+def main() -> None:
+    trace = hp_trace(scale=0.5)
+    base_files = trace.file_metadata()
+    update_start = 18 * 3600.0
+    files, updated = inject_update_burst(base_files, update_start)
+    print(f"Population: {len(files)} files ({len(updated)} touched by the update burst)")
+
+    query = RangeQuery(
+        attributes=("mtime", "write_bytes"),
+        lower=(update_start, 16 * 1024.0),
+        upper=(update_start + 1600.0, 4 * 1024 * 1024.0),
+    )
+    print("Query: files modified during the update window with 16KB-4MB written")
+
+    store = SmartStore.build(files, SmartStoreConfig(num_units=60, seed=2))
+    rtree = RTreeBaseline(files)
+    dbms = DBMSBaseline(files)
+
+    truth = {f.file_id for f in files if f.matches_ranges(query.attributes, query.lower, query.upper)}
+    rows = []
+    for name, system in (("SmartStore", store), ("R-tree baseline", rtree), ("DBMS baseline", dbms)):
+        result = system.execute(query)
+        found = {f.file_id for f in result.files}
+        rows.append(
+            [
+                name,
+                len(result.files),
+                f"{100 * len(found & truth) / max(1, len(truth)):.1f}%",
+                format_seconds(result.latency),
+                result.metrics.messages,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["system", "files returned", "recall", "simulated latency", "messages"],
+            rows,
+            title="Tracking the files changed by a software update",
+        )
+    )
+    smart_result = store.range_query(query)
+    print(
+        f"\nSmartStore bounded the search to {smart_result.groups_visited} semantic group(s) "
+        f"out of {len(store.tree.first_level_groups())} "
+        f"({smart_result.hops} hop(s)); the update burst's files were aggregated together "
+        "because their modification times and write volumes are strongly correlated."
+    )
+
+
+if __name__ == "__main__":
+    main()

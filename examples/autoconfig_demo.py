@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Automatic configuration of multiple semantic R-trees (§2.4).
+
+Queries constrain unpredictable attribute subsets.  The automatic
+configuration technique builds candidate semantic R-trees over attribute
+subsets and retains only those whose grouping differs from the full
+D-dimensional tree by more than the configured index-unit-count threshold
+(10 % in the prototype); queries are then served from the retained tree that
+best matches their attributes.
+
+Run with:  python examples/autoconfig_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SmartStore, SmartStoreConfig
+from repro.core.autoconfig import AutoConfigurator
+from repro.core.semantic_rtree import SemanticRTree, StorageUnitDescriptor
+from repro.eval.reporting import format_table
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.traces import msn_trace
+
+
+def build_configurator(store: SmartStore) -> AutoConfigurator:
+    """Per-unit centroid matrix + the callback that builds a tree from vectors."""
+    unit_ids = store.cluster.unit_ids()
+    matrix = np.vstack([
+        store.cluster.server(u).centroid()
+        if store.cluster.server(u).centroid() is not None
+        else np.zeros(DEFAULT_SCHEMA.dimension)
+        for u in unit_ids
+    ])
+    span = np.where(matrix.max(axis=0) - matrix.min(axis=0) > 0,
+                    matrix.max(axis=0) - matrix.min(axis=0), 1.0)
+    normalised = (matrix - matrix.min(axis=0)) / span
+
+    def build_tree(vectors: np.ndarray) -> SemanticRTree:
+        centred = vectors - vectors.mean(axis=0)
+        descriptors = [
+            StorageUnitDescriptor(
+                unit_id=u,
+                mbr=store.cluster.server(u).mbr(),
+                centroid=store.cluster.server(u).centroid(),
+                semantic_vector=centred[i],
+                filenames=[],
+                file_count=len(store.cluster.server(u)),
+            )
+            for i, u in enumerate(unit_ids)
+        ]
+        return SemanticRTree.build(
+            descriptors, thresholds=store.tree.thresholds, max_fanout=store.config.max_fanout
+        )
+
+    return AutoConfigurator(DEFAULT_SCHEMA, normalised, build_tree,
+                            difference_threshold=store.config.autoconfig_threshold)
+
+
+def main() -> None:
+    trace = msn_trace(scale=0.6)
+    files = trace.file_metadata()
+    store = SmartStore.build(files, SmartStoreConfig(num_units=60, seed=4))
+    print(f"Deployment: {store.cluster.num_units} units, "
+          f"{store.tree.num_index_units} index units in the full-dimension tree")
+
+    configurator = build_configurator(store)
+    trees = configurator.configure(max_subset_size=3)
+    summary = configurator.summary()
+    print(f"Examined {summary['examined_subsets']} attribute subsets, "
+          f"retained {summary['retained_trees']} semantic R-tree(s) "
+          f"(threshold: {store.config.autoconfig_threshold:.0%} index-unit difference)")
+
+    rows = []
+    for tree in trees[:8]:
+        label = "full tree" if tree.is_full else ", ".join(tree.attributes)
+        rows.append([label, tree.num_index_units])
+    print()
+    print(format_table(["retained tree (attributes)", "index units"], rows,
+                       title="Retained semantic R-trees"))
+
+    print()
+    query_subsets = [("mtime",), ("size", "mtime"), ("read_bytes", "write_bytes"),
+                     ("atime", "access_count", "owner")]
+    rows = []
+    for subset in query_subsets:
+        chosen = configurator.select_tree(subset)
+        label = "full tree" if chosen.is_full else ", ".join(chosen.attributes)
+        rows.append([", ".join(subset), label])
+    print(format_table(["query attributes", "tree selected"], rows,
+                       title="Tree selection for incoming queries"))
+
+
+if __name__ == "__main__":
+    main()

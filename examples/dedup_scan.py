@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""De-duplication candidate detection (§1.1).
+
+Duplicate copies of a file carry near-identical multi-dimensional attributes
+(size, creation time, I/O volumes), so SmartStore's semantic grouping places
+them in the same or adjacent groups with high probability.  Instead of
+comparing every file against every other file, the detector only compares
+files that share a semantic group — the comparison count collapses while the
+duplicates are still found.
+
+Run with:  python examples/dedup_scan.py
+"""
+
+from __future__ import annotations
+
+from repro import SmartStore, SmartStoreConfig
+from repro.apps.dedup import DedupDetector
+from repro.eval.reporting import format_table
+from repro.traces import eecs_trace
+
+
+def main() -> None:
+    trace = eecs_trace(scale=0.8)
+    base_files = trace.file_metadata()
+    files = DedupDetector.inject_duplicates(base_files, fraction=0.06, seed=11)
+    n_dupes = len(files) - len(base_files)
+    print(f"{len(files)} files in the population, {n_dupes} injected duplicate copies")
+
+    store = SmartStore.build(files, SmartStoreConfig(num_units=60, seed=9))
+    detector = DedupDetector(attributes=("size", "ctime"), tolerance=1e-9)
+
+    brute = detector.brute_force(files)
+    smart = detector.with_smartstore(store)
+
+    rows = [
+        [
+            "brute force (whole system)",
+            brute.comparisons,
+            brute.num_candidates,
+            "-" if brute.precision is None else f"{brute.precision * 100:.0f}%",
+        ],
+        [
+            "SmartStore semantic groups",
+            smart.comparisons,
+            smart.num_candidates,
+            "-" if smart.precision is None else f"{smart.precision * 100:.0f}%",
+            ],
+    ]
+    print()
+    print(
+        format_table(
+            ["strategy", "pairwise comparisons", "candidate pairs", "precision"],
+            rows,
+            title="De-duplication candidate detection",
+        )
+    )
+    saved = 1.0 - smart.comparisons / max(1, brute.comparisons)
+    coverage = smart.num_candidates / max(1, brute.num_candidates)
+    print(
+        f"\nGroup-bounded scanning removed {saved * 100:.1f}% of the pairwise comparisons while "
+        f"recovering {coverage * 100:.1f}% of the candidate pairs across "
+        f"{smart.groups_examined} semantic groups."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Semantic-aware caching and prefetching (§1.1).
+
+When a file is accessed, SmartStore can run a top-k query over its metadata
+attributes to find its most correlated files and prefetch them before they
+are requested.  The script replays a project-locality workload (bursts of
+accesses within one project at a time — the pattern the paper's motivating
+studies observe) against two caches of identical capacity:
+
+* a plain LRU cache (temporal locality only), and
+* the semantic prefetching cache built on SmartStore top-k queries.
+
+Run with:  python examples/prefetch_cache.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SmartStore, SmartStoreConfig
+from repro.apps.caching import LRUCache, SemanticPrefetchCache
+from repro.eval.reporting import format_table
+from repro.traces import msn_trace
+
+
+def project_burst_workload(files, n_bursts: int = 40, burst_len: int = 12, seed: int = 3):
+    """Bursts of accesses to files of a single project, project after project."""
+    rng = np.random.default_rng(seed)
+    by_project = {}
+    for f in files:
+        by_project.setdefault(f.extra.get("project", 0), []).append(f)
+    projects = list(by_project)
+    workload = []
+    for _ in range(n_bursts):
+        members = by_project[projects[int(rng.integers(len(projects)))]]
+        picks = rng.choice(len(members), size=min(burst_len, len(members)), replace=False)
+        workload.extend(members[i] for i in picks)
+    return workload
+
+
+def main() -> None:
+    trace = msn_trace(scale=0.6)
+    files = trace.file_metadata()
+    store = SmartStore.build(files, SmartStoreConfig(num_units=40, seed=5))
+    workload = project_burst_workload(files)
+    capacity = 96
+    print(f"{len(files)} files, {len(workload)} accesses, cache capacity {capacity} entries")
+
+    plain = LRUCache(capacity)
+    for f in workload:
+        plain.access(f.file_id)
+
+    semantic = SemanticPrefetchCache(
+        store, capacity, prefetch_k=8, attributes=("size", "mtime", "owner")
+    )
+    semantic.access_many(workload)
+
+    rows = [
+        ["plain LRU", f"{plain.stats.hit_rate * 100:.1f}%", "-", "-"],
+        [
+            "semantic prefetching (top-8)",
+            f"{semantic.stats.hit_rate * 100:.1f}%",
+            semantic.stats.prefetches,
+            f"{semantic.stats.prefetch_accuracy * 100:.1f}%",
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["cache", "hit rate", "prefetches issued", "prefetch accuracy"],
+            rows,
+            title="Semantic-aware caching vs. plain LRU on a project-locality workload",
+        )
+    )
+    print(
+        f"\nPrefetch queries consumed {semantic.query_latency * 1e3:.1f} ms of simulated "
+        "query latency in total — the price of the extra hits."
+    )
+
+
+if __name__ == "__main__":
+    main()

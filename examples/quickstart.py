@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: build a SmartStore deployment and run all three query types.
+
+This walks through the whole public API in one sitting:
+
+1. generate a synthetic MSN-profile trace (stand-in for the real trace);
+2. build a SmartStore deployment over its file metadata (60 storage units,
+   the paper's prototype size);
+3. run a filename point query, a multi-attribute range query and a top-k
+   query, printing the results and the per-query cost accounting;
+4. insert a new file and show that versioned queries see it immediately.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_bytes, format_seconds
+from repro.traces import msn_trace
+from repro.metadata.file_metadata import FileMetadata
+
+
+def describe(result, label: str) -> None:
+    print(f"\n== {label} ==")
+    print(f"  results           : {len(result.files)} file(s)")
+    print(f"  simulated latency : {format_seconds(result.latency)}")
+    print(f"  groups visited    : {result.groups_visited} (hops: {result.hops})")
+    print(f"  messages          : {result.metrics.messages}")
+    for f in result.files[:5]:
+        print(f"    - {f.path}  (size={format_bytes(f.attributes['size'])}, "
+              f"mtime={f.attributes['mtime']:.0f}s)")
+    if len(result.files) > 5:
+        print(f"    ... and {len(result.files) - 5} more")
+
+
+def main() -> None:
+    print("Generating the synthetic MSN trace ...")
+    trace = msn_trace(scale=0.6)
+    files = trace.file_metadata()
+    print(f"  {len(files)} files, {len(trace.records)} I/O records")
+
+    print("Building SmartStore (60 storage units) ...")
+    store = SmartStore.build(files, SmartStoreConfig(num_units=60, seed=7))
+    stats = store.stats()
+    print(f"  semantic R-tree: height {stats['tree_height']}, "
+          f"{stats['num_index_units']} index units, "
+          f"{stats['first_level_groups']} first-level groups")
+    print(f"  index state: {format_bytes(stats['index_space_bytes'])} across "
+          f"{stats['num_units']} units")
+
+    # 1. Filename point query — routed over the Bloom-filter hierarchy.
+    target = files[0]
+    describe(store.point_query(target.filename), f"point query for {target.filename!r}")
+
+    # 2. Range query — "files modified in the first hour that read 100KB-10MB".
+    describe(
+        store.range_query(
+            ("mtime", "read_bytes"),
+            lower=(0.0, 100 * 1024),
+            upper=(3600.0, 10 * 1024 * 1024),
+        ),
+        "range query (mtime in first hour, read volume 100KB-10MB)",
+    )
+
+    # 3. Top-k query — "8 files closest to this size / modification time".
+    describe(
+        store.topk_query(("size", "mtime"), (256 * 1024, 2 * 3600.0), k=8),
+        "top-8 query (size ~256KB, mtime ~2h)",
+    )
+
+    # 4. Insert new metadata; versioned queries see it before reconfiguration.
+    new_file = FileMetadata(
+        path="/msn/new/incoming-report.dat",
+        attributes={
+            "size": 300e6, "ctime": 5.5 * 3600, "mtime": 5.6 * 3600, "atime": 5.7 * 3600,
+            "read_bytes": 1e6, "write_bytes": 300e6, "access_count": 1.0, "owner": 7.0,
+        },
+    )
+    group = store.insert_file(new_file)
+    found = store.point_query(new_file.filename).found
+    print(f"\nInserted {new_file.path!r} into group {group}; "
+          f"visible to versioned queries: {found}")
+    applied = store.reconfigure()
+    print(f"Reconfiguration applied {applied} pending change(s); "
+          f"total files now {store.cluster.total_files()}")
+
+
+if __name__ == "__main__":
+    main()

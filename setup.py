@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that fully offline environments without the ``wheel`` package can still do
+an editable install via ``python setup.py develop`` (PEP 660 editable
+installs need ``wheel``, which may be absent on air-gapped machines).
+"""
+
+from setuptools import setup
+
+setup()

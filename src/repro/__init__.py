@@ -1,0 +1,63 @@
+"""SmartStore reproduction: semantic-aware metadata organization (SC'09).
+
+This package is a from-scratch Python reproduction of *SmartStore: A New
+Metadata Organization Paradigm with Semantic-Awareness for Next-Generation
+File Systems* (Hua, Jiang, Zhu, Feng, Tian — SC 2009).
+
+Top-level layout
+----------------
+``repro.metadata``
+    File-metadata model, attribute schema and attribute-matrix utilities.
+``repro.lsi``
+    Latent Semantic Indexing on top of a truncated SVD, plus the K-means
+    baseline grouping tool discussed in the paper.
+``repro.rtree``
+    A generic Guttman R-tree substrate (MBRs, quadratic split, range
+    search and branch-and-bound k-NN).
+``repro.bloom``
+    MD5-based Bloom filters and hierarchical (union) filters used for
+    filename point queries.
+``repro.btree``
+    A B+-tree substrate used by the per-attribute DBMS baseline.
+``repro.core``
+    The SmartStore system itself: semantic grouping, the distributed
+    semantic R-tree, on-line/off-line query engines, automatic
+    configuration, index-unit mapping and versioning.
+``repro.baselines``
+    The two comparison systems of the paper's evaluation: ``DBMSBaseline``
+    (one B+-tree per attribute) and ``RTreeBaseline`` (a centralised,
+    non-semantic R-tree).
+``repro.cluster``
+    The discrete cost-accounting cluster simulator that stands in for the
+    paper's 60-node prototype testbed.
+``repro.traces``
+    Synthetic HP / MSN / EECS trace generators and the Trace Intensifying
+    Factor (TIF) scale-up procedure.
+``repro.workloads``
+    Point / range / top-k query workload synthesis under Uniform, Gauss
+    and Zipf distributions.
+``repro.apps``
+    The two motivating applications: semantic-aware caching/prefetching
+    and de-duplication candidate detection.
+``repro.eval``
+    Recall / latency / space metrics, experiment harness and the
+    table/figure reporters used by ``benchmarks/``.
+"""
+
+from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.workloads import PointQuery, RangeQuery, TopKQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSchema",
+    "FileMetadata",
+    "DEFAULT_SCHEMA",
+    "SmartStore",
+    "SmartStoreConfig",
+    "PointQuery",
+    "RangeQuery",
+    "TopKQuery",
+    "__version__",
+]

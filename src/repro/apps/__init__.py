@@ -1,0 +1,27 @@
+"""Motivating applications built on SmartStore (§1.1).
+
+* :mod:`repro.apps.caching` — semantic-aware caching and prefetching: when a
+  file is accessed, a top-k query fetches its most correlated files into the
+  cache ahead of time.
+* :mod:`repro.apps.dedup` — de-duplication candidate detection: duplicate
+  copies exhibit near-identical multi-dimensional attributes and therefore
+  land in the same or adjacent semantic groups, so candidate pairs can be
+  found without a brute-force scan of the whole system.
+* :mod:`repro.apps.audit` — the administrator's "what changed after the
+  install?" audit: a multi-dimensional range query over modification time,
+  write volume and ownership, broken down by directory and owner.
+"""
+
+from repro.apps.audit import AuditReport, ChangeAuditor
+from repro.apps.caching import SemanticPrefetchCache, LRUCache, CacheStats
+from repro.apps.dedup import DedupDetector, DedupReport
+
+__all__ = [
+    "SemanticPrefetchCache",
+    "LRUCache",
+    "CacheStats",
+    "DedupDetector",
+    "DedupReport",
+    "ChangeAuditor",
+    "AuditReport",
+]

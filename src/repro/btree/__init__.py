@@ -1,0 +1,11 @@
+"""B+-tree substrate for the DBMS baseline.
+
+The paper's first comparison system ("DBMS") indexes every metadata
+attribute with its own B+-tree and answers multi-attribute queries by
+scanning each per-attribute index and intersecting the results — exactly the
+access pattern this subpackage reproduces from scratch.
+"""
+
+from repro.btree.bplustree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,243 @@
+"""A B+-tree keyed by floats (or any totally ordered keys).
+
+Leaves store ``(key, value)`` pairs and are chained left-to-right so range
+scans walk the leaf level sequentially, just like a disk-resident database
+index.  Internal nodes store separator keys.  Duplicate keys are allowed —
+file metadata attributes (sizes, timestamps) collide constantly.
+
+An optional ``access_counter`` callback is invoked once per node visited so
+the evaluation harness can charge index-page accesses to the simulated cost
+model (a disk-resident B+-tree page access is the dominant cost in the DBMS
+baseline, which is what produces the paper's 1000x latency gap).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    """One B+-tree node; ``is_leaf`` discriminates the two layouts."""
+
+    __slots__ = ("is_leaf", "keys", "values", "children", "next_leaf", "parent")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[float] = []
+        self.values: List[object] = []      # leaf only
+        self.children: List["_Node"] = []   # internal only
+        self.next_leaf: Optional["_Node"] = None
+        self.parent: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """A B+-tree with duplicate-tolerant insertion, point and range search.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (fan-out − 1).  Nodes split once
+        they exceed it.
+    access_counter:
+        Optional zero-argument callable invoked for every node visited.
+    """
+
+    def __init__(self, order: int = 64, access_counter: Optional[Callable[[], None]] = None) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3, got {order}")
+        self.order = order
+        self.root = _Node(is_leaf=True)
+        self._size = 0
+        self._access_counter = access_counter
+
+    # ------------------------------------------------------------------ basic facts
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def _touch(self) -> None:
+        if self._access_counter is not None:
+            self._access_counter()
+
+    # ------------------------------------------------------------------ search
+    def _find_leaf(self, key: float) -> _Node:
+        """Descend to the left-most leaf that may contain ``key``.
+
+        ``bisect_left`` (rather than ``bisect_right``) matters for duplicate
+        keys: when a run of equal keys straddles a leaf boundary the
+        separator equals the key, and searches must start in the left
+        sibling and walk the leaf chain forward.
+        """
+        node = self.root
+        self._touch()
+        while not node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            node = node.children[idx]
+            self._touch()
+        return node
+
+    def search(self, key: float) -> List[object]:
+        """Every value stored under ``key`` (possibly empty)."""
+        leaf = self._find_leaf(key)
+        results: List[object] = []
+        # Duplicates may spill into following leaves.
+        node: Optional[_Node] = leaf
+        while node is not None:
+            advanced = False
+            lo = bisect.bisect_left(node.keys, key)
+            for i in range(lo, len(node.keys)):
+                if node.keys[i] == key:
+                    results.append(node.values[i])
+                    advanced = True
+                else:
+                    return results
+            if advanced or lo == len(node.keys):
+                node = node.next_leaf
+                if node is not None:
+                    self._touch()
+            else:
+                break
+        return results
+
+    def range_search(self, low: float, high: float) -> List[Tuple[float, object]]:
+        """All ``(key, value)`` pairs with ``low <= key <= high``, in key order."""
+        if low > high:
+            return []
+        leaf = self._find_leaf(low)
+        results: List[Tuple[float, object]] = []
+        node: Optional[_Node] = leaf
+        while node is not None:
+            for k, v in zip(node.keys, node.values):
+                if k < low:
+                    continue
+                if k > high:
+                    return results
+                results.append((k, v))
+            node = node.next_leaf
+            if node is not None:
+                self._touch()
+        return results
+
+    def count_in_range(self, low: float, high: float) -> int:
+        """Number of keys in ``[low, high]`` (still walks the leaf chain)."""
+        return len(self.range_search(low, high))
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All pairs in ascending key order."""
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def min_key(self) -> Optional[float]:
+        for k, _ in self.items():
+            return k
+        return None
+
+    def max_key(self) -> Optional[float]:
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[-1]
+        # The right-most leaf can be empty only when the whole tree is empty.
+        return node.keys[-1] if node.keys else None
+
+    # ------------------------------------------------------------------ insertion
+    def insert(self, key: float, value: object) -> None:
+        """Insert ``(key, value)``; duplicate keys are kept."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_right(leaf.keys, key)
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._size += 1
+        if len(leaf.keys) > self.order:
+            self._split(leaf)
+
+    def bulk_insert(self, pairs) -> None:
+        """Insert an iterable of ``(key, value)`` pairs."""
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def _split(self, node: _Node) -> None:
+        mid = len(node.keys) // 2
+        sibling = _Node(is_leaf=node.is_leaf)
+
+        if node.is_leaf:
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next_leaf = node.next_leaf
+            node.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = node.keys[mid]
+            sibling.keys = node.keys[mid + 1:]
+            sibling.children = node.children[mid + 1:]
+            node.keys = node.keys[:mid]
+            node.children = node.children[: mid + 1]
+            for child in sibling.children:
+                child.parent = sibling
+
+        parent = node.parent
+        if parent is None:
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            self.root = new_root
+        else:
+            sibling.parent = parent
+            # Place the new sibling immediately after the node it split from.
+            # Positioning by key (bisect) is ambiguous under duplicate keys
+            # and would desynchronise the children order from the leaf chain.
+            idx = parent.children.index(node)
+            parent.keys.insert(idx, separator)
+            parent.children.insert(idx + 1, sibling)
+            if len(parent.keys) > self.order:
+                self._split(parent)
+
+    # ------------------------------------------------------------------ deletion
+    def delete(self, key: float, value: object) -> bool:
+        """Delete one ``(key, value)`` pair; returns True if found.
+
+        Underflow rebalancing is intentionally omitted: the DBMS baseline
+        only ever bulk-loads and queries, and a slightly sparse leaf does
+        not change the access-count asymptotics the evaluation measures.
+        """
+        leaf = self._find_leaf(key)
+        node: Optional[_Node] = leaf
+        while node is not None:
+            for i, (k, v) in enumerate(zip(node.keys, node.values)):
+                if k > key:
+                    return False
+                if k == key and v == value:
+                    del node.keys[i]
+                    del node.values[i]
+                    self._size -= 1
+                    return True
+            node = node.next_leaf
+        return False

@@ -1,0 +1,351 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+The CLI is a thin layer over the library so that the common workflows —
+generate a trace, build a deployment, poke it with queries, compare against
+the baselines — do not require writing a script.  Every subcommand prints
+human-readable tables (the same formatter the benchmarks use) and most can
+persist their artefacts via :mod:`repro.persistence`.
+
+Subcommands
+-----------
+``trace``
+    Generate one of the synthetic traces (hp / msn / eecs / generic), print
+    its Tables-1-3-style summary and optionally save it as JSON-Lines.
+``build``
+    Build a SmartStore deployment over a trace or a saved population, print
+    its statistics and optionally write a deployment snapshot.
+``query``
+    Build a deployment and run a single point / range / top-k query against
+    it, printing the matching files and the query cost.
+``compare``
+    Run a mixed workload against SmartStore and the baselines (non-semantic
+    R-tree, per-attribute DBMS, directory tree) and print the latency /
+    message comparison (a small, live version of the paper's Table 4).
+``experiments``
+    List the benchmark modules and the paper table/figure each regenerates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.dbms import DBMSBaseline
+from repro.baselines.rtree_db import RTreeBaseline
+from repro.baselines.spyglass import SpyglassBaseline
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.harness import run_query_workload
+from repro.eval.reporting import format_bytes, format_seconds, format_table
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.namespace.baseline import DirectoryTreeBaseline
+from repro.persistence import (
+    load_files,
+    load_trace,
+    save_files,
+    save_snapshot,
+    save_trace,
+    snapshot_deployment,
+)
+from repro.traces.eecs import eecs_trace
+from repro.traces.hp import hp_trace
+from repro.traces.msn import msn_trace
+from repro.traces.scaleup import scale_up
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.workloads.generator import QueryWorkloadGenerator
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+__all__ = ["main", "build_parser"]
+
+TRACE_PROFILES = ("hp", "msn", "eecs", "generic")
+
+#: Benchmark module -> what it reproduces (used by ``repro experiments``).
+EXPERIMENT_INDEX: Dict[str, str] = {
+    "bench_tables_1_2_3_traces.py": "Tables 1-3: scaled-up HP/MSN/EECS trace statistics (TIF)",
+    "bench_table4_query_latency.py": "Table 4: point/range/top-k latency, SmartStore vs R-tree vs DBMS",
+    "bench_fig7_space_overhead.py": "Figure 7: per-node index space overhead",
+    "bench_fig8_routing_hops.py": "Figure 8: routing-distance (hops) distribution",
+    "bench_fig9_point_hit_rate.py": "Figure 9: Bloom-filter point-query hit rate",
+    "bench_fig10_recall_distributions.py": "Figure 10: recall of complex queries per query distribution",
+    "bench_fig11_optimal_thresholds.py": "Figure 11: optimal grouping thresholds vs scale / tree level",
+    "bench_fig12_recall_scalability.py": "Figure 12: recall vs system scale",
+    "bench_fig13_online_offline.py": "Figure 13: on-line vs off-line latency and messages",
+    "bench_fig14_versioning_overhead.py": "Figure 14: versioning space and latency overhead",
+    "bench_tables_5_6_versioning_recall.py": "Tables 5-6: recall with and without versioning",
+    "bench_ablation_grouping.py": "Ablation: LSI grouping vs K-means vs random placement",
+    "bench_ablation_autoconfig.py": "Ablation: automatic multi-tree configuration",
+    "bench_ablation_bloom.py": "Ablation: Bloom filter sizing",
+    "bench_ablation_directory.py": "Ablation: directory-tree organisation vs SmartStore (namespace locality)",
+    "bench_ablation_failures.py": "Ablation: availability and root failover under unit crashes",
+    "bench_ablation_spyglass.py": "Ablation: Spyglass-style single-server partitioned index vs SmartStore",
+}
+
+
+# ---------------------------------------------------------------------------- helpers
+def _load_population(path: str) -> List[FileMetadata]:
+    """Load a file population from either a trace or a population artefact."""
+    try:
+        return load_files(path)
+    except ValueError:
+        return load_trace(path).file_metadata()
+
+
+def _make_trace(profile: str, scale: float, seed: int, tif: int):
+    if profile == "hp":
+        trace = hp_trace(scale=scale, seed=seed)
+    elif profile == "msn":
+        trace = msn_trace(scale=scale, seed=seed)
+    elif profile == "eecs":
+        trace = eecs_trace(scale=scale, seed=seed)
+    else:
+        config = SyntheticTraceConfig(
+            name="generic",
+            n_files=max(int(2000 * scale), 50),
+            n_requests=max(int(10000 * scale), 100),
+            n_projects=max(int(20 * scale), 5),
+            seed=seed,
+        )
+        trace = generate_trace(config)
+    if tif > 1:
+        trace = scale_up(trace, tif)
+    return trace
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+def _summary_rows(summary) -> List[List[object]]:
+    d = summary.as_dict()
+    return [[key, value] for key, value in d.items()]
+
+
+def _parse_range_terms(terms: Sequence[str]) -> RangeQuery:
+    """Parse ``attr=lo:hi`` terms into a :class:`RangeQuery`."""
+    attributes: List[str] = []
+    lower: List[float] = []
+    upper: List[float] = []
+    for term in terms:
+        if "=" not in term or ":" not in term.split("=", 1)[1]:
+            raise ValueError(f"range term {term!r} must look like attr=lo:hi")
+        name, bounds = term.split("=", 1)
+        lo, hi = bounds.split(":", 1)
+        attributes.append(name)
+        lower.append(float(lo))
+        upper.append(float(hi))
+    return RangeQuery(tuple(attributes), tuple(lower), tuple(upper))
+
+
+def _parse_topk_terms(terms: Sequence[str], k: int) -> TopKQuery:
+    """Parse ``attr=value`` terms into a :class:`TopKQuery`."""
+    attributes: List[str] = []
+    values: List[float] = []
+    for term in terms:
+        if "=" not in term:
+            raise ValueError(f"top-k term {term!r} must look like attr=value")
+        name, value = term.split("=", 1)
+        attributes.append(name)
+        values.append(float(value))
+    return TopKQuery(tuple(attributes), tuple(values), k)
+
+
+# ---------------------------------------------------------------------------- subcommands
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = _make_trace(args.profile, args.scale, args.seed, args.tif)
+    summary = trace.summary()
+    _print(
+        format_table(
+            ["statistic", "value"],
+            _summary_rows(summary),
+            title=f"{args.profile.upper()} trace (scale={args.scale}, TIF={args.tif})",
+        )
+    )
+    if args.output:
+        lines = save_trace(trace, args.output)
+        _print(f"trace written to {args.output} ({lines} lines)")
+    if args.population_output:
+        count = save_files(trace.file_metadata(), args.population_output)
+        _print(f"file population written to {args.population_output} ({count} records)")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.input:
+        files = _load_population(args.input)
+    else:
+        files = _make_trace(args.profile, args.scale, args.seed, 1).file_metadata()
+    config = SmartStoreConfig(num_units=args.units, seed=args.seed, mode=args.mode)
+    store = SmartStore.build(files, config)
+    stats = store.stats()
+    rows = [[key, value] for key, value in stats.items()]
+    rows.append(["index space (pretty)", format_bytes(stats["index_space_bytes"])])
+    _print(format_table(["statistic", "value"], rows, title="SmartStore deployment"))
+    if args.snapshot:
+        save_snapshot(snapshot_deployment(store), args.snapshot)
+        _print(f"deployment snapshot written to {args.snapshot}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+    store = SmartStore.build(files, SmartStoreConfig(num_units=args.units, seed=args.seed))
+
+    if args.kind == "point":
+        query = PointQuery(args.terms[0])
+    elif args.kind == "range":
+        query = _parse_range_terms(args.terms)
+    else:
+        query = _parse_topk_terms(args.terms, args.k)
+
+    result = store.execute(query)
+    rows = [
+        [f.path, format_bytes(f.get("size")), f"{f.get('mtime'):.0f}"]
+        for f in result.files[: args.limit]
+    ]
+    _print(
+        format_table(
+            ["path", "size", "mtime"],
+            rows,
+            title=f"{args.kind} query: {len(result.files)} result(s), "
+            f"latency {format_seconds(result.latency)}, "
+            f"{result.metrics.messages} messages, {result.hops} hop(s)",
+        )
+    )
+    if len(result.files) > args.limit:
+        _print(f"... {len(result.files) - args.limit} more result(s) not shown")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    store = SmartStore.build(files, SmartStoreConfig(num_units=args.units, seed=args.seed))
+    systems = [
+        ("SmartStore", store),
+        ("R-tree (non-semantic)", RTreeBaseline(files, DEFAULT_SCHEMA)),
+        ("DBMS (B+-tree per attribute)", DBMSBaseline(files, DEFAULT_SCHEMA)),
+        ("Directory tree", DirectoryTreeBaseline(files, DEFAULT_SCHEMA)),
+        ("Spyglass-style (K-D partitions)", SpyglassBaseline(files, DEFAULT_SCHEMA)),
+    ]
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=args.seed)
+    workloads = {
+        "point": generator.point_queries(args.queries),
+        "range": generator.range_queries(args.queries, distribution=args.distribution),
+        "top-k": generator.topk_queries(args.queries, k=8, distribution=args.distribution),
+    }
+
+    rows = []
+    for kind, queries in workloads.items():
+        for name, system in systems:
+            outcome = run_query_workload(system, queries)
+            rows.append(
+                [
+                    kind,
+                    name,
+                    format_seconds(outcome.total_latency),
+                    f"{outcome.total_messages}",
+                ]
+            )
+    _print(
+        format_table(
+            ["workload", "system", "total latency", "messages"],
+            rows,
+            title=f"SmartStore vs. baselines ({len(files)} files, "
+            f"{args.queries} queries per workload, {args.distribution} distribution)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
+    _print(
+        format_table(
+            ["benchmark module", "reproduces"],
+            rows,
+            title="Run with: pytest benchmarks/<module> --benchmark-only",
+        )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartStore (SC'09) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", choices=TRACE_PROFILES, default="msn",
+                       help="synthetic trace profile (default: msn)")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="trace down-scaling factor (default: 0.5)")
+        p.add_argument("--seed", type=int, default=42, help="random seed")
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trace")
+    add_trace_source(p_trace)
+    p_trace.add_argument("--tif", type=int, default=1,
+                         help="Trace Intensifying Factor (sub-trace replication)")
+    p_trace.add_argument("--output", help="write the trace as JSON-Lines")
+    p_trace.add_argument("--population-output",
+                         help="write only the file population as JSON-Lines")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_build = sub.add_parser("build", help="build a SmartStore deployment")
+    add_trace_source(p_build)
+    p_build.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_build.add_argument("--units", type=int, default=60, help="number of storage units")
+    p_build.add_argument("--mode", choices=("offline", "online"), default="offline")
+    p_build.add_argument("--snapshot", help="write a deployment snapshot JSON here")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="run one query against a deployment")
+    add_trace_source(p_query)
+    p_query.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_query.add_argument("--units", type=int, default=20, help="number of storage units")
+    p_query.add_argument("--limit", type=int, default=10, help="max results to print")
+    p_query.add_argument("-k", type=int, default=8, help="k for top-k queries")
+    p_query.add_argument("kind", choices=("point", "range", "topk"))
+    p_query.add_argument(
+        "terms",
+        nargs="+",
+        help="point: FILENAME | range: attr=lo:hi ... | topk: attr=value ...",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_cmp = sub.add_parser("compare", help="compare SmartStore against the baselines")
+    add_trace_source(p_cmp)
+    p_cmp.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_cmp.add_argument("--units", type=int, default=20, help="number of storage units")
+    p_cmp.add_argument("--queries", type=int, default=20, help="queries per workload")
+    p_cmp.add_argument("--distribution", choices=("uniform", "gauss", "zipf"), default="zipf")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Message accounting between simulated storage units.
+
+The network model is intentionally simple — every inter-unit message costs
+one hop — because the paper's comparisons (on-line multicast vs. off-line
+pre-computation, Figure 13; routing distance, Figure 8) are about *how many*
+messages are exchanged, not about congestion dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.metrics import Metrics
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Point-to-point and multicast message accounting.
+
+    Parameters
+    ----------
+    metrics:
+        The shared :class:`~repro.cluster.metrics.Metrics` object that
+        receives message counts.  A fresh one is created when omitted
+        (useful in unit tests).
+    """
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    def send(self, src: int, dst: int) -> None:
+        """One unicast message from unit ``src`` to unit ``dst``.
+
+        A message a unit sends to itself is free: local work does not cross
+        the network.
+        """
+        if src == dst:
+            return
+        self.metrics.record_message()
+
+    def send_response(self, src: int, dst: int) -> None:
+        """A response message (same cost as a request)."""
+        self.send(src, dst)
+
+    def multicast(self, src: int, destinations: Iterable[int]) -> int:
+        """Multicast from ``src`` to every unit in ``destinations``.
+
+        Returns the number of messages actually sent (self-sends excluded).
+        The on-line query approach of §3.3 relies on multicasting to the
+        father and sibling nodes of the home unit, which is exactly the
+        traffic Figure 13(b) measures.
+        """
+        sent = 0
+        for dst in set(destinations):
+            if dst == src:
+                continue
+            self.metrics.record_message()
+            sent += 1
+        return sent
+
+    def gather(self, sources: Sequence[int], dst: int) -> int:
+        """Responses from every unit in ``sources`` back to ``dst``."""
+        sent = 0
+        for src in set(sources):
+            if src == dst:
+                continue
+            self.metrics.record_message()
+            sent += 1
+        return sent

@@ -1,0 +1,32 @@
+"""The SmartStore core system.
+
+Modules
+-------
+``grouping``
+    LSI-driven semantic grouping: partitioning files onto storage units and
+    iteratively aggregating units into the levels of the semantic R-tree.
+``semantic_rtree``
+    The semantic R-tree itself: storage units (leaves) and index units
+    (non-leaves) carrying MBRs, semantic vectors and Bloom filters.
+``mapping``
+    Mapping index units onto storage units and multi-mapping the root.
+``versioning``
+    Version chains attached to first-level index units for consistency.
+``offline``
+    Off-line pre-processing: replicated first-level index vectors and lazy
+    updating.
+``queries``
+    The on-line and off-line query engines (point, range, top-k).
+``reconfig``
+    System reconfiguration: storage-unit insertion/deletion, node
+    split/merge.
+``autoconfig``
+    Automatic configuration of multiple semantic R-trees over attribute
+    subsets.
+``smartstore``
+    The public facade tying everything together.
+"""
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig, QueryResult
+
+__all__ = ["SmartStore", "SmartStoreConfig", "QueryResult"]

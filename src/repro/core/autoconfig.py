@@ -1,0 +1,180 @@
+"""Automatic configuration of multiple semantic R-trees (§2.4).
+
+Queries may constrain an arbitrary subset of the ``D`` metadata attributes.
+A single semantic R-tree built over all ``D`` dimensions can always answer
+them, but when the queried subset correlates poorly with the full-dimension
+grouping the search degrades towards brute force.  The automatic
+configuration technique therefore:
+
+1. builds the reference tree over all ``D`` attributes and counts its index
+   units ``NO(I_D)``;
+2. for every candidate attribute subset ``d`` builds a tree restricted to
+   those attributes and counts ``NO(I_d)``;
+3. retains the subset tree only when ``|NO(I_D) - NO(I_d)|`` exceeds a
+   configured fraction of ``NO(I_D)`` (10 % in the prototype) — i.e. when
+   the subset genuinely produces a *different* grouping; near-identical
+   trees are redundant and deleted;
+4. at query time serves each query from the retained tree whose attribute
+   set best matches the query's attributes, falling back to the
+   full-dimension tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.semantic_rtree import SemanticRTree
+from repro.metadata.attributes import AttributeSchema
+
+__all__ = ["ConfiguredTree", "AutoConfigurator"]
+
+#: Signature of the callback that builds a semantic R-tree from per-unit
+#: semantic vectors (the SmartStore facade provides it, closing over the
+#: storage-unit descriptors).
+TreeBuilder = Callable[[np.ndarray], SemanticRTree]
+
+
+@dataclass
+class ConfiguredTree:
+    """One retained semantic R-tree and the attribute subset it covers."""
+
+    attributes: Tuple[str, ...]
+    tree: SemanticRTree
+    num_index_units: int
+    is_full: bool = False
+
+
+class AutoConfigurator:
+    """Builds and retains the set of semantic R-trees serving a deployment.
+
+    Parameters
+    ----------
+    schema:
+        The deployment's attribute schema (defines the full dimension ``D``).
+    unit_matrix:
+        ``(num_units, D)`` normalised per-unit attribute centroids; the
+        semantic vectors of a subset tree are the restriction of this matrix
+        to the subset's columns.
+    build_tree:
+        Callback turning per-unit semantic vectors into a
+        :class:`~repro.core.semantic_rtree.SemanticRTree`.
+    difference_threshold:
+        Fraction of ``NO(I_D)`` the index-unit count of a subset tree must
+        differ by to be retained (0.10 in the prototype, §5.1).
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        unit_matrix: np.ndarray,
+        build_tree: TreeBuilder,
+        *,
+        difference_threshold: float = 0.10,
+    ) -> None:
+        if not 0.0 <= difference_threshold <= 1.0:
+            raise ValueError("difference_threshold must be in [0, 1]")
+        self.schema = schema
+        self.unit_matrix = np.asarray(unit_matrix, dtype=np.float64)
+        if self.unit_matrix.ndim != 2 or self.unit_matrix.shape[1] != schema.dimension:
+            raise ValueError(
+                f"unit_matrix shape {self.unit_matrix.shape} does not match schema "
+                f"dimension {schema.dimension}"
+            )
+        self.build_tree = build_tree
+        self.difference_threshold = difference_threshold
+        self.trees: List[ConfiguredTree] = []
+        self.examined_subsets = 0
+
+    # ------------------------------------------------------------------ configuration
+    def configure(
+        self,
+        candidate_subsets: Optional[Sequence[Sequence[str]]] = None,
+        *,
+        max_subset_size: Optional[int] = None,
+    ) -> List[ConfiguredTree]:
+        """Run the automatic configuration and return the retained trees.
+
+        ``candidate_subsets`` defaults to every proper subset of the schema
+        with at least one attribute and at most ``max_subset_size``
+        attributes (``D - 1`` when unspecified).  The full-dimension tree is
+        always retained and always listed first.
+        """
+        names = self.schema.names
+        full_tree = self.build_tree(self.unit_matrix)
+        full = ConfiguredTree(
+            attributes=tuple(names),
+            tree=full_tree,
+            num_index_units=full_tree.num_index_units,
+            is_full=True,
+        )
+        self.trees = [full]
+        self.examined_subsets = 0
+
+        if candidate_subsets is None:
+            limit = max_subset_size if max_subset_size is not None else len(names) - 1
+            limit = max(1, min(limit, len(names) - 1))
+            candidate_subsets = [
+                subset
+                for size in range(1, limit + 1)
+                for subset in combinations(names, size)
+            ]
+
+        reference = max(full.num_index_units, 1)
+        for subset in candidate_subsets:
+            subset = tuple(subset)
+            if subset == tuple(names):
+                continue
+            self.examined_subsets += 1
+            idx = list(self.schema.indices(subset))
+            sub_tree = self.build_tree(self.unit_matrix[:, idx])
+            difference = abs(full.num_index_units - sub_tree.num_index_units)
+            if difference > self.difference_threshold * reference:
+                self.trees.append(
+                    ConfiguredTree(
+                        attributes=subset,
+                        tree=sub_tree,
+                        num_index_units=sub_tree.num_index_units,
+                    )
+                )
+        return self.trees
+
+    # ------------------------------------------------------------------ selection
+    def select_tree(self, query_attributes: Sequence[str]) -> ConfiguredTree:
+        """The retained tree best matching a query's attribute set.
+
+        Exact matches win; otherwise the retained tree with the highest
+        Jaccard similarity to the query attributes is chosen, and the
+        full-dimension tree is the fallback (its results are a superset that
+        must be refined, §2.4).
+        """
+        if not self.trees:
+            raise RuntimeError("configure() must run before select_tree()")
+        query_set = frozenset(query_attributes)
+        best = self.trees[0]
+        best_score = -1.0
+        for configured in self.trees:
+            attrs = frozenset(configured.attributes)
+            if attrs == query_set:
+                return configured
+            union = len(attrs | query_set)
+            score = len(attrs & query_set) / union if union else 0.0
+            if configured.is_full:
+                score += 1e-9  # stable fallback preference on ties
+            if score > best_score:
+                best_score = score
+                best = configured
+        return best
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> Dict[str, object]:
+        """Counts used by the ablation benchmark."""
+        return {
+            "retained_trees": len(self.trees),
+            "examined_subsets": self.examined_subsets,
+            "index_units_full": self.trees[0].num_index_units if self.trees else 0,
+            "retained_subsets": [t.attributes for t in self.trees if not t.is_full],
+        }

@@ -1,0 +1,102 @@
+"""Mapping index units onto storage units (§4.2) and root multi-mapping (§4.3).
+
+Index units are logical tree nodes; physically each one must live on some
+metadata server.  The paper's mapping is a bottom-up random selection with
+labelling: a first-level index unit is mapped to a randomly chosen child
+storage unit, each mapped server is labelled so no second index unit lands
+on it, then the procedure repeats for the second level over the remaining
+servers, and so on up to the root.  Because storage units far outnumber
+index units, every index unit normally gets its own server.
+
+The root is additionally *multi-mapped*: one replica per first-level subtree
+so that it can be reached within every subtree, removing the single point of
+failure and letting non-existence answers be produced locally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.semantic_rtree import SemanticNode, SemanticRTree
+
+__all__ = ["map_index_units", "multi_map_root", "hosting_plan"]
+
+
+def map_index_units(tree: SemanticRTree, rng: Optional[np.random.Generator] = None) -> Dict[int, int]:
+    """Assign every index unit to a hosting storage unit.
+
+    Returns a mapping ``node_id -> unit_id`` and also sets each node's
+    ``hosted_on`` attribute.  Leaves host themselves.  When the tree has
+    more index units than storage units (only possible for tiny, degenerate
+    configurations) labelled servers are reused round-robin.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    labelled: set[int] = set()
+    assignment: Dict[int, int] = {}
+
+    for leaf in tree.leaves.values():
+        leaf.hosted_on = leaf.unit_id
+        assignment[leaf.node_id] = leaf.unit_id
+
+    # Index units grouped by level, lowest level first.
+    index_units = sorted(tree.index_units(), key=lambda n: n.level)
+    for node in index_units:
+        candidates = node.descendant_unit_ids()
+        unlabelled = [u for u in candidates if u not in labelled]
+        if unlabelled:
+            pool = unlabelled
+        else:
+            # Every descendant server already hosts an index unit; fall back
+            # to any unlabelled server in the system, then to reuse.
+            all_units = list(tree.leaves.keys())
+            pool = [u for u in all_units if u not in labelled] or candidates
+        choice = int(pool[rng.integers(len(pool))])
+        node.hosted_on = choice
+        assignment[node.node_id] = choice
+        labelled.add(choice)
+    return assignment
+
+
+def multi_map_root(tree: SemanticRTree, rng: Optional[np.random.Generator] = None) -> List[int]:
+    """Replicate the root onto one storage unit per first-level subtree.
+
+    Returns the list of replica hosts (the primary host is kept as
+    ``root.hosted_on``; the replicas are stored in ``root.replica_hosts``).
+    A change to file metadata only forces a root update when it falls
+    outside the root's attribute bounds, so keeping these replicas
+    consistent is cheap (§4.3).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    root = tree.root
+    replica_hosts: List[int] = []
+    for group in tree.first_level_groups():
+        if group is root:
+            continue
+        unit_ids = group.descendant_unit_ids()
+        if not unit_ids:
+            continue
+        host = int(unit_ids[rng.integers(len(unit_ids))])
+        if host != root.hosted_on and host not in replica_hosts:
+            replica_hosts.append(host)
+    root.replica_hosts = replica_hosts
+    return replica_hosts
+
+
+def hosting_plan(tree: SemanticRTree) -> Dict[int, List[int]]:
+    """Per-server list of the index-unit node ids it hosts.
+
+    Used by the space-overhead accounting of Figure 7: the index footprint
+    of SmartStore is spread across servers according to this plan rather
+    than concentrated on one machine.
+    """
+    plan: Dict[int, List[int]] = {unit_id: [] for unit_id in tree.leaves}
+    for node in tree.index_units():
+        if node.hosted_on is None:
+            continue
+        plan.setdefault(node.hosted_on, []).append(node.node_id)
+    root = tree.root
+    for host in root.replica_hosts:
+        plan.setdefault(host, []).append(root.node_id)
+    return plan

@@ -1,0 +1,470 @@
+"""On-line and off-line query engines (§3.3, §3.4).
+
+The engine executes the three query types against a built SmartStore
+deployment and accounts every message, index probe and record scan on a
+per-query :class:`~repro.cluster.metrics.Metrics` object:
+
+* **Point query** — routed over the hierarchical Bloom filters; candidate
+  storage units verify the filename locally.
+* **Range query** — target groups (first-level index units) are located
+  either by local computation over replicated index summaries (*off-line*
+  mode) or by multicasting to the index units (*on-line* mode); the storage
+  units of the target groups whose MBR intersects the window run vectorised
+  local scans.
+* **Top-k query** — the most semantically correlated group is scanned first
+  to obtain ``MaxD`` (the current k-th best distance); sibling groups are
+  then checked only when their MBR's MINDIST is below ``MaxD``.
+
+Geometry convention: users express queries in natural ("raw") units; the
+engine converts them into the deployment's *index space* (wide-range
+attributes are ``log1p``-transformed — a per-dimension monotone transform,
+so range predicates translate exactly) where all MBRs, scans and distances
+live.  Top-k distances additionally use the deployment-wide min-max
+normalisation of that space so that dimensions are comparable.
+
+When versioning is enabled the engine additionally consults the version
+chains of the visited groups (rolling backwards), which is how recent
+changes become visible at a small extra latency (§4.4, Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.metrics import Metrics
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.offline import OfflineRouter
+from repro.core.semantic_rtree import SemanticNode, SemanticRTree
+from repro.core.versioning import VersioningManager
+from repro.lsi.model import LSIModel
+from repro.metadata.attributes import AttributeSchema
+from repro.metadata.file_metadata import FileMetadata
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+__all__ = ["QueryResult", "QueryEngine"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query.
+
+    Attributes
+    ----------
+    files:
+        Matching metadata records (for top-k, sorted by ascending distance).
+    metrics:
+        Per-query event counters.
+    latency:
+        Simulated latency in seconds under the engine's cost model.
+    groups_visited:
+        Number of first-level semantic groups that did local work.
+    hops:
+        Routing distance in groups: ``max(0, groups_visited - 1)`` — the
+        quantity Figure 8 reports (0 hops = served within a single group).
+    found:
+        Convenience flag: non-empty result set.
+    distances:
+        For top-k queries, the distance of each returned file (same order).
+    """
+
+    files: List[FileMetadata]
+    metrics: Metrics
+    latency: float
+    groups_visited: int
+    hops: int
+    found: bool
+    distances: List[float] = field(default_factory=list)
+
+
+class QueryEngine:
+    """Executes point/range/top-k queries against a SmartStore deployment.
+
+    Parameters
+    ----------
+    tree, cluster, lsi, schema:
+        The deployment's semantic R-tree, cluster simulator, fitted LSI
+        model and attribute schema.
+    index_lower, index_upper:
+        Deployment-wide per-attribute bounds of the index space (the
+        log-transformed attribute matrix of the build-time population),
+        used both for min-max normalisation and for folding queries into
+        the LSI subspace.
+    log_mask:
+        Per-attribute flags selecting which attributes the index-space
+        transform applies ``log1p`` to (from the schema).
+    versioning, offline_router:
+        The version chains and the replicated-index router (required for
+        ``mode="offline"``).
+    mode:
+        ``"offline"`` (replica-based routing, the default) or ``"online"``
+        (multicast discovery).
+    search_breadth:
+        Maximum number of first-level groups a complex query contacts.
+        SmartStore deliberately bounds the search scope to the most
+        correlated groups (that is the whole point of the semantic
+        organisation); the bound keeps query traffic low at the price of
+        occasionally missing results that live in a less correlated group —
+        which is why the paper's recall figures sit below 100 %.
+    """
+
+    def __init__(
+        self,
+        *,
+        tree: SemanticRTree,
+        cluster: ClusterSimulator,
+        lsi: LSIModel,
+        schema: AttributeSchema,
+        index_lower: np.ndarray,
+        index_upper: np.ndarray,
+        log_mask: Sequence[bool],
+        center: Optional[np.ndarray] = None,
+        versioning: Optional[VersioningManager] = None,
+        offline_router: Optional[OfflineRouter] = None,
+        mode: str = "offline",
+        versioning_enabled: bool = True,
+        search_breadth: int = 4,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if mode not in ("offline", "online"):
+            raise ValueError(f"mode must be 'offline' or 'online', got {mode!r}")
+        if mode == "offline" and offline_router is None:
+            raise ValueError("offline mode requires an OfflineRouter")
+        if search_breadth < 1:
+            raise ValueError("search_breadth must be >= 1")
+        self.tree = tree
+        self.cluster = cluster
+        self.lsi = lsi
+        self.schema = schema
+        self.index_lower = np.asarray(index_lower, dtype=np.float64)
+        self.index_upper = np.asarray(index_upper, dtype=np.float64)
+        self.log_mask = np.asarray(log_mask, dtype=bool)
+        self.center = (
+            np.asarray(center, dtype=np.float64)
+            if center is not None
+            else np.full(schema.dimension, 0.5, dtype=np.float64)
+        )
+        self.versioning = versioning
+        self.offline_router = offline_router
+        self.mode = mode
+        self.versioning_enabled = versioning_enabled and versioning is not None
+        self.search_breadth = search_breadth
+        self.cost_model = cost_model
+        self._nodes_by_id: Dict[int, SemanticNode] = {n.node_id: n for n in tree.nodes}
+
+    # ------------------------------------------------------------------ space transforms
+    def to_index_space(self, attr_indices: Sequence[int], values: Sequence[float]) -> np.ndarray:
+        """Raw query values → index space (``log1p`` on wide-range attributes)."""
+        idx = np.asarray(attr_indices, dtype=np.intp)
+        vals = np.asarray(values, dtype=np.float64).copy()
+        logs = self.log_mask[idx]
+        vals[logs] = np.log1p(np.maximum(vals[logs], 0.0))
+        return vals
+
+    def normalize_index_values(
+        self, attr_indices: Sequence[int], index_values: np.ndarray
+    ) -> np.ndarray:
+        """Index-space values → deployment-wide min-max normalised values."""
+        idx = np.asarray(attr_indices, dtype=np.intp)
+        span = self.index_upper[idx] - self.index_lower[idx]
+        span = np.where(span > 0, span, 1.0)
+        out = (np.asarray(index_values, dtype=np.float64) - self.index_lower[idx]) / span
+        return np.clip(out, 0.0, 1.0)
+
+    def fold_normalized_vector(self, normalized_full: np.ndarray) -> np.ndarray:
+        """Fold a full-dimension normalised attribute vector into LSI space.
+
+        The LSI model was fitted on *centred* data, so the deployment-wide
+        per-attribute mean is subtracted before projecting.
+        """
+        return self.lsi.fold_in(np.asarray(normalized_full, dtype=np.float64) - self.center)
+
+    def _fold_query(self, attributes: Sequence[str], values: Sequence[float]) -> np.ndarray:
+        """Fold a partial query into the LSI semantic subspace.
+
+        Unconstrained attributes take the deployment-wide mean value, so
+        they neither attract nor repel any group.
+        """
+        full = self.center.copy()
+        idx = list(self.schema.indices(attributes))
+        full[idx] = self.normalize_index_values(idx, self.to_index_space(idx, values))
+        return self.fold_normalized_vector(full)
+
+    def file_normalized_subset(
+        self, file: FileMetadata, attributes: Sequence[str]
+    ) -> np.ndarray:
+        """One file's attribute values, normalised, restricted to ``attributes``."""
+        idx = list(self.schema.indices(attributes))
+        values = [file.attributes.get(a, 0.0) for a in attributes]
+        return self.normalize_index_values(idx, self.to_index_space(idx, values))
+
+    def _pending_distance(
+        self, file: FileMetadata, attributes: Sequence[str], query_norm: np.ndarray
+    ) -> float:
+        fnorm = self.file_normalized_subset(file, attributes)
+        return float(np.linalg.norm(fnorm - query_norm))
+
+    def _finish(
+        self,
+        files: List[FileMetadata],
+        metrics: Metrics,
+        groups_visited: int,
+        distances: Optional[List[float]] = None,
+    ) -> QueryResult:
+        return QueryResult(
+            files=files,
+            metrics=metrics,
+            latency=metrics.latency(self.cost_model),
+            groups_visited=groups_visited,
+            hops=max(0, groups_visited - 1),
+            found=bool(files),
+            distances=distances or [],
+        )
+
+    # ------------------------------------------------------------------ point query
+    def point_query(self, query: PointQuery) -> QueryResult:
+        """Filename point query routed over the Bloom-filter hierarchy."""
+        metrics = Metrics()
+        home = self.cluster.random_home_unit()
+        metrics.record_unit_visit(home)
+
+        # Check the home unit's own filter first (free, local).
+        metrics.record_bloom_probe()
+        home_server = self.cluster.server(home)
+        candidates: List[SemanticNode] = []
+        if home_server.bloom.contains(query.filename):
+            candidates.append(self.tree.leaves[home])
+
+        # Walk the hierarchy; reaching the root's host costs one message when
+        # the root is not multi-mapped into the home unit's own subtree.
+        root = self.tree.root
+        if root.hosted_on != home and home not in root.replica_hosts:
+            metrics.record_message()
+        bloom_hits = self.tree.route_filename(query.filename, metrics)
+        for leaf in bloom_hits:
+            if leaf not in candidates:
+                candidates.append(leaf)
+
+        results: List[FileMetadata] = []
+        for leaf in candidates:
+            if leaf.unit_id != home:
+                metrics.record_message(2)  # request + response
+            matches = self.cluster.server(leaf.unit_id).lookup_filename(query.filename, metrics)
+            results.extend(matches)
+
+        if self.versioning_enabled and not results:
+            # Recent insertions are not yet reflected in any Bloom filter;
+            # the version chains (small, memory resident) are checked next.
+            for group in self.tree.first_level_groups():
+                for pending in self.versioning.pending_files(group.node_id, metrics):
+                    if pending.filename == query.filename:
+                        results.append(pending)
+
+        groups = {self.tree.group_of_unit(leaf.unit_id).node_id for leaf in candidates}
+        groups_visited = max(1, len(groups))
+        return self._finish(results, metrics, groups_visited)
+
+    # ------------------------------------------------------------------ range query
+    def range_query(self, query: RangeQuery) -> QueryResult:
+        """Multi-dimensional range query."""
+        metrics = Metrics()
+        home = self.cluster.random_home_unit()
+        metrics.record_unit_visit(home)
+        attr_idx = list(self.schema.indices(query.attributes))
+        # The log transform is monotone per dimension, so the raw-unit window
+        # maps exactly onto an index-space window.
+        lower = self.to_index_space(attr_idx, query.lower)
+        upper = self.to_index_space(attr_idx, query.upper)
+
+        target_groups = self._locate_groups_for_range(home, attr_idx, lower, upper, metrics)
+
+        results: List[FileMetadata] = []
+        for group in target_groups:
+            for leaf in group.descendant_leaves():
+                metrics.record_index_access()
+                if not leaf.intersects_subrange(attr_idx, lower, upper):
+                    continue
+                if leaf.unit_id != home:
+                    metrics.record_message(2)
+                files = self.cluster.server(leaf.unit_id).scan_range(
+                    attr_idx, lower, upper, metrics
+                )
+                results.extend(files)
+        if self.versioning_enabled:
+            # The version chains are attached to the first-level index-unit
+            # replicas every storage unit holds (§3.4, §4.4), so the home
+            # unit can roll through all of them locally — this is the small
+            # extra latency Figure 14(b) measures.
+            for group in self.tree.first_level_groups():
+                for pending in self.versioning.pending_files(group.node_id, metrics):
+                    if pending.matches_ranges(query.attributes, query.lower, query.upper):
+                        results.append(pending)
+        # Deduplicate by file identity (overlap between indexed records and
+        # version-chain entries after a modification).
+        unique: Dict[int, FileMetadata] = {}
+        for f in results:
+            unique.setdefault(f.file_id, f)
+        groups_visited = max(1, len(target_groups))
+        return self._finish(list(unique.values()), metrics, groups_visited)
+
+    def _limit_range_groups(
+        self,
+        attr_idx: Sequence[int],
+        lower: np.ndarray,
+        upper: np.ndarray,
+        groups: List[SemanticNode],
+    ) -> List[SemanticNode]:
+        """Bound the search scope to the ``search_breadth`` best-matching groups.
+
+        When more groups intersect the window than the breadth allows, the
+        ones whose MBR centre is closest to the window centre (in the
+        constrained, normalised dimensions) are kept — they hold the queried
+        region's correlated files with the highest probability.
+        """
+        if len(groups) <= self.search_breadth:
+            return groups
+        center_idx = (np.asarray(lower) + np.asarray(upper)) / 2.0
+        center_norm = self.normalize_index_values(attr_idx, center_idx)
+
+        def distance(group: SemanticNode) -> float:
+            if group.mbr is None:
+                return float("inf")
+            idx = list(attr_idx)
+            g_center = (group.mbr.lower[idx] + group.mbr.upper[idx]) / 2.0
+            g_norm = self.normalize_index_values(attr_idx, g_center)
+            return float(np.linalg.norm(g_norm - center_norm))
+
+        ranked = sorted(groups, key=distance)
+        return ranked[: self.search_breadth]
+
+    def _locate_groups_for_range(
+        self,
+        home: int,
+        attr_idx: Sequence[int],
+        lower: np.ndarray,
+        upper: np.ndarray,
+        metrics: Metrics,
+    ) -> List[SemanticNode]:
+        """Find the first-level groups a range query must visit."""
+        if self.mode == "offline":
+            gids = self.offline_router.groups_for_range(attr_idx, lower, upper, metrics)
+            groups = [self._nodes_by_id[g] for g in gids]
+            groups = self._limit_range_groups(
+                attr_idx, np.asarray(lower), np.asarray(upper), groups
+            )
+            # Forward the query directly to each target group's host.
+            for group in groups:
+                if group.hosted_on is not None and group.hosted_on != home:
+                    metrics.record_message(2)
+            return groups
+        # On-line: the home unit multicasts to the index units to discover
+        # which groups are relevant; every contacted index unit answers.
+        all_groups = self.tree.first_level_groups()
+        others = [g for g in all_groups if g.hosted_on != home]
+        metrics.record_message(len(others))          # multicast requests
+        groups = self.tree.groups_for_range(attr_idx, lower, upper, metrics)
+        metrics.record_message(len(others))          # responses
+        return self._limit_range_groups(attr_idx, np.asarray(lower), np.asarray(upper), groups)
+
+    # ------------------------------------------------------------------ top-k query
+    def topk_query(self, query: TopKQuery) -> QueryResult:
+        """Top-k nearest-neighbour query with MaxD refinement.
+
+        The target group (the one "most closely associated with the query
+        point q", §3.3.2) is the group whose MBR MINDIST to the query point
+        is smallest; scanning it yields the running threshold ``MaxD``
+        (distance of the current k-th best candidate), and sibling groups
+        are then examined in MINDIST order only while they could still beat
+        ``MaxD`` and the search-breadth budget allows.
+        """
+        metrics = Metrics()
+        home = self.cluster.random_home_unit()
+        metrics.record_unit_visit(home)
+        attr_idx = list(self.schema.indices(query.attributes))
+        index_point = self.to_index_space(attr_idx, query.values)
+        query_norm = self.normalize_index_values(attr_idx, index_point)
+
+        idx_lo = self.index_lower[attr_idx]
+        idx_hi = self.index_upper[attr_idx]
+
+        def mindist(group: SemanticNode) -> float:
+            return group.min_distance_subrange(attr_idx, index_point, idx_lo, idx_hi)
+
+        groups = sorted(self.tree.first_level_groups(), key=mindist)
+        # Locating the target costs local replica probes (off-line) or a
+        # round of multicast messages (on-line).
+        if self.mode == "offline":
+            metrics.record_index_access(len(groups))
+        else:
+            others = [g for g in groups if g.hosted_on != home]
+            metrics.record_message(2 * len(others))
+
+        candidates: List[Tuple[float, FileMetadata]] = []
+        scanned_groups: List[SemanticNode] = []
+
+        def scan_group(group: SemanticNode) -> None:
+            if group.hosted_on is not None and group.hosted_on != home:
+                metrics.record_message(2)
+            for leaf in group.descendant_leaves():
+                metrics.record_index_access()
+                if leaf.unit_id != home:
+                    metrics.record_message(2)
+                local = self.cluster.server(leaf.unit_id).scan_knn(
+                    query_norm, query.k, metrics, attr_indices=attr_idx
+                )
+                candidates.extend(local)
+            scanned_groups.append(group)
+
+        if self.versioning_enabled:
+            # Version chains are replicated alongside the first-level index
+            # summaries, so their (few) entries are folded into the candidate
+            # pool locally before the distributed search starts.
+            for group in self.tree.first_level_groups():
+                for pending in self.versioning.pending_files(group.node_id, metrics):
+                    dist = self._pending_distance(pending, query.attributes, query_norm)
+                    candidates.append((dist, pending))
+
+        # The target group (smallest MINDIST) is always scanned; siblings are
+        # examined in MINDIST order only while they could still contain a
+        # candidate closer than the current MaxD (§3.3.2).
+        max_d = float("inf")
+        for group in groups:
+            metrics.record_index_access()
+            if scanned_groups and len(candidates) >= query.k and mindist(group) >= max_d:
+                break
+            scan_group(group)
+            candidates.sort(key=lambda pair: pair[0])
+            if len(candidates) >= query.k:
+                max_d = candidates[query.k - 1][0]
+
+        # Deduplicate by file identity (a record can surface both from its
+        # storage unit and from a version chain) keeping the best distance.
+        best: Dict[int, Tuple[float, FileMetadata]] = {}
+        for dist, file in candidates:
+            kept = best.get(file.file_id)
+            if kept is None or dist < kept[0]:
+                best[file.file_id] = (dist, file)
+        top = sorted(best.values(), key=lambda pair: pair[0])[: query.k]
+        files = [f for _, f in top]
+        distances = [d for d, _ in top]
+        return self._finish(files, metrics, max(1, len(scanned_groups)), distances)
+
+    def locate_group_for_vector(
+        self,
+        sem_vector: np.ndarray,
+        metrics: Optional[Metrics] = None,
+    ) -> SemanticNode:
+        """The group most semantically correlated with a folded-in vector.
+
+        Used by metadata insertion (§3.2.1) and by the off-line router's
+        clients; queries themselves route on MBR geometry.
+        """
+        metrics = metrics if metrics is not None else Metrics()
+        if self.mode == "offline":
+            gid, _ = self.offline_router.target_group_for_vector(sem_vector, metrics)
+            return self._nodes_by_id[gid]
+        group, _ = self.tree.most_correlated_group(sem_vector, metrics)
+        return group

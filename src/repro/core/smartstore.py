@@ -1,0 +1,474 @@
+"""The SmartStore facade: the public API of the reproduction.
+
+A :class:`SmartStore` instance owns the whole deployment: the cluster of
+storage units, the semantic R-tree(s), the off-line routing replicas, the
+version chains and the query engine.  Typical use::
+
+    from repro import SmartStore, SmartStoreConfig
+    from repro.traces import msn_trace
+
+    trace = msn_trace()
+    store = SmartStore.build(trace.file_metadata(), SmartStoreConfig(num_units=60))
+
+    result = store.range_query(("mtime", "read_bytes"), (0.0, 1e6), (3600.0, 5e7))
+    top = store.topk_query(("size", "mtime"), (300e6, 7200.0), k=10)
+    hit = store.point_query("file0000042.dat")
+
+Every query returns a :class:`~repro.core.queries.QueryResult` carrying the
+matching metadata, the per-query event counters and the simulated latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.metrics import Metrics
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.grouping import SemanticPartition, optimal_threshold, partition_files
+from repro.core.mapping import map_index_units, multi_map_root
+from repro.core.offline import OfflineRouter
+from repro.core.queries import QueryEngine, QueryResult
+from repro.core.semantic_rtree import SemanticRTree, StorageUnitDescriptor
+from repro.core.versioning import VersionedChange, VersioningManager
+from repro.lsi.model import LSIModel
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+__all__ = ["SmartStoreConfig", "SmartStore", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class SmartStoreConfig:
+    """Configuration of a SmartStore deployment.
+
+    The defaults reproduce the prototype parameters of §5.1: 60 storage
+    units, 1024-bit / 7-hash Bloom filters, a 10 % automatic-configuration
+    threshold, a 5 % lazy-update threshold, off-line pre-processing and
+    versioning enabled.
+    """
+
+    num_units: int = 60
+    lsi_rank: int = 5
+    max_fanout: int = 8
+    thresholds: Optional[Tuple[float, ...]] = None
+    bloom_bits: int = 1024
+    bloom_hashes: int = 7
+    mode: str = "offline"
+    versioning_enabled: bool = True
+    version_ratio: int = 1
+    lazy_update_threshold: float = 0.05
+    autoconfig_threshold: float = 0.10
+    admission_threshold: float = 0.5
+    search_breadth: int = 4
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    seed: Optional[int] = 42
+
+    def __post_init__(self) -> None:
+        if self.num_units < 1:
+            raise ValueError("num_units must be >= 1")
+        if self.lsi_rank < 1:
+            raise ValueError("lsi_rank must be >= 1")
+        if self.max_fanout < 2:
+            raise ValueError("max_fanout must be >= 2")
+        if self.mode not in ("offline", "online"):
+            raise ValueError("mode must be 'offline' or 'online'")
+        if self.version_ratio < 1:
+            raise ValueError("version_ratio must be >= 1")
+        if not 0.0 < self.lazy_update_threshold <= 1.0:
+            raise ValueError("lazy_update_threshold must be in (0, 1]")
+        if self.search_breadth < 1:
+            raise ValueError("search_breadth must be >= 1")
+
+
+class SmartStore:
+    """A built SmartStore deployment.
+
+    Use :meth:`build` to construct one from a file population; direct
+    instantiation is reserved for the builder.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SmartStoreConfig,
+        schema: AttributeSchema,
+        cluster: ClusterSimulator,
+        tree: SemanticRTree,
+        partition: SemanticPartition,
+        lsi: LSIModel,
+        index_lower: np.ndarray,
+        index_upper: np.ndarray,
+        versioning: VersioningManager,
+        offline_router: OfflineRouter,
+        engine: QueryEngine,
+        files: List[FileMetadata],
+    ) -> None:
+        self.config = config
+        self.schema = schema
+        self.cluster = cluster
+        self.tree = tree
+        self.partition = partition
+        self.lsi = lsi
+        self.index_lower = index_lower
+        self.index_upper = index_upper
+        self.versioning = versioning
+        self.offline_router = offline_router
+        self.engine = engine
+        self.files = files
+        self._pending_insertions = 0
+        self._pending_deletions = 0
+        # Where each file's metadata currently lives (unit id); maintained by
+        # build and by reconfigure() so deletions reach the owning server.
+        self._file_locations: Dict[int, int] = {}
+        for unit_id, server in cluster.servers.items():
+            for f in server.files:
+                self._file_locations[f.file_id] = unit_id
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def build(
+        cls,
+        files: Sequence[FileMetadata],
+        config: Optional[SmartStoreConfig] = None,
+        schema: AttributeSchema = DEFAULT_SCHEMA,
+    ) -> "SmartStore":
+        """Build a deployment from a file population.
+
+        The pipeline (§3.1): LSI over the file attribute matrix → balanced
+        partitioning of files onto storage units → per-unit semantic vectors
+        → iterative semantic grouping into the semantic R-tree → Bloom
+        filters per node → index-unit mapping and root multi-mapping →
+        off-line replicas and version chains.
+        """
+        config = config if config is not None else SmartStoreConfig()
+        files = list(files)
+        if not files:
+            raise ValueError("cannot build SmartStore over an empty file population")
+
+        rng = np.random.default_rng(config.seed)
+        partition = partition_files(
+            files, config.num_units, schema, rank=config.lsi_rank, seed=config.seed
+        )
+        num_units = partition.n_groups
+
+        # The deployment's index space is the log-transformed attribute
+        # space; its bounds over the build-time population are what every
+        # server normalises against.
+        index_lower, index_upper = partition.norm_lower, partition.norm_upper
+
+        cluster = ClusterSimulator(
+            num_units,
+            schema,
+            cost_model=config.cost_model,
+            seed=config.seed,
+            bloom_bits=config.bloom_bits,
+            bloom_hashes=config.bloom_hashes,
+        )
+        cluster.install_normalization(index_lower, index_upper)
+        for file, label in zip(files, partition.labels):
+            cluster.server(int(label)).add_file(file)
+
+        descriptors = cls._unit_descriptors(cluster, partition)
+        thresholds = (
+            list(config.thresholds)
+            if config.thresholds is not None
+            else cls._auto_thresholds(descriptors, config.max_fanout)
+        )
+
+        tree = SemanticRTree.build(
+            descriptors,
+            thresholds=thresholds,
+            max_fanout=config.max_fanout,
+            bloom_bits=config.bloom_bits,
+            bloom_hashes=config.bloom_hashes,
+        )
+        map_index_units(tree, rng)
+        multi_map_root(tree, rng)
+
+        versioning = VersioningManager(config.version_ratio)
+        offline_router = OfflineRouter(
+            tree, lazy_update_threshold=config.lazy_update_threshold
+        )
+        engine = QueryEngine(
+            tree=tree,
+            cluster=cluster,
+            lsi=partition.lsi,
+            schema=schema,
+            index_lower=index_lower,
+            index_upper=index_upper,
+            log_mask=schema.log_scale_mask(),
+            center=partition.center,
+            versioning=versioning,
+            offline_router=offline_router,
+            mode=config.mode,
+            versioning_enabled=config.versioning_enabled,
+            search_breadth=config.search_breadth,
+            cost_model=config.cost_model,
+        )
+        return cls(
+            config=config,
+            schema=schema,
+            cluster=cluster,
+            tree=tree,
+            partition=partition,
+            lsi=partition.lsi,
+            index_lower=index_lower,
+            index_upper=index_upper,
+            versioning=versioning,
+            offline_router=offline_router,
+            engine=engine,
+            files=files,
+        )
+
+    @staticmethod
+    def _unit_descriptors(
+        cluster: ClusterSimulator, partition: SemanticPartition
+    ) -> List[StorageUnitDescriptor]:
+        """Per-unit descriptors (MBR, centroid, semantic vector, filenames)."""
+        labels = partition.labels
+        sem = partition.semantic_vectors
+        global_mean = sem.mean(axis=0)
+        descriptors: List[StorageUnitDescriptor] = []
+        for unit_id in cluster.unit_ids():
+            server = cluster.server(unit_id)
+            members = np.nonzero(labels == unit_id)[0]
+            vector = sem[members].mean(axis=0) if members.size else global_mean
+            descriptors.append(
+                StorageUnitDescriptor(
+                    unit_id=unit_id,
+                    mbr=server.mbr(),
+                    centroid=server.centroid(),
+                    semantic_vector=vector,
+                    filenames=server.filenames(),
+                    file_count=len(server),
+                )
+            )
+        return descriptors
+
+    @staticmethod
+    def _auto_thresholds(
+        descriptors: Sequence[StorageUnitDescriptor], max_fanout: int
+    ) -> List[float]:
+        """Derive per-level admission thresholds by sampling analysis (§3.2.1).
+
+        The first-level threshold minimises the §1.1 grouping measure over
+        the unit semantic vectors; higher levels relax it progressively
+        because aggregated groups are intrinsically less correlated.
+        """
+        vectors = np.vstack([d.semantic_vector for d in descriptors])
+        base, _ = optimal_threshold(vectors, max_fanout=max_fanout)
+        return [max(0.0, base - 0.1 * level) for level in range(6)]
+
+    # ------------------------------------------------------------------ query API
+    def point_query(self, query: Union[str, PointQuery]) -> QueryResult:
+        """Filename point query (§3.3.3)."""
+        if isinstance(query, str):
+            query = PointQuery(query)
+        result = self.engine.point_query(query)
+        self.cluster.metrics.merge(result.metrics)
+        return result
+
+    def range_query(
+        self,
+        attributes: Union[RangeQuery, Sequence[str]],
+        lower: Optional[Sequence[float]] = None,
+        upper: Optional[Sequence[float]] = None,
+    ) -> QueryResult:
+        """Multi-dimensional range query (§3.3.1)."""
+        if isinstance(attributes, RangeQuery):
+            query = attributes
+        else:
+            if lower is None or upper is None:
+                raise ValueError("lower and upper bounds are required")
+            query = RangeQuery(tuple(attributes), tuple(lower), tuple(upper))
+        result = self.engine.range_query(query)
+        self.cluster.metrics.merge(result.metrics)
+        return result
+
+    def topk_query(
+        self,
+        attributes: Union[TopKQuery, Sequence[str]],
+        values: Optional[Sequence[float]] = None,
+        k: int = 8,
+    ) -> QueryResult:
+        """Top-k nearest-neighbour query (§3.3.2)."""
+        if isinstance(attributes, TopKQuery):
+            query = attributes
+        else:
+            if values is None:
+                raise ValueError("query values are required")
+            query = TopKQuery(tuple(attributes), tuple(values), k)
+        result = self.engine.topk_query(query)
+        self.cluster.metrics.merge(result.metrics)
+        return result
+
+    def execute(self, query: Union[PointQuery, RangeQuery, TopKQuery]) -> QueryResult:
+        """Dispatch any query object to the right interface."""
+        if isinstance(query, PointQuery):
+            return self.point_query(query)
+        if isinstance(query, RangeQuery):
+            return self.range_query(query)
+        if isinstance(query, TopKQuery):
+            return self.topk_query(query)
+        raise TypeError(f"unsupported query type {type(query)!r}")
+
+    # ------------------------------------------------------------------ updates
+    def file_semantic_vector(self, file: FileMetadata) -> np.ndarray:
+        """Fold one file's attributes into the LSI semantic subspace."""
+        idx = list(range(self.schema.dimension))
+        values = [file.attributes.get(name, 0.0) for name in self.schema.names]
+        normalised = self.engine.normalize_index_values(
+            idx, self.engine.to_index_space(idx, values)
+        )
+        return self.engine.fold_normalized_vector(normalised)
+
+    def insert_file(self, file: FileMetadata) -> int:
+        """Insert a file's metadata into the deployment.
+
+        The most correlated group is located with the off-line replicas, the
+        change is recorded in that group's version chain (visible to
+        versioned queries immediately) and the lazy-update protocol decides
+        when replicas are refreshed.  Returns the id of the group that
+        accepted the file.
+        """
+        metrics = Metrics()
+        sem = self.file_semantic_vector(file)
+        gid, _ = self.offline_router.target_group_for_vector(sem, metrics)
+        group = next(n for n in self.tree.nodes if n.node_id == gid)
+        leaves = group.descendant_leaves()
+        target_leaf = min(leaves, key=lambda leaf: leaf.file_count)
+        metrics.record_message(2)  # forward to the owning storage unit + ack
+
+        self.versioning.record(
+            gid, VersionedChange(kind="insert", file=file, unit_id=target_leaf.unit_id)
+        )
+        self.offline_router.record_change(group, metrics, num_units=self.cluster.num_units)
+        self._pending_insertions += 1
+        self.cluster.metrics.merge(metrics)
+        return gid
+
+    def delete_file(self, file: FileMetadata) -> int:
+        """Record the deletion of a file's metadata (applied at reconfiguration)."""
+        metrics = Metrics()
+        sem = self.file_semantic_vector(file)
+        gid, _ = self.offline_router.target_group_for_vector(sem, metrics)
+        group = next(n for n in self.tree.nodes if n.node_id == gid)
+        metrics.record_message(2)
+        # Deletions must reach the server that actually stores the record; the
+        # location map knows it (falling back to the semantic group otherwise).
+        owner = self._file_locations.get(file.file_id)
+        if owner is None:
+            owner = group.descendant_unit_ids()[0]
+        else:
+            gid = self.tree.group_of_unit(owner).node_id
+            group = self.tree.group_of_unit(owner)
+        self.versioning.record(
+            gid, VersionedChange(kind="delete", file=file, unit_id=owner)
+        )
+        self.offline_router.record_change(group, metrics, num_units=self.cluster.num_units)
+        self._pending_deletions += 1
+        self.cluster.metrics.merge(metrics)
+        return gid
+
+    def reconfigure(self) -> int:
+        """Apply every pending versioned change to the primary structures.
+
+        Insertions land on their owning storage units (Bloom filters and
+        MBRs refreshed), deletions are applied, the version chains are
+        cleared and the off-line replicas re-snapshotted.  Returns the
+        number of changes applied.
+        """
+        applied = 0
+        for gid, changes in self.versioning.clear_all().items():
+            for change in changes:
+                server = self.cluster.server(change.unit_id)
+                if change.kind in ("insert", "modify"):
+                    server.add_file(change.file)
+                    self._file_locations[change.file.file_id] = change.unit_id
+                    if change.kind == "insert":
+                        self.files.append(change.file)
+                elif change.kind == "delete":
+                    server.remove_file(change.file.file_id)
+                    self._file_locations.pop(change.file.file_id, None)
+                    self.files = [f for f in self.files if f.file_id != change.file.file_id]
+                applied += 1
+                self.tree.refresh_leaf(
+                    change.unit_id,
+                    mbr=server.mbr(),
+                    file_count=len(server),
+                    new_filenames=[change.file.filename] if change.kind == "insert" else (),
+                )
+        self.offline_router.refresh_all()
+        self._pending_insertions = 0
+        self._pending_deletions = 0
+        return applied
+
+    # ------------------------------------------------------------------ accounting
+    def index_space_bytes_per_unit(self) -> Dict[int, int]:
+        """Index-state footprint per storage unit (Figure 7).
+
+        Counts the semantic R-tree nodes each server hosts, the replicated
+        first-level index vectors every server stores, the leaf Bloom
+        filter, and the version chains attached to locally hosted groups.
+        Raw metadata records are excluded — every compared system must store
+        those and they would only dilute the comparison.
+        """
+        cm = self.config.cost_model
+        per_unit: Dict[int, int] = {}
+        replica_bytes = self.offline_router.replica_space_bytes(
+            vector_bytes=cm.semantic_vector_bytes, entry_bytes=cm.index_entry_bytes
+        )
+        version_space = self.versioning.space_bytes_per_group(cm.metadata_record_bytes)
+        hosted_versions: Dict[int, int] = {}
+        for group in self.tree.first_level_groups():
+            host = group.hosted_on if group.hosted_on is not None else 0
+            hosted_versions[host] = hosted_versions.get(host, 0) + version_space.get(group.node_id, 0)
+
+        for unit_id in self.cluster.unit_ids():
+            server = self.cluster.server(unit_id)
+            hosted_nodes = [
+                n
+                for n in self.tree.nodes
+                if n.hosted_on == unit_id or unit_id in n.replica_hosts
+            ]
+            node_bytes = 0
+            for node in hosted_nodes:
+                node_bytes += cm.index_entry_bytes + cm.semantic_vector_bytes
+                if node.bloom is not None:
+                    node_bytes += node.bloom.size_bytes()
+            per_unit[unit_id] = (
+                node_bytes
+                + replica_bytes
+                + server.bloom.size_bytes()
+                + hosted_versions.get(unit_id, 0)
+            )
+        return per_unit
+
+    def total_index_space_bytes(self) -> int:
+        return sum(self.index_space_bytes_per_unit().values())
+
+    def stats(self) -> Dict[str, object]:
+        """Deployment statistics used by the benchmarks and examples."""
+        return {
+            "num_units": self.cluster.num_units,
+            "num_files": self.cluster.total_files(),
+            "pending_insertions": self._pending_insertions,
+            "pending_deletions": self._pending_deletions,
+            "tree_height": self.tree.height,
+            "num_index_units": self.tree.num_index_units,
+            "first_level_groups": len(self.tree.first_level_groups()),
+            "index_space_bytes": self.total_index_space_bytes(),
+            "mode": self.config.mode,
+            "versioning": self.config.versioning_enabled,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SmartStore(units={self.cluster.num_units}, files={self.cluster.total_files()}, "
+            f"index_units={self.tree.num_index_units}, mode={self.config.mode!r})"
+        )

@@ -1,0 +1,183 @@
+"""Versioning-based consistency (§4.4).
+
+SmartStore replicates index information (the first-level index units'
+semantic vectors, MBRs and Bloom filters) to speed up queries; replicas are
+not updated synchronously, so a *version* mechanism keeps track of the
+changes that have not yet been folded into the originals:
+
+* every first-level index unit (group) owns a :class:`VersionChain`;
+* metadata changes (insertions, deletions, attribute modifications) are
+  appended to the chain's *open* version; once ``version_ratio`` changes
+  accumulate the version is sealed and a new one opened ("comprehensive
+  versioning" is ``version_ratio == 1``: every change makes a version);
+* queries executed *with* versioning consult the chain **backwards** (most
+  recent version first, §4.4) in addition to the original index, paying a
+  small extra latency but observing recent changes;
+* queries executed *without* versioning only see the original index, which
+  is what degrades recall in Tables 5 and 6;
+* reconfiguration applies all sealed versions to the originals and clears
+  the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster.metrics import Metrics
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = ["VersionedChange", "Version", "VersionChain", "VersioningManager"]
+
+#: Change kinds a version records.
+CHANGE_KINDS = ("insert", "delete", "modify")
+
+
+@dataclass(frozen=True)
+class VersionedChange:
+    """One metadata change aggregated into a version."""
+
+    kind: str
+    file: FileMetadata
+    unit_id: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHANGE_KINDS:
+            raise ValueError(f"unknown change kind {self.kind!r}; expected one of {CHANGE_KINDS}")
+
+
+@dataclass
+class Version:
+    """A sealed (or still open) batch of aggregated changes."""
+
+    version_id: int
+    changes: List[VersionedChange] = field(default_factory=list)
+    sealed: bool = False
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def size_bytes(self, record_bytes: int = 256, header_bytes: int = 32) -> int:
+        """Approximate in-memory footprint of this version."""
+        return header_bytes + len(self.changes) * record_bytes
+
+
+class VersionChain:
+    """The chain of versions attached to one first-level index unit."""
+
+    def __init__(self, group_id: int, version_ratio: int = 1) -> None:
+        if version_ratio < 1:
+            raise ValueError(f"version_ratio must be >= 1, got {version_ratio}")
+        self.group_id = group_id
+        self.version_ratio = version_ratio
+        self.versions: List[Version] = []
+        self._next_version_id = 0
+        self._changes_since_seal = 0
+
+    # ------------------------------------------------------------------ recording
+    def record(self, change: VersionedChange) -> Version:
+        """Append a change, sealing the open version at the version ratio."""
+        if not self.versions or self.versions[-1].sealed:
+            self.versions.append(Version(self._next_version_id))
+            self._next_version_id += 1
+        current = self.versions[-1]
+        current.changes.append(change)
+        self._changes_since_seal += 1
+        if self._changes_since_seal >= self.version_ratio:
+            current.sealed = True
+            self._changes_since_seal = 0
+        return current
+
+    # ------------------------------------------------------------------ reading
+    def iter_backwards(self) -> Iterator[VersionedChange]:
+        """Changes from the most recent version to the oldest (§4.4 rolls
+        versions backwards so fresh information is found first)."""
+        for version in reversed(self.versions):
+            yield from reversed(version.changes)
+
+    def pending_files(self, metrics: Optional[Metrics] = None) -> List[FileMetadata]:
+        """Net effect of the chain: files inserted and not later deleted.
+
+        Modified files surface with their most recent attribute values.
+        Every change entry inspected is charged as an in-memory record scan
+        (this is the Figure 14(b) extra latency).
+        """
+        metrics = metrics if metrics is not None else Metrics()
+        seen: Dict[int, str] = {}
+        latest: Dict[int, FileMetadata] = {}
+        count = 0
+        for change in self.iter_backwards():
+            count += 1
+            fid = change.file.file_id
+            if fid in seen:
+                continue
+            seen[fid] = change.kind
+            if change.kind in ("insert", "modify"):
+                latest[fid] = change.file
+        metrics.record_scan(count)
+        return list(latest.values())
+
+    def deleted_file_ids(self) -> List[int]:
+        """File ids whose most recent change in the chain is a deletion."""
+        seen: Dict[int, str] = {}
+        for change in self.iter_backwards():
+            fid = change.file.file_id
+            if fid not in seen:
+                seen[fid] = change.kind
+        return [fid for fid, kind in seen.items() if kind == "delete"]
+
+    # ------------------------------------------------------------------ accounting
+    def total_changes(self) -> int:
+        return sum(len(v) for v in self.versions)
+
+    def size_bytes(self, record_bytes: int = 256, header_bytes: int = 32) -> int:
+        return sum(v.size_bytes(record_bytes, header_bytes) for v in self.versions)
+
+    def clear(self) -> List[VersionedChange]:
+        """Drop every version, returning the changes that were applied."""
+        changes = [c for v in self.versions for c in v.changes]
+        self.versions = []
+        self._changes_since_seal = 0
+        return changes
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+
+class VersioningManager:
+    """All version chains of a deployment, keyed by group (first-level index unit)."""
+
+    def __init__(self, version_ratio: int = 1) -> None:
+        if version_ratio < 1:
+            raise ValueError(f"version_ratio must be >= 1, got {version_ratio}")
+        self.version_ratio = version_ratio
+        self.chains: Dict[int, VersionChain] = {}
+
+    def chain_for(self, group_id: int) -> VersionChain:
+        """The chain of a group, created on first use."""
+        chain = self.chains.get(group_id)
+        if chain is None:
+            chain = VersionChain(group_id, self.version_ratio)
+            self.chains[group_id] = chain
+        return chain
+
+    def record(self, group_id: int, change: VersionedChange) -> Version:
+        return self.chain_for(group_id).record(change)
+
+    def pending_files(self, group_id: int, metrics: Optional[Metrics] = None) -> List[FileMetadata]:
+        chain = self.chains.get(group_id)
+        if chain is None:
+            return []
+        return chain.pending_files(metrics)
+
+    def total_changes(self) -> int:
+        return sum(c.total_changes() for c in self.chains.values())
+
+    def space_bytes_per_group(self, record_bytes: int = 256) -> Dict[int, int]:
+        """Figure 14(a): space consumed by attached versions, per index unit."""
+        return {gid: chain.size_bytes(record_bytes) for gid, chain in self.chains.items()}
+
+    def clear_all(self) -> Dict[int, List[VersionedChange]]:
+        """Apply-and-forget every chain (used by reconfiguration)."""
+        applied = {gid: chain.clear() for gid, chain in self.chains.items()}
+        return applied

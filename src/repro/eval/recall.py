@@ -1,0 +1,102 @@
+"""The "Recall" measure (§5.4.2) and brute-force ground truth.
+
+Given a query ``q``, ``T(q)`` is the ideal result set (computed here by a
+brute-force scan over the complete file population) and ``A(q)`` the set a
+system actually reported; recall is ``|T(q) ∩ A(q)| / |T(q)|``.
+
+Top-k ground truth is computed in the same *index space* the SmartStore
+engine uses (wide-range attributes log-transformed, then min-max normalised)
+so that the ideal set is exactly the one the system approximates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.workloads.types import RangeQuery, TopKQuery
+
+__all__ = ["recall", "ground_truth_range", "ground_truth_topk"]
+
+
+def recall(reported: Iterable[FileMetadata], ideal: Iterable[FileMetadata]) -> float:
+    """``|T(q) ∩ A(q)| / |T(q)|`` over file identity.
+
+    An empty ideal set yields recall 1.0 (there was nothing to find).
+    """
+    ideal_ids = {f.file_id for f in ideal}
+    if not ideal_ids:
+        return 1.0
+    reported_ids = {f.file_id for f in reported}
+    return len(ideal_ids & reported_ids) / len(ideal_ids)
+
+
+def ground_truth_range(
+    files: Sequence[FileMetadata],
+    query: RangeQuery,
+) -> List[FileMetadata]:
+    """Brute-force evaluation of a range query over the full population."""
+    return [
+        f
+        for f in files
+        if f.matches_ranges(query.attributes, query.lower, query.upper)
+    ]
+
+
+def _to_index_space(
+    values: np.ndarray, attributes: Sequence[str], schema: AttributeSchema
+) -> np.ndarray:
+    """Apply the schema's ``log1p`` transform to the selected attributes."""
+    out = np.array(values, dtype=np.float64, copy=True)
+    for j, name in enumerate(attributes):
+        if schema.spec(name).log_scale:
+            col = out[..., j]
+            out[..., j] = np.log1p(np.maximum(col, 0.0))
+    return out
+
+
+def ground_truth_topk(
+    files: Sequence[FileMetadata],
+    query: TopKQuery,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    *,
+    raw_lower: Optional[np.ndarray] = None,
+    raw_upper: Optional[np.ndarray] = None,
+) -> List[FileMetadata]:
+    """Brute-force top-k over the full population.
+
+    Distances use the engine's index-space geometry: ``log1p`` on the
+    wide-range attributes, then min-max normalisation over ``raw_lower`` /
+    ``raw_upper`` (interpreted as full-schema *index-space* bounds, e.g. a
+    SmartStore deployment's ``index_lower`` / ``index_upper``) or, when
+    bounds are omitted, over the population itself.
+    """
+    if not files:
+        return []
+    values = np.array(
+        [[f.attributes.get(a, 0.0) for a in query.attributes] for f in files],
+        dtype=np.float64,
+    )
+    values = _to_index_space(values, query.attributes, schema)
+    query_values = _to_index_space(
+        np.asarray(query.values, dtype=np.float64), query.attributes, schema
+    )
+
+    if raw_lower is None or raw_upper is None:
+        lower = values.min(axis=0)
+        upper = values.max(axis=0)
+    else:
+        idx = [schema.index(a) for a in query.attributes]
+        lower = np.asarray(raw_lower, dtype=np.float64)[idx]
+        upper = np.asarray(raw_upper, dtype=np.float64)[idx]
+    span = np.where(upper - lower > 0, upper - lower, 1.0)
+    norm = np.clip((values - lower) / span, 0.0, 1.0)
+    target = np.clip((query_values - lower) / span, 0.0, 1.0)
+    dists = np.sqrt(np.sum((norm - target[None, :]) ** 2, axis=1))
+    k = min(query.k, len(files))
+    top = np.argpartition(dists, k - 1)[:k]
+    top = top[np.argsort(dists[top])]
+    return [files[i] for i in top]

@@ -1,0 +1,71 @@
+"""Per-node space-overhead comparison (Figure 7).
+
+SmartStore distributes its index state (semantic R-tree nodes, Bloom
+filters, replicated first-level index vectors, version chains) across every
+storage unit; the two baselines concentrate their (much larger) indexes on a
+single server.  The figure compares *per-node* index overhead, which is what
+determines whether the index fits in memory on each machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.dbms import DBMSBaseline
+from repro.baselines.rtree_db import RTreeBaseline
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = ["space_comparison"]
+
+
+def space_comparison(
+    files: Sequence[FileMetadata],
+    config: Optional[SmartStoreConfig] = None,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    *,
+    store: Optional[SmartStore] = None,
+    rtree: Optional[RTreeBaseline] = None,
+    dbms: Optional[DBMSBaseline] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Index space overhead per node for the three systems.
+
+    Pre-built systems can be passed in to avoid rebuilding; otherwise they
+    are constructed from ``files``.  Returns, per system, the mean and
+    maximum per-node index footprint in bytes plus the total footprint.
+    """
+    config = config or SmartStoreConfig()
+    if store is None:
+        store = SmartStore.build(files, config, schema)
+    if rtree is None:
+        rtree = RTreeBaseline(files, schema, cost_model=config.cost_model)
+    if dbms is None:
+        dbms = DBMSBaseline(files, schema, cost_model=config.cost_model)
+
+    per_unit = np.array(list(store.index_space_bytes_per_unit().values()), dtype=np.float64)
+    smartstore_stats = {
+        "per_node_mean": float(per_unit.mean()),
+        "per_node_max": float(per_unit.max()),
+        "total": float(per_unit.sum()),
+        "nodes": float(len(per_unit)),
+    }
+    rtree_total = float(rtree.index_space_bytes_per_node())
+    dbms_total = float(dbms.index_space_bytes_per_node())
+    return {
+        "smartstore": smartstore_stats,
+        "rtree": {
+            "per_node_mean": rtree_total,
+            "per_node_max": rtree_total,
+            "total": rtree_total,
+            "nodes": 1.0,
+        },
+        "dbms": {
+            "per_node_mean": dbms_total,
+            "per_node_max": dbms_total,
+            "total": dbms_total,
+            "nodes": 1.0,
+        },
+    }

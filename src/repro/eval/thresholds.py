@@ -1,0 +1,102 @@
+"""Optimal-threshold studies (Figure 11).
+
+The admission threshold ``epsilon`` used by the semantic grouping is a key
+design parameter: too high and nothing groups (queries revert to brute
+force), too low and everything collapses into one group (no load
+distribution).  The paper picks the threshold that minimises the §1.1
+within-group distance measure and studies how that optimum moves with the
+number of storage units (Figure 11a) and with the level of the semantic
+R-tree (Figure 11b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grouping import (
+    build_group_levels,
+    group_by_correlation,
+    optimal_threshold,
+    partition_files,
+)
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = ["optimal_threshold_vs_scale", "optimal_threshold_per_level"]
+
+
+def _unit_vectors(
+    files: Sequence[FileMetadata],
+    num_units: int,
+    schema: AttributeSchema,
+    *,
+    rank: int = 5,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Per-unit semantic vectors for a given system scale."""
+    partition = partition_files(files, num_units, schema, rank=rank, seed=seed)
+    labels = partition.labels
+    sem = partition.semantic_vectors
+    vectors = []
+    for unit in range(partition.n_groups):
+        members = sem[labels == unit]
+        vectors.append(members.mean(axis=0) if len(members) else sem.mean(axis=0))
+    return np.vstack(vectors)
+
+
+def optimal_threshold_vs_scale(
+    files: Sequence[FileMetadata],
+    unit_counts: Sequence[int],
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    *,
+    max_fanout: int = 8,
+    rank: int = 5,
+    seed: int = 0,
+) -> List[Tuple[int, float]]:
+    """Figure 11(a): optimal first-level threshold as a function of system scale."""
+    rows: List[Tuple[int, float]] = []
+    for count in unit_counts:
+        vectors = _unit_vectors(files, count, schema, rank=rank, seed=seed)
+        threshold, _ = optimal_threshold(vectors, max_fanout=max_fanout)
+        rows.append((count, threshold))
+    return rows
+
+
+def optimal_threshold_per_level(
+    files: Sequence[FileMetadata],
+    num_units: int,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    *,
+    max_fanout: int = 8,
+    rank: int = 5,
+    seed: int = 0,
+) -> List[Tuple[int, float]]:
+    """Figure 11(b): optimal threshold at each level of the semantic R-tree.
+
+    Level 1 groups the storage units, level 2 groups the level-1 groups,
+    and so on; each level's optimum is computed over the centroids produced
+    by the previous level's (optimal) grouping.
+    """
+    vectors = _unit_vectors(files, num_units, schema, rank=rank, seed=seed)
+    rows: List[Tuple[int, float]] = []
+    level = 1
+    current = vectors
+    while current.shape[0] > 1:
+        threshold, _ = optimal_threshold(current, max_fanout=max_fanout)
+        rows.append((level, threshold))
+        groups = group_by_correlation(current, threshold, max_group_size=max_fanout)
+        if len(groups) in (1, current.shape[0]) and level > 1:
+            break
+        if len(groups) == current.shape[0]:
+            # Nothing merged; force fan-out-sized chunks so the study terminates.
+            groups = [
+                list(range(i, min(i + max_fanout, current.shape[0])))
+                for i in range(0, current.shape[0], max_fanout)
+            ]
+        current = np.vstack([current[g].mean(axis=0) for g in groups])
+        level += 1
+        if level > 8:
+            break
+    return rows

@@ -1,0 +1,13 @@
+"""K-D tree substrate.
+
+Spyglass (§6.2), the closest related system, maps the namespace hierarchy
+into multi-dimensional K-D trees partitioned by namespace subtree.  To make
+that comparison concrete the reproduction carries its own K-D tree — a
+median-split, axis-cycling implementation with box range search and
+branch-and-bound k-NN, mirroring the capabilities the
+:mod:`repro.rtree` substrate offers for the R-tree side.
+"""
+
+from repro.kdtree.kdtree import KDTree
+
+__all__ = ["KDTree"]

@@ -1,0 +1,210 @@
+"""A from-scratch K-D tree over multi-dimensional points.
+
+The tree is built once (bulk load, median split on the axis of largest
+spread) and then queried; this matches how Spyglass uses K-D trees — each
+namespace partition's index is rebuilt on its update schedule rather than
+mutated in place.  Two query primitives are provided:
+
+* :meth:`KDTree.range_search` — every point inside an axis-aligned box;
+* :meth:`KDTree.knn` — the ``k`` nearest points to a query point
+  (Euclidean), found by branch-and-bound with the splitting-plane distance
+  as the pruning bound.
+
+Like the other index substrates, the tree reports how many nodes each query
+touched through an optional ``access_counter`` callback so the cost model
+can charge it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+
+class _Node:
+    """One K-D tree node (leaf nodes hold point indices, internal nodes split)."""
+
+    __slots__ = ("axis", "threshold", "left", "right", "indices")
+
+    def __init__(self) -> None:
+        self.axis: int = -1
+        self.threshold: float = 0.0
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.indices: Optional[np.ndarray] = None  # set only for leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+class KDTree:
+    """A static K-D tree over an ``(n, d)`` point matrix.
+
+    Parameters
+    ----------
+    points:
+        The point matrix.  Payload association is by row index: queries
+        return row indices into this matrix.
+    leaf_size:
+        Maximum number of points a leaf holds before it is split.
+    access_counter:
+        Optional callback invoked once per node visited during a query
+        (used by the baselines to charge index accesses).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        leaf_size: int = 16,
+        access_counter: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(f"points must be a non-empty (n, d) array, got shape {points.shape}")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = points
+        self.leaf_size = leaf_size
+        self.access_counter = access_counter
+        self._node_count = 0
+        self.root = self._build(np.arange(len(points)))
+
+    # ------------------------------------------------------------------ construction
+    def _build(self, indices: np.ndarray) -> _Node:
+        node = _Node()
+        self._node_count += 1
+        if len(indices) <= self.leaf_size:
+            node.indices = indices
+            return node
+        subset = self.points[indices]
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] == 0.0:
+            # All points identical along every axis: cannot split further.
+            node.indices = indices
+            return node
+        values = subset[:, axis]
+        threshold = float(np.median(values))
+        left_mask = values <= threshold
+        # A degenerate median (all values on one side) falls back to a halving split.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values, kind="stable")
+            half = len(order) // 2
+            left_mask = np.zeros(len(values), dtype=bool)
+            left_mask[order[:half]] = True
+            threshold = float(values[order[half - 1]])
+        node.axis = axis
+        node.threshold = threshold
+        node.left = self._build(indices[left_mask])
+        node.right = self._build(indices[~left_mask])
+        return node
+
+    # ------------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def dimension(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def height(self) -> int:
+        """Longest root-to-leaf path (a single-leaf tree has height 1)."""
+        def depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(node.left), depth(node.right))
+        return depth(self.root)
+
+    def _touch(self, count: int = 1) -> None:
+        if self.access_counter is not None:
+            self.access_counter(count)
+
+    # ------------------------------------------------------------------ range search
+    def range_search(self, lower: Sequence[float], upper: Sequence[float]) -> List[int]:
+        """Row indices of every point inside the axis-aligned box."""
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if lower.shape != (self.dimension,) or upper.shape != (self.dimension,):
+            raise ValueError(
+                f"bounds must have dimension {self.dimension}, got {lower.shape} and {upper.shape}"
+            )
+        if np.any(lower > upper):
+            raise ValueError("every lower bound must not exceed its upper bound")
+        out: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._touch()
+            if node.is_leaf:
+                pts = self.points[node.indices]
+                inside = np.all((pts >= lower) & (pts <= upper), axis=1)
+                out.extend(int(i) for i in node.indices[inside])
+                continue
+            if lower[node.axis] <= node.threshold:
+                stack.append(node.left)
+            # ">=" (not ">"): the fallback halving split can leave points equal
+            # to the threshold on the right side, so the boundary must descend
+            # both ways to stay exact.
+            if upper[node.axis] >= node.threshold:
+                stack.append(node.right)
+        return out
+
+    # ------------------------------------------------------------------ k nearest neighbours
+    def knn(self, query: Sequence[float], k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nearest points to ``query`` as ``(row index, distance)`` pairs.
+
+        Results are sorted by ascending distance; fewer than ``k`` pairs are
+        returned only when the tree holds fewer points.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dimension,):
+            raise ValueError(f"query must have dimension {self.dimension}, got {query.shape}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        # Max-heap of (-distance, index) keeping the best k seen so far.
+        best: List[Tuple[float, int]] = []
+
+        def consider(indices: np.ndarray) -> None:
+            pts = self.points[indices]
+            dists = np.sqrt(((pts - query[None, :]) ** 2).sum(axis=1))
+            for idx, dist in zip(indices, dists):
+                if len(best) < k:
+                    heapq.heappush(best, (-float(dist), int(idx)))
+                elif dist < -best[0][0]:
+                    heapq.heapreplace(best, (-float(dist), int(idx)))
+
+        def visit(node: _Node) -> None:
+            self._touch()
+            if node.is_leaf:
+                consider(node.indices)
+                return
+            diff = query[node.axis] - node.threshold
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            # The far side can only help if the splitting plane is closer than
+            # the current k-th best distance (or we have fewer than k yet).
+            worst = -best[0][0] if len(best) == k else np.inf
+            if abs(diff) <= worst:
+                visit(far)
+
+        visit(self.root)
+        return sorted(((idx, -neg) for neg, idx in best), key=lambda pair: pair[1])
+
+    def __repr__(self) -> str:
+        return (
+            f"KDTree(points={len(self.points)}, dim={self.dimension}, "
+            f"nodes={self._node_count}, leaf_size={self.leaf_size})"
+        )

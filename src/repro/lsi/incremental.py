@@ -1,0 +1,217 @@
+"""Incremental LSI: folding new items into an existing semantic subspace.
+
+SmartStore's grouping is computed from an SVD over the build-time
+population, but the population does not stand still: §3.2 inserts and
+deletes storage units, §4.4 accumulates per-group metadata changes in
+version chains, and reconfiguration applies them in bulk.  Re-running the
+SVD on every insertion would defeat the purpose of the cheap versioned
+updates, so in between reconfigurations new items are *folded in*: they are
+projected onto the existing subspace (``Sigma_p^{-1} U_p^T q``, the standard
+LSI fold-in) and the decomposition itself is left untouched.
+
+Fold-in is exact for items that lie inside the retained subspace and
+degrades gracefully for items that do not; the part of an item's attribute
+vector that the subspace cannot represent (its *residual*) is a direct
+measure of how stale the decomposition has become.  :class:`IncrementalLSI`
+tracks that residual and the fraction of folded-in items so callers — the
+reconfiguration path in practice — can decide when a full refit is due.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.lsi.model import LSIModel
+
+__all__ = ["DriftReport", "IncrementalLSI"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """How far the folded-in items have drifted from the fitted subspace.
+
+    Attributes
+    ----------
+    fitted_items / folded_items:
+        Items covered by the last SVD refit vs. items added by fold-in since.
+    folded_fraction:
+        ``folded_items / (fitted_items + folded_items)``.
+    mean_residual / max_residual:
+        Mean and maximum relative residual of the folded-in items: the
+        fraction of each item's attribute-space norm that the retained
+        subspace cannot represent (0 = perfectly captured, 1 = orthogonal to
+        the subspace).  Both are 0 when nothing has been folded in.
+    """
+
+    fitted_items: int
+    folded_items: int
+    folded_fraction: float
+    mean_residual: float
+    max_residual: float
+
+    def exceeds(self, *, max_folded_fraction: float = 0.25, max_mean_residual: float = 0.35) -> bool:
+        """True when either drift signal crosses its threshold."""
+        return (
+            self.folded_fraction > max_folded_fraction
+            or self.mean_residual > max_mean_residual
+        )
+
+
+class IncrementalLSI:
+    """An LSI model that admits new items by fold-in and refits on demand.
+
+    Parameters
+    ----------
+    item_matrix:
+        The initial ``(n_items, D)`` row-per-item attribute matrix.
+    rank:
+        Number of singular triplets to retain (clamped like
+        :meth:`LSIModel.fit`).
+    """
+
+    def __init__(self, item_matrix: np.ndarray, rank: int) -> None:
+        matrix = np.asarray(item_matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError(f"item matrix must be a non-empty 2-D array, got {matrix.shape}")
+        self.rank = rank
+        self._rows: List[np.ndarray] = [row.copy() for row in matrix]
+        self._fitted_count = len(self._rows)
+        self._folded_residuals: List[float] = []
+        self.model = LSIModel.fit_items(matrix, rank)
+        self._semantic = self.model.item_vectors().copy()
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def n_items(self) -> int:
+        """Items currently represented (fitted plus folded-in)."""
+        return len(self._rows)
+
+    @property
+    def n_attributes(self) -> int:
+        return self.model.n_attributes
+
+    def item_vectors(self) -> np.ndarray:
+        """Semantic coordinates of every item, shape ``(n_items, p)``."""
+        return self._semantic
+
+    def attribute_matrix(self) -> np.ndarray:
+        """The accumulated raw ``(n_items, D)`` attribute matrix."""
+        return np.vstack(self._rows)
+
+    # ------------------------------------------------------------------ incremental updates
+    def _residual_ratio(self, row: np.ndarray) -> float:
+        """Relative attribute-space residual of one item w.r.t. the subspace."""
+        norm = np.linalg.norm(row)
+        if norm == 0.0:
+            return 0.0
+        projected = self.model.u @ (self.model.u.T @ row)
+        return float(np.linalg.norm(row - projected) / norm)
+
+    def add_items(self, item_matrix: np.ndarray) -> np.ndarray:
+        """Fold new items into the subspace without refitting.
+
+        Returns the semantic coordinates of the added items, shape
+        ``(m, p)``.
+        """
+        new = np.asarray(item_matrix, dtype=np.float64)
+        if new.ndim == 1:
+            new = new[None, :]
+        if new.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"new items have {new.shape[1]} attributes, the model was fitted on "
+                f"{self.n_attributes}"
+            )
+        # Fold with the *unscaled* projection ``U_p^T q``: for an item that was
+        # part of the fitted matrix this reproduces its ``V_p Sigma_p`` row
+        # exactly, so folded items live in the same coordinate system as
+        # :meth:`item_vectors`.
+        folded = np.atleast_2d(self.model.fold_in(new, scale=False))
+        for row in new:
+            self._rows.append(row.copy())
+            self._folded_residuals.append(self._residual_ratio(row))
+        self._semantic = np.vstack([self._semantic, folded])
+        return folded
+
+    def remove_item(self, index: int) -> None:
+        """Drop one item (by current row index) from the model's view.
+
+        The decomposition is not recomputed — exactly like a deletion
+        recorded in a version chain, the item simply stops being returned;
+        the next :meth:`refresh` makes the removal exact.
+        """
+        if not 0 <= index < len(self._rows):
+            raise IndexError(f"item index {index} out of range (n_items={len(self._rows)})")
+        del self._rows[index]
+        self._semantic = np.delete(self._semantic, index, axis=0)
+        folded_start = self._fitted_count
+        if index >= folded_start:
+            del self._folded_residuals[index - folded_start]
+        else:
+            self._fitted_count -= 1
+
+    def update_item(self, index: int, new_row: np.ndarray) -> np.ndarray:
+        """Replace one item's attributes and re-fold its semantic vector."""
+        new_row = np.asarray(new_row, dtype=np.float64).ravel()
+        if new_row.shape[0] != self.n_attributes:
+            raise ValueError(
+                f"updated item has {new_row.shape[0]} attributes, expected {self.n_attributes}"
+            )
+        if not 0 <= index < len(self._rows):
+            raise IndexError(f"item index {index} out of range (n_items={len(self._rows)})")
+        self._rows[index] = new_row.copy()
+        folded = self.model.fold_in(new_row, scale=False)
+        self._semantic[index] = folded
+        if index >= self._fitted_count:
+            self._folded_residuals[index - self._fitted_count] = self._residual_ratio(new_row)
+        return folded
+
+    # ------------------------------------------------------------------ drift & refresh
+    def drift(self) -> DriftReport:
+        """Quantify how stale the decomposition is."""
+        folded = len(self._folded_residuals)
+        total = len(self._rows)
+        return DriftReport(
+            fitted_items=self._fitted_count,
+            folded_items=folded,
+            folded_fraction=folded / total if total else 0.0,
+            mean_residual=float(np.mean(self._folded_residuals)) if folded else 0.0,
+            max_residual=float(np.max(self._folded_residuals)) if folded else 0.0,
+        )
+
+    def needs_refresh(
+        self, *, max_folded_fraction: float = 0.25, max_mean_residual: float = 0.35
+    ) -> bool:
+        """Policy hook: should the next reconfiguration refit the SVD?"""
+        return self.drift().exceeds(
+            max_folded_fraction=max_folded_fraction, max_mean_residual=max_mean_residual
+        )
+
+    def refresh(self, rank: Optional[int] = None) -> LSIModel:
+        """Refit the SVD over every accumulated item and reset drift tracking."""
+        if rank is not None:
+            self.rank = rank
+        matrix = self.attribute_matrix()
+        self.model = LSIModel.fit_items(matrix, self.rank)
+        self._semantic = self.model.item_vectors().copy()
+        self._fitted_count = len(self._rows)
+        self._folded_residuals = []
+        return self.model
+
+    # ------------------------------------------------------------------ similarity passthrough
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity between two semantic vectors (delegates to the model)."""
+        return self.model.similarity(a, b)
+
+    def fold_in(self, vectors: np.ndarray, *, scale: bool = True) -> np.ndarray:
+        """Project attribute-space vectors with the current decomposition."""
+        return self.model.fold_in(vectors, scale=scale)
+
+    def __repr__(self) -> str:
+        drift = self.drift()
+        return (
+            f"IncrementalLSI(items={self.n_items}, rank={self.model.rank}, "
+            f"folded={drift.folded_items}, mean_residual={drift.mean_residual:.3f})"
+        )

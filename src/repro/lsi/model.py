@@ -1,0 +1,184 @@
+"""The LSI model: projection, query fold-in and semantic correlation.
+
+Following §3.1.1 of the paper, the attribute–item matrix ``A`` (``t``
+attributes × ``n`` items) is decomposed as ``A = U Sigma V^T`` and
+approximated by keeping the ``p`` largest singular triplets.  Each item
+(file, storage unit or index unit) is represented by a row of
+``V_p Sigma_p`` — its coordinates in the semantic subspace — and a query
+vector ``q`` in attribute space is *folded in* as ``q_hat = Sigma_p^{-1}
+U_p^T q``.  The semantic correlation between two items is the cosine of the
+angle between their semantic vectors (an inner product after unit
+normalisation), which is the similarity measure the grouping and routing
+components threshold against the admission constants ``epsilon_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.lsi.svd import truncated_svd
+
+__all__ = ["LSIModel"]
+
+
+def _unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` with each row scaled to unit L2 norm (zero rows kept)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe
+
+
+@dataclass
+class LSIModel:
+    """A fitted Latent Semantic Indexing model.
+
+    Use :meth:`fit` to build a model from an attribute–item matrix, then
+    :meth:`item_vectors` / :meth:`fold_in` / :meth:`similarity` /
+    :meth:`correlation_matrix` for the downstream grouping and routing
+    computations.
+
+    Attributes
+    ----------
+    rank:
+        Number of retained singular triplets ``p``.
+    u, singular_values, vt:
+        The truncated factors ``U_p`` (``t × p``), ``sigma_p`` (``p``) and
+        ``V_p^T`` (``p × n``).
+    """
+
+    rank: int
+    u: np.ndarray
+    singular_values: np.ndarray
+    vt: np.ndarray
+    _item_semantic: np.ndarray = field(repr=False, default=None)
+    _item_unit: np.ndarray = field(repr=False, default=None)
+
+    # ------------------------------------------------------------------ fitting
+    @classmethod
+    def fit(cls, matrix: np.ndarray, rank: int) -> "LSIModel":
+        """Fit an LSI model on the ``(t, n)`` attribute–item matrix.
+
+        ``rank`` is clamped to ``min(t, n)``; a rank of 0 or less is an
+        error.  Rows are attributes and columns are items, matching the
+        paper's ``A in R^{t x n}`` convention.
+        """
+        u, s, vt = truncated_svd(matrix, rank)
+        model = cls(rank=len(s), u=u, singular_values=s, vt=vt)
+        # Semantic coordinates of the indexed items: rows of V_p * Sigma_p.
+        model._item_semantic = (vt.T * s[None, :]).astype(np.float64)
+        model._item_unit = _unit_rows(model._item_semantic)
+        return model
+
+    @classmethod
+    def fit_items(cls, item_matrix: np.ndarray, rank: int) -> "LSIModel":
+        """Convenience constructor for an ``(n_items, D)`` row-per-item matrix.
+
+        Most call sites in this repository hold matrices with one row per
+        file/unit (the natural numpy layout); this transposes into the
+        paper's attribute-per-row convention before fitting.
+        """
+        item_matrix = np.asarray(item_matrix, dtype=np.float64)
+        if item_matrix.ndim != 2:
+            raise ValueError(f"item matrix must be 2-D, got shape {item_matrix.shape}")
+        return cls.fit(item_matrix.T, rank)
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def n_items(self) -> int:
+        """Number of items (columns of ``A``) the model was fitted on."""
+        return self.vt.shape[1]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (rows of ``A``) the model was fitted on."""
+        return self.u.shape[0]
+
+    def item_vectors(self) -> np.ndarray:
+        """Semantic coordinates of the fitted items, shape ``(n_items, p)``."""
+        return self._item_semantic
+
+    # ------------------------------------------------------------------ fold-in
+    def fold_in(self, vectors: np.ndarray, *, scale: bool = True) -> np.ndarray:
+        """Project attribute-space vectors into the semantic subspace.
+
+        Parameters
+        ----------
+        vectors:
+            Either a single attribute vector of length ``t`` or an
+            ``(m, t)`` batch.
+        scale:
+            When true (default) the projection is ``Sigma_p^{-1} U_p^T q``,
+            the scaled fold-in the paper quotes; when false the plain
+            ``U_p^T q`` projection is returned.
+
+        Returns
+        -------
+        ``(m, p)`` array of semantic coordinates (``(p,)`` for a single
+        input vector).
+        """
+        q = np.asarray(vectors, dtype=np.float64)
+        single = q.ndim == 1
+        if single:
+            q = q[None, :]
+        if q.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"query dimensionality {q.shape[1]} does not match the "
+                f"model's attribute count {self.n_attributes}"
+            )
+        projected = q @ self.u  # (m, p)
+        if scale:
+            inv = np.where(self.singular_values > 0, 1.0 / self.singular_values, 0.0)
+            projected = projected * inv[None, :]
+        return projected[0] if single else projected
+
+    # ------------------------------------------------------------------ similarity
+    def similarity(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity between two semantic vectors in ``[-1, 1]``."""
+        a = np.asarray(a, dtype=np.float64).ravel()
+        b = np.asarray(b, dtype=np.float64).ravel()
+        na = np.linalg.norm(a)
+        nb = np.linalg.norm(b)
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return float(np.dot(a, b) / (na * nb))
+
+    def similarities_to_items(self, query_vector: np.ndarray) -> np.ndarray:
+        """Cosine similarity of one attribute-space query to every fitted item."""
+        q_sem = self.fold_in(query_vector)
+        q_norm = np.linalg.norm(q_sem)
+        if q_norm == 0.0:
+            return np.zeros(self.n_items)
+        return (self._item_unit @ (q_sem / q_norm)).astype(np.float64)
+
+    def correlation_matrix(self, item_vectors: Optional[np.ndarray] = None) -> np.ndarray:
+        """Pairwise semantic correlation (cosine) matrix.
+
+        Without arguments the correlations between the fitted items are
+        returned (shape ``(n_items, n_items)``).  When ``item_vectors`` is
+        given it must be an ``(m, p)`` array of semantic coordinates (e.g.
+        group centroids) and the ``(m, m)`` correlation matrix of those is
+        returned instead.
+        """
+        if item_vectors is None:
+            unit = self._item_unit
+        else:
+            unit = _unit_rows(np.asarray(item_vectors, dtype=np.float64))
+        corr = unit @ unit.T
+        # Numerical noise can push values marginally outside [-1, 1].
+        np.clip(corr, -1.0, 1.0, out=corr)
+        return corr
+
+    # ------------------------------------------------------------------ quality
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total spectral energy carried by each retained triplet."""
+        total = np.sum(self.singular_values**2)
+        if total == 0:
+            return np.zeros_like(self.singular_values)
+        return (self.singular_values**2) / total
+
+    def reconstruct(self) -> np.ndarray:
+        """The rank-``p`` approximation ``A_p = U_p Sigma_p V_p^T``."""
+        return (self.u * self.singular_values[None, :]) @ self.vt

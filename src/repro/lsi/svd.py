@@ -1,0 +1,83 @@
+"""Truncated SVD used by the LSI model.
+
+The full SVD of an ``(t, n)`` attribute–item matrix costs roughly ``O(t n
+min(t, n))`` and — as the scientific-Python optimisation guidance stresses —
+is almost always the hot spot of an LSI pipeline.  We therefore always
+request the *economy* decomposition (``full_matrices=False``) and, for large
+sparse inputs, fall back to the ARPACK-based ``scipy.sparse.linalg.svds``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse
+import scipy.sparse.linalg
+
+__all__ = ["truncated_svd"]
+
+
+def truncated_svd(
+    matrix: np.ndarray,
+    rank: int,
+    *,
+    use_sparse: bool | None = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``p`` SVD ``A ~= U_p diag(s_p) V_p^T``.
+
+    Parameters
+    ----------
+    matrix:
+        The ``(t, n)`` attribute–item matrix ``A`` (attributes are rows and
+        items — files or storage units — are columns, matching the paper's
+        formulation).
+    rank:
+        Number of singular triplets ``p`` to keep, ``1 <= p <= min(t, n)``.
+        Values larger than the matrix rank are clamped.
+    use_sparse:
+        Force the sparse (ARPACK) code path; by default it is chosen
+        automatically for scipy sparse inputs or very large dense matrices
+        where only a few singular values are wanted.
+
+    Returns
+    -------
+    (U_p, s_p, Vt_p):
+        ``U_p`` is ``(t, p)``, ``s_p`` is ``(p,)`` sorted in *descending*
+        order, ``Vt_p`` is ``(p, n)``.
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+
+    is_sparse = scipy.sparse.issparse(matrix)
+    if not is_sparse:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    t, n = matrix.shape
+    if t == 0 or n == 0:
+        raise ValueError(f"matrix must be non-empty, got shape {matrix.shape}")
+
+    max_rank = min(t, n)
+    rank = min(rank, max_rank)
+
+    if use_sparse is None:
+        # ARPACK needs rank < min(t, n); it only pays off when we keep a
+        # small fraction of the spectrum of a large matrix.
+        use_sparse = is_sparse or (max_rank > 512 and rank <= max_rank // 4)
+    if use_sparse and rank >= max_rank:
+        use_sparse = False
+        if is_sparse:
+            matrix = matrix.toarray()
+
+    if use_sparse:
+        u, s, vt = scipy.sparse.linalg.svds(matrix, k=rank)
+        # svds returns singular values in ascending order.
+        order = np.argsort(s)[::-1]
+        return u[:, order], s[order], vt[order, :]
+
+    if is_sparse:
+        matrix = matrix.toarray()
+    u, s, vt = scipy.linalg.svd(matrix, full_matrices=False)
+    return u[:, :rank], s[:rank], vt[:rank, :]

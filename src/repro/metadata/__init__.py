@@ -1,0 +1,35 @@
+"""File-metadata model: attribute schema, metadata records and matrices.
+
+SmartStore organises *file metadata* — not file contents — by the semantic
+correlation of multi-dimensional attributes.  This subpackage defines:
+
+* :class:`~repro.metadata.attributes.AttributeSchema` — the ordered set of
+  numeric attributes a deployment indexes (file size, timestamps, I/O
+  volumes, access counts, ...), together with normalisation hints.
+* :class:`~repro.metadata.file_metadata.FileMetadata` — one file's metadata
+  record (path, filename plus the attribute values).
+* :mod:`~repro.metadata.matrix` — vectorised helpers that turn a collection
+  of metadata records into the attribute–file matrices consumed by the LSI
+  machinery and by the R-tree substrates.
+"""
+
+from repro.metadata.attributes import AttributeSchema, AttributeSpec, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata, make_file_id
+from repro.metadata.matrix import (
+    attribute_matrix,
+    normalize_matrix,
+    attribute_bounds,
+    centroid,
+)
+
+__all__ = [
+    "AttributeSchema",
+    "AttributeSpec",
+    "DEFAULT_SCHEMA",
+    "FileMetadata",
+    "make_file_id",
+    "attribute_matrix",
+    "normalize_matrix",
+    "attribute_bounds",
+    "centroid",
+]

@@ -1,0 +1,151 @@
+"""Vectorised attribute-matrix helpers.
+
+Every analytic component of the reproduction (LSI, grouping, MBR
+construction, the R-tree baselines) consumes file metadata as dense numpy
+matrices with one row per file and one column per schema attribute.  The
+helpers here build those matrices once and keep all per-element work inside
+numpy, following the optimisation guidance for scientific Python (vectorise,
+avoid per-row Python loops, avoid unnecessary copies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = [
+    "attribute_matrix",
+    "normalize_matrix",
+    "attribute_bounds",
+    "centroid",
+    "log_transform",
+]
+
+
+def attribute_matrix(
+    files: Sequence[FileMetadata],
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+) -> np.ndarray:
+    """Build the ``(n_files, D)`` raw attribute matrix for ``files``.
+
+    The matrix is in schema order; missing attributes raise ``KeyError`` so
+    that silent zero-filling never skews the semantic analysis.
+    """
+    n = len(files)
+    d = schema.dimension
+    out = np.empty((n, d), dtype=np.float64)
+    names = schema.names
+    for i, f in enumerate(files):
+        attrs = f.attributes
+        for j, name in enumerate(names):
+            try:
+                out[i, j] = attrs[name]
+            except KeyError:
+                raise KeyError(
+                    f"file {f.path!r} is missing attribute {name!r} required by the schema"
+                ) from None
+    return out
+
+
+def log_transform(
+    matrix: np.ndarray,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+) -> np.ndarray:
+    """Apply ``log1p`` to the columns the schema marks as ``log_scale``.
+
+    Returns a new array; the input is never modified in place because the
+    raw matrix is typically also needed for MBRs and range filtering.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != schema.dimension:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match schema dimension {schema.dimension}"
+        )
+    mask = np.array(schema.log_scale_mask(), dtype=bool)
+    if not mask.any():
+        return matrix.copy()
+    out = matrix.copy()
+    cols = out[:, mask]
+    if np.any(cols < 0):
+        raise ValueError("log-scaled attributes must be non-negative")
+    out[:, mask] = np.log1p(cols)
+    return out
+
+
+def normalize_matrix(
+    matrix: np.ndarray,
+    lower: Optional[np.ndarray] = None,
+    upper: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Min-max normalise each column of ``matrix`` into ``[0, 1]``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, D)`` attribute matrix (typically already log-transformed).
+    lower, upper:
+        Optional per-column bounds.  When omitted they are computed from
+        the data; passing explicit bounds lets callers normalise query
+        points with exactly the same transform that was applied to the
+        indexed files.
+
+    Returns
+    -------
+    (normalised, lower, upper):
+        The normalised matrix plus the bounds actually used.  Degenerate
+        columns (``upper == lower``) map to 0.5 so they contribute no
+        spurious distance.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if lower is None:
+        lower = matrix.min(axis=0)
+    else:
+        lower = np.asarray(lower, dtype=np.float64)
+    if upper is None:
+        upper = matrix.max(axis=0)
+    else:
+        upper = np.asarray(upper, dtype=np.float64)
+
+    span = upper - lower
+    degenerate = span <= 0
+    safe_span = np.where(degenerate, 1.0, span)
+    normalised = (matrix - lower) / safe_span
+    if degenerate.any():
+        normalised[:, degenerate] = 0.5
+    np.clip(normalised, 0.0, 1.0, out=normalised)
+    return normalised, lower, upper
+
+
+def attribute_bounds(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-column ``(min, max)`` of an attribute matrix.
+
+    This is the Minimum Bounding Rectangle of the point set and is what
+    index units advertise up the semantic R-tree.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.size == 0:
+        raise ValueError("cannot compute bounds of an empty matrix")
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    return matrix.min(axis=0), matrix.max(axis=0)
+
+
+def centroid(matrix: np.ndarray) -> np.ndarray:
+    """Geometric centroid (column means) of an attribute matrix.
+
+    Each semantic R-tree node is summarised by the centroid of the metadata
+    it covers (§3.1.1); grouping quality is measured as the summed squared
+    distance to these centroids (§1.1).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.size == 0:
+        raise ValueError("cannot compute the centroid of an empty matrix")
+    if matrix.ndim == 1:
+        return matrix.astype(np.float64, copy=True)
+    return matrix.mean(axis=0)

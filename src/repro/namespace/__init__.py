@@ -1,0 +1,42 @@
+"""Hierarchical directory-tree namespace substrate.
+
+SmartStore's whole premise (Figure 1) is a contrast with the conventional
+directory-tree organisation of file-system metadata.  This subpackage builds
+that conventional organisation from scratch so the contrast can actually be
+measured rather than assumed:
+
+``repro.namespace.tree``
+    The directory tree itself: path insertion/lookup/removal, traversal,
+    subtree enumeration and structural statistics (depth, fan-out,
+    files-per-directory).
+``repro.namespace.builder``
+    Builders that populate a tree from a file population or a trace, plus
+    the synthetic namespace layout helpers shared with the trace
+    generators.
+``repro.namespace.locality``
+    Spyglass-style namespace-locality analysis: how much of the directory
+    space a query's result set is confined to (§1 quotes locality ratios
+    below 1 % and the 33 % of searches that can be localised to a
+    namespace subtree).
+``repro.namespace.baseline``
+    ``DirectoryTreeBaseline`` — a conventional file server answering point
+    queries by path traversal and complex queries by brute-force subtree
+    scans, with the same ``execute(query) -> QueryResult`` interface as the
+    other systems under test.
+"""
+
+from repro.namespace.baseline import DirectoryTreeBaseline
+from repro.namespace.builder import build_namespace, namespace_statistics
+from repro.namespace.locality import LocalityReport, locality_ratio, query_locality_report
+from repro.namespace.tree import DirectoryNode, DirectoryTree
+
+__all__ = [
+    "DirectoryNode",
+    "DirectoryTree",
+    "DirectoryTreeBaseline",
+    "LocalityReport",
+    "build_namespace",
+    "namespace_statistics",
+    "locality_ratio",
+    "query_locality_report",
+]

@@ -1,0 +1,51 @@
+"""Persistence: saving and loading populations, traces, schemas and results.
+
+The reproduction is driven by synthetic traces, but real deployments (and
+real experiments) need their inputs and outputs on disk: a trace generated
+once should be replayable bit-for-bit, a deployment's layout should be
+inspectable after the fact, and benchmark outputs should land somewhere a
+plotting script can read.  Everything here uses plain JSON / JSON-Lines /
+CSV so the artefacts remain readable without this package.
+
+``repro.persistence.jsonl``
+    File populations and traces as JSON-Lines (one record per line, with a
+    single header line identifying the payload type).
+``repro.persistence.snapshot``
+    Deployment snapshots: the semantic R-tree layout, the file→unit
+    placement and the build configuration of a :class:`~repro.core.smartstore.SmartStore`.
+``repro.persistence.results``
+    Tabular experiment results as CSV and Markdown.
+"""
+
+from repro.persistence.jsonl import (
+    load_files,
+    load_trace,
+    save_files,
+    save_trace,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.persistence.results import ResultTable, read_csv, write_csv, write_markdown
+from repro.persistence.snapshot import (
+    DeploymentSnapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_deployment,
+)
+
+__all__ = [
+    "save_files",
+    "load_files",
+    "save_trace",
+    "load_trace",
+    "schema_to_dict",
+    "schema_from_dict",
+    "DeploymentSnapshot",
+    "snapshot_deployment",
+    "save_snapshot",
+    "load_snapshot",
+    "ResultTable",
+    "write_csv",
+    "read_csv",
+    "write_markdown",
+]

@@ -1,0 +1,144 @@
+"""Tabular experiment results: CSV and Markdown writers/readers.
+
+The benchmark harness prints its tables through
+:func:`repro.eval.reporting.format_table`; this module provides the durable
+counterpart — a small :class:`ResultTable` value object plus CSV/Markdown
+serialisation — so sweeps can be post-processed (plotted, diffed against the
+paper's numbers) without scraping pytest output.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+__all__ = ["ResultTable", "write_csv", "read_csv", "write_markdown"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ResultTable:
+    """A named table of experiment results.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the experiment (e.g. ``"table4_query_latency_msn"``).
+    columns:
+        Column headers.
+    rows:
+        Row values; every row must have exactly ``len(columns)`` cells.
+        Cells may be numbers or strings.
+    metadata:
+        Free-form annotations (trace name, TIF, seed, ...), stored as
+        ``# key: value`` comment lines in the CSV serialisation.
+    """
+
+    name: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a result table needs at least one column")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} cells but the table has "
+                    f"{len(self.columns)} columns"
+                )
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cell count must match the columns)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[object]:
+        """Values of one column, by header name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def write_csv(table: ResultTable, path: PathLike) -> None:
+    """Write a :class:`ResultTable` as CSV (metadata as ``#`` comments)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        for key, value in sorted(table.metadata.items()):
+            fh.write(f"# {key}: {value}\n")
+        fh.write(f"# table: {table.name}\n")
+        writer = csv.writer(fh)
+        writer.writerow(table.columns)
+        for row in table.rows:
+            writer.writerow(row)
+
+
+def _coerce(cell: str) -> object:
+    """Best-effort numeric coercion when reading CSV back."""
+    try:
+        value = float(cell)
+    except ValueError:
+        return cell
+    if value.is_integer() and "." not in cell and "e" not in cell.lower():
+        return int(value)
+    return value
+
+
+def read_csv(path: PathLike) -> ResultTable:
+    """Read a CSV written by :func:`write_csv` back into a :class:`ResultTable`."""
+    path = Path(path)
+    metadata: Dict[str, object] = {}
+    name = path.stem
+    data_lines: List[str] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if ":" in body:
+                    key, value = body.split(":", 1)
+                    key, value = key.strip(), value.strip()
+                    if key == "table":
+                        name = value
+                    else:
+                        metadata[key] = _coerce(value)
+                continue
+            if line.strip():
+                data_lines.append(line)
+    if not data_lines:
+        raise ValueError(f"{path} contains no tabular data")
+    reader = csv.reader(data_lines)
+    header = next(reader)
+    rows = [[_coerce(cell) for cell in row] for row in reader]
+    return ResultTable(name=name, columns=list(header), rows=rows, metadata=metadata)
+
+
+def write_markdown(table: ResultTable, path: PathLike) -> None:
+    """Write a :class:`ResultTable` as a GitHub-flavoured Markdown table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    widths = [
+        max(len(str(c)), *(len(str(row[i])) for row in table.rows)) if table.rows else len(str(c))
+        for i, c in enumerate(table.columns)
+    ]
+
+    def fmt_row(cells: Sequence[object]) -> str:
+        return "| " + " | ".join(str(c).ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [f"### {table.name}", ""]
+    lines.extend(f"*{k}*: {v}  " for k, v in sorted(table.metadata.items()))
+    if table.metadata:
+        lines.append("")
+    lines.append(fmt_row(table.columns))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(row) for row in table.rows)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,18 @@
+"""Generic R-tree substrate.
+
+The semantic R-tree of SmartStore and the centralised non-semantic R-tree
+baseline both rest on classical R-tree machinery (Guttman, SIGMOD'84):
+
+* :class:`~repro.rtree.mbr.MBR` — minimum bounding rectangles with the
+  usual geometric operations (union, intersection, enlargement, MINDIST).
+* :class:`~repro.rtree.rtree.RTree` — dynamic insertion with ChooseLeaf and
+  quadratic split, deletion with tree condensation, window (range) search.
+* :func:`~repro.rtree.knn.knn_search` — best-first branch-and-bound k-NN
+  over an :class:`RTree`, the building block of top-k queries.
+"""
+
+from repro.rtree.mbr import MBR
+from repro.rtree.rtree import RTree, RTreeEntry, RTreeNode
+from repro.rtree.knn import knn_search
+
+__all__ = ["MBR", "RTree", "RTreeEntry", "RTreeNode", "knn_search"]

@@ -1,0 +1,71 @@
+"""Best-first branch-and-bound k-nearest-neighbour search over an R-tree.
+
+Top-k queries (§3.3.2) identify the ``k`` files whose attribute values are
+closest to the query point.  Over an R-tree this is the classical
+best-first search: a priority queue ordered by MINDIST to the query point
+interleaves nodes and data records; once ``k`` records have been popped the
+current worst distance (the paper's ``MaxD``) prunes every node whose
+MINDIST exceeds it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.rtree.rtree import RTree, RTreeEntry, RTreeNode
+
+__all__ = ["knn_search"]
+
+
+def knn_search(
+    tree: RTree,
+    point: Sequence[float],
+    k: int,
+) -> List[Tuple[float, RTreeEntry]]:
+    """Return the ``k`` records nearest to ``point`` as ``(distance, entry)`` pairs.
+
+    Results are sorted by ascending distance.  Fewer than ``k`` pairs are
+    returned when the tree holds fewer records.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    query = np.asarray(point, dtype=np.float64)
+    if query.shape != (tree.dimension,):
+        raise ValueError(f"query point has shape {query.shape}, expected ({tree.dimension},)")
+
+    results: List[Tuple[float, RTreeEntry]] = []
+    counter = itertools.count()  # tie-breaker: heap items must never compare objects
+    heap: List[Tuple[float, int, object]] = []
+
+    root = tree.root
+    if root.mbr is None:
+        return results
+    heapq.heappush(heap, (root.mbr.min_distance(query), next(counter), root))
+
+    while heap:
+        dist, _, item = heapq.heappop(heap)
+        if len(results) >= k and dist > results[-1][0]:
+            break  # every remaining item is at least this far away
+        if isinstance(item, RTreeEntry):
+            results.append((dist, item))
+            results.sort(key=lambda pair: pair[0])
+            if len(results) > k:
+                results = results[:k]
+            continue
+        node: RTreeNode = item
+        tree._touch()
+        if node.is_leaf:
+            for entry in node.entries:
+                d = float(np.linalg.norm(entry.point - query))
+                heapq.heappush(heap, (d, next(counter), entry))
+        else:
+            for child in node.children:
+                if child.mbr is None:
+                    continue
+                heapq.heappush(heap, (child.mbr.min_distance(query), next(counter), child))
+
+    return results[:k]

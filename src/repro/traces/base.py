@@ -1,0 +1,220 @@
+"""Trace data model: records, traces and summary statistics.
+
+A :class:`Trace` is a chronologically ordered sequence of
+:class:`TraceRecord` I/O operations plus the population of files the
+operations touch.  :class:`TraceSummary` carries the aggregate statistics
+reported in Tables 1-3 of the paper (request counts, file counts, I/O
+volumes, user counts, durations) so the scale-up benchmark can compare the
+original and TIF-intensified workloads in the same terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = ["TraceRecord", "Trace", "TraceSummary", "build_file_metadata"]
+
+#: Operations a trace record can carry.
+VALID_OPS = ("create", "read", "write", "stat", "delete", "open")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One I/O operation in a trace.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the start of the trace.
+    op:
+        One of ``create``, ``read``, ``write``, ``stat``, ``delete``,
+        ``open``.
+    path:
+        Full pathname of the file the operation touches.
+    bytes:
+        Payload size for ``read``/``write`` operations (0 otherwise).
+    user_id / process_id:
+        Behavioural attributes used when deriving per-file metadata.
+    """
+
+    timestamp: float
+    op: str
+    path: str
+    bytes: float = 0.0
+    user_id: int = 0
+    process_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in VALID_OPS:
+            raise ValueError(f"unknown trace operation {self.op!r}; expected one of {VALID_OPS}")
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if self.bytes < 0:
+            raise ValueError("bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a trace, in the units of Tables 1-3.
+
+    All counts are plain numbers (not millions); the reporting layer formats
+    them the way the paper's tables do.
+    """
+
+    name: str
+    total_requests: int
+    total_reads: int
+    total_writes: int
+    read_bytes: float
+    write_bytes: float
+    total_files: int
+    active_files: int
+    active_users: int
+    user_accounts: int
+    duration_hours: float
+
+    @property
+    def total_io(self) -> int:
+        """Reads plus writes (the MSN table's "total I/O" row)."""
+        return self.total_reads + self.total_writes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "total_requests": self.total_requests,
+            "total_reads": self.total_reads,
+            "total_writes": self.total_writes,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "total_files": self.total_files,
+            "active_files": self.active_files,
+            "active_users": self.active_users,
+            "user_accounts": self.user_accounts,
+            "duration_hours": self.duration_hours,
+        }
+
+
+@dataclass
+class Trace:
+    """A workload trace: ordered records plus the file population.
+
+    ``files`` may be empty on construction and derived lazily from the
+    records with :meth:`file_metadata`.
+    """
+
+    name: str
+    records: List[TraceRecord]
+    files: List[FileMetadata] = field(default_factory=list)
+    user_accounts: int = 0
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda r: r.timestamp)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ derived data
+    def paths(self) -> List[str]:
+        """Distinct paths appearing in the records, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            if r.path not in seen:
+                seen[r.path] = None
+        return list(seen.keys())
+
+    def duration_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    def file_metadata(self, schema: AttributeSchema = DEFAULT_SCHEMA) -> List[FileMetadata]:
+        """File metadata derived from (or carried with) the trace.
+
+        If the trace was generated with an explicit file population that
+        population is returned; otherwise metadata is reconstructed by
+        replaying the records (see :func:`build_file_metadata`).
+        """
+        if self.files:
+            return self.files
+        self.files = build_file_metadata(self.records, schema)
+        return self.files
+
+    def summary(self) -> TraceSummary:
+        """Aggregate statistics in the shape of Tables 1-3."""
+        reads = sum(1 for r in self.records if r.op == "read")
+        writes = sum(1 for r in self.records if r.op == "write")
+        read_bytes = float(sum(r.bytes for r in self.records if r.op == "read"))
+        write_bytes = float(sum(r.bytes for r in self.records if r.op == "write"))
+        active_paths = {r.path for r in self.records}
+        total_files = max(len(self.files), len(active_paths))
+        users = {r.user_id for r in self.records}
+        return TraceSummary(
+            name=self.name,
+            total_requests=len(self.records),
+            total_reads=reads,
+            total_writes=writes,
+            read_bytes=read_bytes,
+            write_bytes=write_bytes,
+            total_files=total_files,
+            active_files=len(active_paths),
+            active_users=len(users),
+            user_accounts=max(self.user_accounts, len(users)),
+            duration_hours=self.duration_seconds() / 3600.0,
+        )
+
+
+def build_file_metadata(
+    records: Sequence[TraceRecord],
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+) -> List[FileMetadata]:
+    """Reconstruct per-file metadata by replaying trace records.
+
+    The derivation rules mirror how a file system would maintain the
+    attributes: creation time is the first appearance, modification time the
+    last write, access time the last touch of any kind, read/write volumes
+    and access counts accumulate, size is the largest write observed (or a
+    nominal 4 KiB for files only ever read/statted), owner is the most
+    recent user id.
+    """
+    state: Dict[str, Dict[str, float]] = {}
+    for r in records:
+        st = state.get(r.path)
+        if st is None:
+            st = {
+                "size": 0.0,
+                "ctime": r.timestamp,
+                "mtime": r.timestamp,
+                "atime": r.timestamp,
+                "read_bytes": 0.0,
+                "write_bytes": 0.0,
+                "access_count": 0.0,
+                "owner": float(r.user_id),
+            }
+            state[r.path] = st
+        st["atime"] = r.timestamp
+        st["access_count"] += 1.0
+        st["owner"] = float(r.user_id)
+        if r.op == "read":
+            st["read_bytes"] += r.bytes
+        elif r.op == "write":
+            st["write_bytes"] += r.bytes
+            st["mtime"] = r.timestamp
+            st["size"] = max(st["size"], r.bytes)
+        elif r.op == "create":
+            st["ctime"] = min(st["ctime"], r.timestamp)
+            st["mtime"] = r.timestamp
+            st["size"] = max(st["size"], r.bytes)
+
+    files: List[FileMetadata] = []
+    for path, st in state.items():
+        if st["size"] <= 0:
+            st["size"] = 4096.0
+        attrs = {name: st.get(name, 0.0) for name in schema.names}
+        files.append(FileMetadata(path=path, attributes=attrs))
+    return files

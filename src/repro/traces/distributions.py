@@ -1,0 +1,122 @@
+"""Samplers for the skewed distributions file-system traces exhibit.
+
+The evaluation leans on three empirical regularities the paper cites:
+heavily skewed file popularity (a handful of files receive most requests),
+log-normal file sizes spanning many orders of magnitude, and temporal
+clustering of creation / modification times (files created by the same job
+or project share timestamps).  The samplers here are vectorised numpy
+implementations used by the synthetic trace generators and by the query
+workload synthesiser (which draws query points from Uniform, Gauss and Zipf
+distributions, §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "zipf_popularity",
+    "sample_zipf_indices",
+    "lognormal_sizes",
+    "clustered_timestamps",
+    "bounded_gauss",
+]
+
+
+def zipf_popularity(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalised Zipf probability vector over ranks ``0..n-1``.
+
+    ``p_i ∝ 1 / (i + 1)^exponent``.  Unlike ``numpy.random.zipf`` this keeps
+    the support bounded to exactly ``n`` items, which is what "file
+    popularity over a fixed file population" needs.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def sample_zipf_indices(
+    n: int,
+    size: int,
+    exponent: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Draw ``size`` item indices from a bounded Zipf distribution over ``n`` items."""
+    rng = rng if rng is not None else np.random.default_rng()
+    probs = zipf_popularity(n, exponent)
+    return rng.choice(n, size=size, p=probs)
+
+
+def lognormal_sizes(
+    size: int,
+    median_bytes: float = 64 * 1024,
+    sigma: float = 2.0,
+    max_bytes: float = 16 * 1024**3,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Log-normally distributed file sizes, clipped to ``[1, max_bytes]``.
+
+    ``median_bytes`` is the distribution median (the log-normal ``mu`` is
+    its natural log); ``sigma`` controls the spread across orders of
+    magnitude.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    raw = rng.lognormal(mean=np.log(median_bytes), sigma=sigma, size=size)
+    return np.clip(raw, 1.0, max_bytes)
+
+
+def clustered_timestamps(
+    size: int,
+    cluster_assignment: np.ndarray,
+    duration_seconds: float,
+    cluster_spread: float = 0.01,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Timestamps clustered per project/cluster within ``[0, duration]``.
+
+    Each cluster receives a uniformly placed epoch; members scatter around
+    it with a Gaussian whose standard deviation is ``cluster_spread *
+    duration``.  This reproduces the "files of the same job share creation
+    times" locality that makes time attributes semantically informative.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    cluster_assignment = np.asarray(cluster_assignment)
+    if cluster_assignment.shape != (size,):
+        raise ValueError(
+            f"cluster_assignment must have shape ({size},), got {cluster_assignment.shape}"
+        )
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    n_clusters = int(cluster_assignment.max()) + 1 if size else 0
+    epochs = rng.uniform(0.0, duration_seconds, size=max(n_clusters, 1))
+    jitter = rng.normal(0.0, cluster_spread * duration_seconds, size=size)
+    stamps = epochs[cluster_assignment] + jitter
+    return np.clip(stamps, 0.0, duration_seconds)
+
+
+def bounded_gauss(
+    size: int,
+    low: float,
+    high: float,
+    rng: Optional[np.random.Generator] = None,
+    center_fraction: float = 0.5,
+    spread_fraction: float = 0.15,
+) -> np.ndarray:
+    """Gaussian samples centred inside ``[low, high]`` and clipped to it.
+
+    Used for the "Gauss" query-point distribution of §5.1.
+    """
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    rng = rng if rng is not None else np.random.default_rng()
+    center = low + center_fraction * (high - low)
+    spread = max(spread_fraction * (high - low), 1e-12)
+    return np.clip(rng.normal(center, spread, size=size), low, high)

@@ -1,0 +1,187 @@
+"""Trace replay: turning an I/O record stream into metadata access workloads.
+
+The synthetic workloads in :mod:`repro.workloads.generator` probe the
+attribute space directly; replay goes the other way and drives experiments
+from the trace's own request stream, the way the paper's motivating studies
+do (Filecules' popularity skew, FARMER's inter-file access correlation).
+It resolves every record back to its file-metadata record, exposes the
+access stream (globally or per user/process), and measures the two
+workload properties the introduction leans on:
+
+* popularity skew — what fraction of requests the most popular files absorb;
+* access correlation — how often consecutive accesses hit semantically
+  correlated files (same project / directory), which is the signal the
+  semantic prefetching application converts into cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metadata.file_metadata import FileMetadata
+from repro.traces.base import Trace, TraceRecord
+
+__all__ = ["ReplayStatistics", "TraceReplayer"]
+
+#: Operations that constitute an access to an existing file's metadata.
+ACCESS_OPS = ("read", "write", "stat", "open")
+
+
+@dataclass(frozen=True)
+class ReplayStatistics:
+    """Workload-shape statistics of a replayed trace.
+
+    Attributes
+    ----------
+    total_accesses:
+        Records that resolved to a known file and count as accesses.
+    unique_files:
+        Distinct files touched.
+    top_file_share:
+        Fraction of all accesses absorbed by the most popular 10 % of the
+        touched files (the Filecules-style skew measure).
+    consecutive_correlation:
+        Fraction of consecutive access pairs that touch correlated files —
+        same project when the metadata carries a ``project`` annotation,
+        same directory otherwise.  §1.1 quotes inter-file access
+        correlations of up to 80 % on real traces.
+    operation_mix:
+        Fraction of accesses per operation type.
+    """
+
+    total_accesses: int
+    unique_files: int
+    top_file_share: float
+    consecutive_correlation: float
+    operation_mix: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_accesses": self.total_accesses,
+            "unique_files": self.unique_files,
+            "top_file_share": self.top_file_share,
+            "consecutive_correlation": self.consecutive_correlation,
+            "operation_mix": dict(self.operation_mix),
+        }
+
+
+def _correlated(a: FileMetadata, b: FileMetadata) -> bool:
+    """Two files count as correlated when they share a project or directory."""
+    pa, pb = a.extra.get("project"), b.extra.get("project")
+    if pa is not None and pb is not None:
+        return pa == pb
+    return a.directory == b.directory
+
+
+class TraceReplayer:
+    """Resolve a trace's records against its file population and replay them.
+
+    Parameters
+    ----------
+    trace:
+        The trace to replay.  Its explicit file population is used when
+        present; otherwise the population is derived via
+        :meth:`~repro.traces.base.Trace.file_metadata`.
+    include_ops:
+        Which operations count as metadata accesses (defaults to
+        read/write/stat/open; creates and deletes mutate the population and
+        are not replayed as accesses).
+    """
+
+    def __init__(self, trace: Trace, *, include_ops: Sequence[str] = ACCESS_OPS) -> None:
+        self.trace = trace
+        self.include_ops = tuple(include_ops)
+        files = trace.files if trace.files else trace.file_metadata()
+        self._by_path: Dict[str, FileMetadata] = {f.path: f for f in files}
+        self.files = list(files)
+
+    # ------------------------------------------------------------------ streams
+    def resolve(self, record: TraceRecord) -> Optional[FileMetadata]:
+        """The file a record touches, or ``None`` for unknown paths / other ops."""
+        if record.op not in self.include_ops:
+            return None
+        return self._by_path.get(record.path)
+
+    def access_stream(self) -> List[FileMetadata]:
+        """Every resolved access, in timestamp order."""
+        stream: List[FileMetadata] = []
+        for record in self.trace.records:
+            file = self.resolve(record)
+            if file is not None:
+                stream.append(file)
+        return stream
+
+    def access_pairs(self) -> List[Tuple[TraceRecord, FileMetadata]]:
+        """Resolved accesses together with their originating records."""
+        pairs: List[Tuple[TraceRecord, FileMetadata]] = []
+        for record in self.trace.records:
+            file = self.resolve(record)
+            if file is not None:
+                pairs.append((record, file))
+        return pairs
+
+    def per_user_streams(self) -> Dict[int, List[FileMetadata]]:
+        """Access streams split by user id (each in timestamp order)."""
+        streams: Dict[int, List[FileMetadata]] = {}
+        for record, file in self.access_pairs():
+            streams.setdefault(record.user_id, []).append(file)
+        return streams
+
+    def per_process_streams(self) -> Dict[int, List[FileMetadata]]:
+        """Access streams split by process id (each in timestamp order)."""
+        streams: Dict[int, List[FileMetadata]] = {}
+        for record, file in self.access_pairs():
+            streams.setdefault(record.process_id, []).append(file)
+        return streams
+
+    # ------------------------------------------------------------------ workload shape
+    def popular_files(self, n: int = 10) -> List[Tuple[FileMetadata, int]]:
+        """The ``n`` most frequently accessed files with their access counts."""
+        counts: Dict[int, int] = {}
+        by_id: Dict[int, FileMetadata] = {}
+        for file in self.access_stream():
+            counts[file.file_id] = counts.get(file.file_id, 0) + 1
+            by_id[file.file_id] = file
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return [(by_id[fid], count) for fid, count in ranked]
+
+    def statistics(self, *, top_fraction: float = 0.10) -> ReplayStatistics:
+        """Popularity-skew and access-correlation statistics of the stream."""
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError("top_fraction must be in (0, 1]")
+        stream = self.access_stream()
+        if not stream:
+            return ReplayStatistics(0, 0, 0.0, 0.0, {})
+
+        counts: Dict[int, int] = {}
+        ops: Dict[str, int] = {}
+        for record, file in self.access_pairs():
+            counts[file.file_id] = counts.get(file.file_id, 0) + 1
+            ops[record.op] = ops.get(record.op, 0) + 1
+
+        total = len(stream)
+        ranked = sorted(counts.values(), reverse=True)
+        top_n = max(1, int(round(len(ranked) * top_fraction)))
+        top_share = sum(ranked[:top_n]) / total
+
+        correlated_pairs = sum(
+            1 for a, b in zip(stream, stream[1:]) if _correlated(a, b)
+        )
+        correlation = correlated_pairs / (total - 1) if total > 1 else 0.0
+
+        return ReplayStatistics(
+            total_accesses=total,
+            unique_files=len(counts),
+            top_file_share=top_share,
+            consecutive_correlation=correlation,
+            operation_mix={op: c / total for op, c in sorted(ops.items())},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceReplayer(trace={self.trace.name!r}, records={len(self.trace.records)}, "
+            f"files={len(self.files)})"
+        )

@@ -1,0 +1,97 @@
+"""Query types: point, range and top-k.
+
+These are the three query interfaces SmartStore exposes (§1.2).  They are
+deliberately plain, immutable value objects: the query engines of the core
+system, of the baselines and of the evaluation harness all consume the same
+objects, which is what makes the latency/recall comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = ["PointQuery", "RangeQuery", "TopKQuery", "Query"]
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """A filename-based point query: "does file ``filename`` exist, and where?"
+
+    Filename indexing remains the dominant query type in file systems; in
+    SmartStore it routes over the hierarchical Bloom filters (§3.3.3).
+    """
+
+    filename: str
+
+    def __post_init__(self) -> None:
+        if not self.filename:
+            raise ValueError("filename must be non-empty")
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A multi-dimensional range query.
+
+    Finds every file whose value of ``attributes[i]`` lies within
+    ``[lower[i], upper[i]]`` for all constrained attributes — e.g. *"files
+    revised between 10:00 and 16:20 with 30-50 MB read and 5-8 MB written"*
+    is the 3-attribute example of §5.1.
+    """
+
+    attributes: Tuple[str, ...]
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a range query must constrain at least one attribute")
+        if not (len(self.attributes) == len(self.lower) == len(self.upper)):
+            raise ValueError(
+                "attributes, lower and upper must have the same length, got "
+                f"{len(self.attributes)}, {len(self.lower)}, {len(self.upper)}"
+            )
+        if any(lo > hi for lo, hi in zip(self.lower, self.upper)):
+            raise ValueError("every lower bound must not exceed its upper bound")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError("attributes must not repeat")
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """A top-k nearest-neighbour query.
+
+    Finds the ``k`` files whose constrained attribute values are closest to
+    ``values`` — e.g. *"10 files closest to: size ≈ 300 MB, last visited
+    around Jan 1 2008"* from §1.1.  Distances are measured in the
+    deployment's normalised attribute space so that dimensions with very
+    different units are comparable.
+    """
+
+    attributes: Tuple[str, ...]
+    values: Tuple[float, ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a top-k query must constrain at least one attribute")
+        if len(self.attributes) != len(self.values):
+            raise ValueError(
+                f"attributes and values must have the same length, got "
+                f"{len(self.attributes)} and {len(self.values)}"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError("attributes must not repeat")
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self.attributes)
+
+
+Query = Union[PointQuery, RangeQuery, TopKQuery]

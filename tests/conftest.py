@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (synthetic traces and built SmartStore deployments)
+are session-scoped: the suite contains several hundred tests and rebuilding
+a deployment per test would dominate the runtime without improving
+isolation — all consumers treat these fixtures as read-only.  Tests that
+mutate a deployment build their own small one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.traces.msn import msn_trace
+from repro.workloads.generator import QueryWorkloadGenerator
+
+
+from helpers import make_files  # noqa: F401  (re-exported for fixtures below)
+
+
+@pytest.fixture(scope="session")
+def small_files():
+    """60 files in 4 well-separated clusters."""
+    return make_files()
+
+
+@pytest.fixture(scope="session")
+def msn_small_trace():
+    """A down-scaled synthetic MSN trace (shared, read-only)."""
+    return msn_trace(scale=0.35, seed=29)
+
+
+@pytest.fixture(scope="session")
+def msn_small_files(msn_small_trace):
+    return msn_small_trace.file_metadata()
+
+
+@pytest.fixture(scope="session")
+def built_store(msn_small_files):
+    """A SmartStore deployment over the small MSN population (read-only)."""
+    config = SmartStoreConfig(num_units=16, seed=3)
+    return SmartStore.build(msn_small_files, config)
+
+
+@pytest.fixture(scope="session")
+def workload_generator(msn_small_files):
+    return QueryWorkloadGenerator(msn_small_files, DEFAULT_SCHEMA, seed=7)
+
+
+@pytest.fixture()
+def tiny_store(small_files):
+    """A small deployment safe to mutate (function-scoped)."""
+    config = SmartStoreConfig(num_units=6, seed=1)
+    return SmartStore.build(small_files, config)

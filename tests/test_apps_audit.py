@@ -1,0 +1,110 @@
+"""Tests for the change-audit application."""
+
+import pytest
+
+from repro.apps.audit import ChangeAuditor
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.recall import ground_truth_range
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    # make_files gives cluster c mtimes around 1000*(c+1) + 60.
+    return make_files(200, clusters=5)
+
+
+@pytest.fixture(scope="module")
+def store(files):
+    return SmartStore.build(files, SmartStoreConfig(num_units=10, seed=4))
+
+
+@pytest.fixture(scope="module")
+def auditor(store):
+    return ChangeAuditor(store)
+
+
+class TestWindowQuery:
+    def test_basic_window(self, auditor):
+        q = auditor.window_query(1000.0, 2000.0)
+        assert q.attributes == ("mtime",)
+        assert q.lower == (1000.0,)
+        assert q.upper == (2000.0,)
+
+    def test_with_write_volume_and_owner(self, auditor):
+        q = auditor.window_query(0.0, 10.0, min_write_bytes=1024.0, owner=3)
+        assert q.attributes == ("mtime", "write_bytes", "owner")
+        assert q.lower[1] == 1024.0
+        assert q.lower[2] == q.upper[2] == 3.0
+
+    def test_invalid_window_rejected(self, auditor):
+        with pytest.raises(ValueError):
+            auditor.window_query(100.0, 50.0)
+
+
+class TestAudit:
+    def test_audit_finds_changed_cluster(self, auditor, files):
+        # Cluster 2 files were modified around t = 3060.
+        report = auditor.audit(3000.0, 3200.0)
+        assert report.num_flagged > 0
+        expected = {
+            f.file_id
+            for f in files
+            if 3000.0 <= f.get("mtime") <= 3200.0
+        }
+        flagged = {f.file_id for f in report.flagged}
+        assert flagged <= expected | flagged  # sanity
+        assert report.recall >= 0.9
+        assert all(3000.0 <= f.get("mtime") <= 3200.0 for f in report.flagged)
+
+    def test_audit_summaries(self, auditor):
+        report = auditor.audit(1000.0, 5200.0)
+        assert sum(report.by_directory.values()) == report.num_flagged
+        assert sum(report.by_owner.values()) == report.num_flagged
+        top_dirs = report.top_directories(2)
+        assert len(top_dirs) <= 2
+        assert all(isinstance(name, str) and count > 0 for name, count in top_dirs)
+        d = report.as_dict()
+        assert d["num_flagged"] == report.num_flagged
+        assert d["recall"] == report.recall
+
+    def test_audit_empty_window(self, auditor):
+        report = auditor.audit(9_000_000.0, 9_000_001.0)
+        assert report.num_flagged == 0
+        assert report.recall == 1.0
+        assert report.top_owners() == []
+
+    def test_audit_with_owner_filter(self, auditor, files):
+        report = auditor.audit(0.0, 10_000.0, owner=2)
+        assert all(int(f.get("owner")) == 2 for f in report.flagged)
+
+    def test_audit_with_write_volume_filter(self, auditor, files):
+        threshold = 5_000.0
+        report = auditor.audit(0.0, 10_000.0, min_write_bytes=threshold)
+        assert all(f.get("write_bytes") >= threshold for f in report.flagged)
+
+    def test_audit_since(self, auditor, files):
+        latest = max(f.get("mtime") for f in files)
+        report = auditor.audit_since(latest - 100.0)
+        expected = ground_truth_range(files, report.query)
+        assert report.query.upper[0] == pytest.approx(latest)
+        assert len(expected) >= report.num_flagged > 0
+
+
+class TestComparison:
+    def test_smartstore_beats_directory_walk(self, auditor):
+        comparison = auditor.compare_with_directory_walk(3000.0, 3200.0)
+        assert comparison["speedup"] > 1.0
+        assert comparison["smartstore_latency_s"] < comparison["directory_walk_latency_s"]
+        assert 0.0 <= comparison["result_agreement"] <= 1.0
+        assert comparison["result_agreement"] >= 0.9
+
+    def test_comparison_keys(self, auditor):
+        comparison = auditor.compare_with_directory_walk(0.0, 10_000.0)
+        assert {
+            "smartstore_latency_s",
+            "directory_walk_latency_s",
+            "speedup",
+            "result_agreement",
+        } <= set(comparison)

@@ -1,0 +1,115 @@
+"""Tests for the semantic-aware prefetching cache."""
+
+import numpy as np
+import pytest
+
+from repro.apps.caching import CacheStats, LRUCache, SemanticPrefetchCache
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+
+from helpers import make_files
+
+
+class TestLRUCache:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_hit_after_access(self):
+        cache = LRUCache(4)
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)      # 1 becomes most recent
+        cache.access(3)      # evicts 2
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+
+    def test_prefetch_does_not_count_as_access(self):
+        cache = LRUCache(4)
+        cache.prefetch(9)
+        assert cache.stats.accesses == 0
+        assert cache.stats.prefetches == 1
+        assert cache.access(9) is True
+        assert cache.stats.prefetch_hits == 1
+
+    def test_prefetch_existing_is_noop(self):
+        cache = LRUCache(4)
+        cache.access(1)
+        cache.prefetch(1)
+        assert cache.stats.prefetches == 0
+
+    def test_capacity_respected(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.access(i)
+        assert len(cache) == 3
+
+    def test_stats_properties(self):
+        stats = CacheStats(hits=3, misses=1, prefetches=2, prefetch_hits=1)
+        assert stats.hit_rate == 0.75
+        assert stats.prefetch_accuracy == 0.5
+        assert stats.as_dict()["hits"] == 3
+
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+
+
+class TestSemanticPrefetchCache:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return SmartStore.build(make_files(80, clusters=4), SmartStoreConfig(num_units=8, seed=0))
+
+    def test_invalid_prefetch_k(self, store):
+        with pytest.raises(ValueError):
+            SemanticPrefetchCache(store, 10, prefetch_k=0)
+
+    def test_default_attributes_behavioural(self, store):
+        cache = SemanticPrefetchCache(store, 10)
+        assert set(cache.attributes) <= set(store.schema.names)
+
+    def test_miss_triggers_prefetch(self, store):
+        cache = SemanticPrefetchCache(store, 16, prefetch_k=3)
+        cache.access(store.files[0])
+        assert cache.stats.misses == 1
+        assert cache.stats.prefetches >= 1
+        assert cache.query_latency > 0
+
+    def test_repeated_access_hits(self, store):
+        cache = SemanticPrefetchCache(store, 16)
+        cache.access(store.files[0])
+        assert cache.access(store.files[0]) is True
+
+    def test_semantic_prefetch_beats_plain_lru_on_clustered_workload(self, store):
+        """Accesses walk cluster by cluster: prefetching correlated files
+        must produce at least as many hits as a plain LRU of equal size."""
+        rng = np.random.default_rng(0)
+        files = store.files
+        clusters = {}
+        for f in files:
+            clusters.setdefault(f.extra["cluster"], []).append(f)
+        workload = []
+        for _ in range(6):
+            cluster = rng.integers(0, len(clusters))
+            members = clusters[int(cluster)]
+            picks = rng.choice(len(members), size=min(10, len(members)), replace=False)
+            workload.extend(members[i] for i in picks)
+
+        semantic = SemanticPrefetchCache(store, capacity=24, prefetch_k=6,
+                                         attributes=("size", "mtime", "owner"))
+        plain = LRUCache(24)
+        for f in workload:
+            semantic.access(f)
+            plain.access(f.file_id)
+        assert semantic.stats.hit_rate >= plain.stats.hit_rate
+
+    def test_access_many_returns_stats(self, store):
+        cache = SemanticPrefetchCache(store, 8)
+        stats = cache.access_many(store.files[:10])
+        assert stats.accesses == 10

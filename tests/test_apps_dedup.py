@@ -1,0 +1,87 @@
+"""Tests for the de-duplication candidate detector."""
+
+import pytest
+
+from repro.apps.dedup import DedupDetector
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def population_with_duplicates():
+    files = make_files(80, clusters=4)
+    return DedupDetector.inject_duplicates(files, fraction=0.1, seed=3)
+
+
+class TestInjection:
+    def test_duplicate_count(self):
+        files = make_files(50)
+        out = DedupDetector.inject_duplicates(files, fraction=0.2, seed=1)
+        assert len(out) == 60
+
+    def test_duplicates_share_fingerprint_and_attributes(self):
+        out = DedupDetector.inject_duplicates(make_files(30), fraction=0.5, seed=2)
+        originals = {f.path: f for f in out if not f.path.endswith(".copy")}
+        copies = [f for f in out if f.path.endswith(".copy")]
+        assert copies
+        for copy in copies:
+            source = originals[copy.path[: -len(".copy")]]
+            assert copy.attributes == source.attributes
+            assert copy.extra["fingerprint"] == source.extra["fingerprint"]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DedupDetector.inject_duplicates(make_files(10), fraction=1.5)
+
+
+class TestBruteForce:
+    def test_finds_injected_duplicates(self, population_with_duplicates):
+        detector = DedupDetector(attributes=("size", "ctime"), tolerance=1e-9)
+        report = detector.brute_force(population_with_duplicates)
+        assert report.num_candidates >= 8  # one pair per injected duplicate
+        assert report.comparisons == len(population_with_duplicates) * (len(population_with_duplicates) - 1) // 2
+
+    def test_tolerance_zero_requires_exact_match(self):
+        files = make_files(40)
+        detector = DedupDetector(attributes=("size",), tolerance=0.0)
+        report = detector.brute_force(files)
+        # Random sizes: exact collisions are essentially impossible.
+        assert report.num_candidates == 0
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            DedupDetector(attributes=())
+        with pytest.raises(ValueError):
+            DedupDetector(tolerance=-1.0)
+
+
+class TestWithSmartStore:
+    def test_group_restricted_scan_finds_duplicates_cheaper(self, population_with_duplicates):
+        store = SmartStore.build(
+            population_with_duplicates, SmartStoreConfig(num_units=8, seed=0)
+        )
+        detector = DedupDetector(attributes=("size", "ctime"), tolerance=1e-9)
+        brute = detector.brute_force(population_with_duplicates)
+        smart = detector.with_smartstore(store)
+        # Far fewer comparisons...
+        assert smart.comparisons < 0.6 * brute.comparisons
+        # ...while recovering the overwhelming majority of candidate pairs.
+        assert smart.num_candidates >= 0.8 * brute.num_candidates
+        assert smart.groups_examined >= 1
+
+    def test_precision_computed_when_fingerprints_present(self, population_with_duplicates):
+        store = SmartStore.build(
+            population_with_duplicates, SmartStoreConfig(num_units=8, seed=0)
+        )
+        detector = DedupDetector(attributes=("size", "ctime"), tolerance=1e-9)
+        report = detector.with_smartstore(store)
+        assert report.true_duplicate_pairs is not None
+        assert report.precision is None or 0.0 <= report.precision <= 1.0
+
+    def test_precision_none_without_fingerprints(self):
+        files = make_files(30)
+        detector = DedupDetector()
+        report = detector.brute_force(files)
+        assert report.true_duplicate_pairs is None
+        assert report.precision is None

@@ -1,0 +1,77 @@
+"""Tests for the centralised non-semantic R-tree baseline."""
+
+import pytest
+
+from repro.baselines.rtree_db import RTreeBaseline
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(150, clusters=5)
+
+
+@pytest.fixture(scope="module")
+def baseline(files):
+    return RTreeBaseline(files, DEFAULT_SCHEMA)
+
+
+class TestConstruction:
+    def test_all_files_indexed(self, baseline, files):
+        assert len(baseline.tree) == len(files)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            RTreeBaseline([], DEFAULT_SCHEMA)
+
+
+class TestQueries:
+    def test_point_query(self, baseline, files):
+        assert baseline.point_query(PointQuery(files[2].filename)).found
+        assert not baseline.point_query(PointQuery("nope.bin")).found
+
+    def test_range_query_exact(self, baseline, files):
+        q = RangeQuery(("mtime", "owner"), (2000.0, 1.0), (2300.0, 1.0))
+        result = baseline.range_query(q)
+        expected = {f.file_id for f in files if f.matches_ranges(q.attributes, q.lower, q.upper)}
+        assert {f.file_id for f in result.files} == expected
+
+    def test_range_disk_accesses_charged(self, baseline):
+        result = baseline.range_query(RangeQuery(("size",), (0.0,), (1e15,)))
+        assert result.metrics.disk_index_accesses > 0
+        assert result.metrics.messages == 2
+
+    def test_topk_returns_k_sorted(self, baseline):
+        result = baseline.topk_query(TopKQuery(("size", "mtime"), (2048.0, 2100.0), k=5))
+        assert len(result.files) == 5
+        assert result.distances == sorted(result.distances)
+
+    def test_execute_dispatch(self, baseline, files):
+        assert baseline.execute(PointQuery(files[0].filename)).found
+        with pytest.raises(TypeError):
+            baseline.execute(object())
+
+
+class TestComparativeShape:
+    """The relationships the paper's evaluation relies on (§5.2)."""
+
+    def test_cheaper_than_dbms_on_range(self, files):
+        from repro.baselines.dbms import DBMSBaseline
+
+        rtree = RTreeBaseline(files, DEFAULT_SCHEMA)
+        dbms = DBMSBaseline(files, DEFAULT_SCHEMA)
+        q = RangeQuery(("mtime", "owner", "size"), (2000.0, 1.0, 0.0), (2300.0, 1.0, 1e12))
+        assert rtree.range_query(q).latency < dbms.range_query(q).latency
+
+    def test_smaller_index_than_dbms(self, files):
+        from repro.baselines.dbms import DBMSBaseline
+
+        rtree = RTreeBaseline(files, DEFAULT_SCHEMA)
+        dbms = DBMSBaseline(files, DEFAULT_SCHEMA)
+        assert rtree.index_space_bytes_per_node() < dbms.index_space_bytes_per_node()
+
+    def test_space_positive(self, baseline):
+        assert baseline.index_space_bytes() > 0

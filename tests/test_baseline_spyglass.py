@@ -1,0 +1,134 @@
+"""Tests for the Spyglass-style namespace-partitioned K-D tree baseline."""
+
+import pytest
+
+from repro.baselines.spyglass import SpyglassBaseline
+from repro.eval.recall import ground_truth_range, ground_truth_topk, recall
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.generator import QueryWorkloadGenerator
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(300, clusters=6)
+
+
+@pytest.fixture(scope="module")
+def spyglass(files):
+    return SpyglassBaseline(files, DEFAULT_SCHEMA, partition_size=60)
+
+
+class TestConstruction:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            SpyglassBaseline([], DEFAULT_SCHEMA)
+
+    def test_bad_partition_size_rejected(self, files):
+        with pytest.raises(ValueError):
+            SpyglassBaseline(files, DEFAULT_SCHEMA, partition_size=0)
+
+    def test_partitions_cover_population_exactly_once(self, spyglass, files):
+        seen = [f.file_id for p in spyglass.partitions for f in p.files]
+        assert len(seen) == len(files)
+        assert set(seen) == {f.file_id for f in files}
+
+    def test_partition_size_respected_for_subtrees(self, spyglass):
+        # Partitions formed from whole subtrees respect the budget; residual
+        # partitions (a directory's direct files) are tiny by construction.
+        for p in spyglass.partitions:
+            assert len(p) <= max(spyglass.partition_size, 1)
+
+    def test_partition_count_scales_with_budget(self, files):
+        coarse = SpyglassBaseline(files, DEFAULT_SCHEMA, partition_size=300)
+        fine = SpyglassBaseline(files, DEFAULT_SCHEMA, partition_size=30)
+        assert len(fine.partitions) >= len(coarse.partitions)
+
+    def test_repr(self, spyglass):
+        assert "SpyglassBaseline" in repr(spyglass)
+
+
+class TestPointQuery:
+    def test_existing_filename(self, spyglass, files):
+        result = spyglass.point_query(PointQuery(files[42].filename))
+        assert result.found
+        assert files[42] in result.files
+
+    def test_missing_filename(self, spyglass):
+        assert not spyglass.point_query(PointQuery("missing.bin")).found
+
+    def test_charged_in_memory(self, spyglass, files):
+        result = spyglass.point_query(PointQuery(files[0].filename))
+        assert result.metrics.disk_index_accesses == 0
+        assert result.metrics.memory_index_accesses >= len(spyglass.partitions)
+
+
+class TestRangeQuery:
+    def test_matches_ground_truth(self, spyglass, files):
+        q = RangeQuery(("mtime", "owner"), (2000.0, 1.0), (2500.0, 2.0))
+        result = spyglass.range_query(q)
+        ideal = ground_truth_range(files, q)
+        assert {f.file_id for f in result.files} == {f.file_id for f in ideal}
+
+    def test_signature_pruning_limits_scans(self, spyglass, files):
+        # A narrow window on one cluster's mtime range should not scan every partition.
+        q = RangeQuery(("mtime",), (1050.0,), (1110.0,))
+        result = spyglass.range_query(q)
+        assert result.metrics.memory_records_scanned < len(files)
+
+    def test_full_range(self, spyglass, files):
+        q = RangeQuery(("size",), (0.0,), (1e18,))
+        assert len(spyglass.range_query(q).files) == len(files)
+
+    def test_execute_dispatch(self, spyglass, files):
+        assert spyglass.execute(RangeQuery(("size",), (0.0,), (1e18,))).found
+        with pytest.raises(TypeError):
+            spyglass.execute(42)
+
+
+class TestTopKQuery:
+    def test_high_recall_vs_ground_truth(self, spyglass, files):
+        generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=3)
+        queries = generator.topk_queries(15, k=8, distribution="zipf")
+        recalls = []
+        for q in queries:
+            result = spyglass.topk_query(q)
+            assert len(result.files) == 8
+            ideal = ground_truth_topk(files, q, DEFAULT_SCHEMA)
+            recalls.append(recall(result.files, ideal))
+        assert sum(recalls) / len(recalls) >= 0.85
+
+    def test_distances_sorted(self, spyglass):
+        q = TopKQuery(("size", "mtime"), (4096.0, 2100.0), 10)
+        result = spyglass.topk_query(q)
+        assert result.distances == sorted(result.distances)
+        assert len(result.files) == 10
+
+    def test_k_larger_than_population(self, files):
+        small = SpyglassBaseline(files[:6], DEFAULT_SCHEMA, partition_size=3)
+        result = small.topk_query(TopKQuery(("size",), (1000.0,), 50))
+        assert len(result.files) == 6
+
+
+class TestSpaceAndComparison:
+    def test_space_accounting_positive(self, spyglass):
+        assert spyglass.index_space_bytes() > 0
+        assert spyglass.index_space_bytes_per_node() == spyglass.index_space_bytes()
+
+    def test_memory_resident_queries_cheaper_than_dbms(self, spyglass, files):
+        from repro.baselines.dbms import DBMSBaseline
+
+        dbms = DBMSBaseline(files, DEFAULT_SCHEMA)
+        q = RangeQuery(("mtime", "size"), (2000.0, 0.0), (2500.0, 1e9))
+        assert spyglass.range_query(q).latency < dbms.range_query(q).latency
+
+    def test_agrees_with_rtree_baseline(self, spyglass, files):
+        from repro.baselines.rtree_db import RTreeBaseline
+
+        rtree = RTreeBaseline(files, DEFAULT_SCHEMA)
+        q = RangeQuery(("read_bytes",), (0.0,), (5e5,))
+        a = {f.file_id for f in spyglass.range_query(q).files}
+        b = {f.file_id for f in rtree.range_query(q).files}
+        assert a == b

@@ -1,0 +1,129 @@
+"""Tests for the B+-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.btree.bplustree import BPlusTree
+
+
+def build(keys, order=8):
+    tree = BPlusTree(order=order)
+    for i, k in enumerate(keys):
+        tree.insert(float(k), i)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def random_keys():
+    return np.random.default_rng(17).random(500) * 1000
+
+
+class TestConstruction:
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(5.0) == []
+        assert tree.range_search(0, 10) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_size_tracks_inserts(self, random_keys):
+        tree = build(random_keys)
+        assert len(tree) == len(random_keys)
+
+    def test_height_logarithmic(self, random_keys):
+        tree = build(random_keys, order=16)
+        assert tree.height <= 4
+
+    def test_node_count_positive(self, random_keys):
+        assert build(random_keys).node_count() > 1
+
+
+class TestSearch:
+    def test_point_search(self, random_keys):
+        tree = build(random_keys)
+        for i in (0, 100, 499):
+            assert i in tree.search(float(random_keys[i]))
+
+    def test_missing_key(self, random_keys):
+        tree = build(random_keys)
+        assert tree.search(-1.0) == []
+
+    def test_duplicates_all_returned(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(7.0, i)
+        tree.insert(8.0, 99)
+        assert sorted(tree.search(7.0)) == list(range(20))
+
+    def test_items_sorted(self, random_keys):
+        tree = build(random_keys)
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == len(random_keys)
+
+    def test_min_max_keys(self, random_keys):
+        tree = build(random_keys)
+        assert tree.min_key() == pytest.approx(random_keys.min())
+        assert tree.max_key() == pytest.approx(random_keys.max())
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self, random_keys):
+        tree = build(random_keys)
+        rng = np.random.default_rng(23)
+        for _ in range(20):
+            lo = float(rng.random() * 900)
+            hi = lo + float(rng.random() * 200)
+            got = sorted(v for _, v in tree.range_search(lo, hi))
+            expected = sorted(int(i) for i in np.nonzero((random_keys >= lo) & (random_keys <= hi))[0])
+            assert got == expected
+
+    def test_inverted_range_empty(self, random_keys):
+        tree = build(random_keys)
+        assert tree.range_search(10, 5) == []
+
+    def test_results_in_key_order(self, random_keys):
+        tree = build(random_keys)
+        pairs = tree.range_search(100, 600)
+        keys = [k for k, _ in pairs]
+        assert keys == sorted(keys)
+
+    def test_count_in_range(self, random_keys):
+        tree = build(random_keys)
+        assert tree.count_in_range(-1, 2000) == len(random_keys)
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        tree = build([1, 2, 3, 4, 5])
+        assert tree.delete(3.0, 2) is True
+        assert len(tree) == 4
+        assert tree.search(3.0) == []
+
+    def test_delete_missing(self):
+        tree = build([1, 2, 3])
+        assert tree.delete(9.0, 0) is False
+        assert tree.delete(1.0, 999) is False
+
+    def test_delete_one_duplicate_keeps_others(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5.0, "a")
+        tree.insert(5.0, "b")
+        assert tree.delete(5.0, "a")
+        assert tree.search(5.0) == ["b"]
+
+
+class TestAccessCounter:
+    def test_counter_counts_node_visits(self):
+        counter = {"n": 0}
+        tree = BPlusTree(order=4, access_counter=lambda: counter.__setitem__("n", counter["n"] + 1))
+        for i in range(100):
+            tree.insert(float(i), i)
+        before = counter["n"]
+        tree.range_search(10, 90)
+        assert counter["n"] > before

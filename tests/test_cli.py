@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (
+    EXPERIMENT_INDEX,
+    _parse_range_terms,
+    _parse_topk_terms,
+    build_parser,
+    main,
+)
+from repro.persistence import load_snapshot, load_trace, save_files
+
+from helpers import make_files
+
+
+class TestParsers:
+    def test_range_terms(self):
+        q = _parse_range_terms(["size=10:20", "mtime=0:100"])
+        assert q.attributes == ("size", "mtime")
+        assert q.lower == (10.0, 0.0)
+        assert q.upper == (20.0, 100.0)
+
+    def test_range_terms_invalid(self):
+        with pytest.raises(ValueError):
+            _parse_range_terms(["size=10"])
+        with pytest.raises(ValueError):
+            _parse_range_terms(["size"])
+
+    def test_topk_terms(self):
+        q = _parse_topk_terms(["size=300", "mtime=50"], k=6)
+        assert q.attributes == ("size", "mtime")
+        assert q.values == (300.0, 50.0)
+        assert q.k == 6
+
+    def test_topk_terms_invalid(self):
+        with pytest.raises(ValueError):
+            _parse_topk_terms(["size"], k=3)
+
+    def test_build_parser_has_all_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiments"])
+        assert args.command == "experiments"
+
+
+class TestTraceCommand:
+    def test_trace_summary_printed(self, capsys):
+        assert main(["trace", "--profile", "generic", "--scale", "0.05", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out.lower()
+        assert "total_requests" in out
+
+    def test_trace_saved(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        pop_file = tmp_path / "pop.jsonl"
+        code = main([
+            "trace", "--profile", "generic", "--scale", "0.05", "--seed", "2",
+            "--output", str(out_file), "--population-output", str(pop_file),
+        ])
+        assert code == 0
+        trace = load_trace(out_file)
+        assert len(trace.files) > 0
+        assert pop_file.exists()
+
+    def test_trace_with_tif(self, capsys):
+        assert main(["trace", "--profile", "generic", "--scale", "0.05", "--tif", "3"]) == 0
+        assert "TIF=3" in capsys.readouterr().out
+
+
+class TestBuildCommand:
+    def test_build_from_profile(self, capsys, tmp_path):
+        snap_path = tmp_path / "snap.json"
+        code = main([
+            "build", "--profile", "generic", "--scale", "0.05", "--units", "6",
+            "--snapshot", str(snap_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "num_units" in out
+        snapshot = load_snapshot(snap_path)
+        assert snapshot.num_units == 6
+
+    def test_build_from_saved_population(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(80, clusters=4), pop)
+        assert main(["build", "--input", str(pop), "--units", "5"]) == 0
+        assert "num_files" in capsys.readouterr().out
+
+    def test_build_missing_input_file(self, capsys):
+        assert main(["build", "--input", "/no/such/file.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def population(self, tmp_path):
+        path = tmp_path / "pop.jsonl"
+        save_files(make_files(120, clusters=4), path)
+        return str(path)
+
+    def test_point_query(self, population, capsys):
+        files = make_files(120, clusters=4)
+        code = main([
+            "query", "--input", population, "--units", "6", "point", files[0].filename,
+        ])
+        assert code == 0
+        assert "point query" in capsys.readouterr().out
+
+    def test_range_query(self, population, capsys):
+        code = main([
+            "query", "--input", population, "--units", "6",
+            "range", "size=0:1e9", "owner=0:1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range query" in out
+        assert "latency" in out
+
+    def test_topk_query(self, population, capsys):
+        code = main([
+            "query", "--input", population, "--units", "6", "-k", "5",
+            "topk", "size=4096", "mtime=2100",
+        ])
+        assert code == 0
+        assert "5" in capsys.readouterr().out
+
+    def test_bad_range_term_is_an_error(self, population, capsys):
+        code = main(["query", "--input", population, "range", "size"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_compare_prints_all_systems(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(100, clusters=4), pop)
+        code = main([
+            "compare", "--input", str(pop), "--units", "5", "--queries", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("SmartStore", "R-tree", "DBMS", "Directory tree", "Spyglass"):
+            assert name in out
+
+
+class TestExperimentsCommand:
+    def test_lists_every_bench_module(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for module in EXPERIMENT_INDEX:
+            assert module in out

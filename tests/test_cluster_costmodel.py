@@ -1,0 +1,37 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_defaults_reflect_memory_vs_disk_gap(self):
+        cm = DEFAULT_COST_MODEL
+        # The disk/memory gap is what produces the paper's latency gap; it
+        # must be several orders of magnitude.
+        assert cm.disk_index_access / cm.memory_index_access > 1000
+        assert cm.disk_record_scan > cm.memory_record_scan
+
+    def test_network_slower_than_memory(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.network_hop_latency > cm.memory_index_access
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(network_hop_latency=-1.0)
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(metadata_record_bytes=0)
+        with pytest.raises(ValueError):
+            CostModel(index_entry_bytes=-5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.network_hop_latency = 1.0  # type: ignore
+
+    def test_custom_model(self):
+        cm = CostModel(network_hop_latency=1e-3, disk_index_access=1e-2)
+        assert cm.network_hop_latency == 1e-3
+        assert cm.disk_index_access == 1e-2

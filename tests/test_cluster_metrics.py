@@ -1,0 +1,123 @@
+"""Tests for the event counters."""
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.cluster.metrics import Metrics
+
+
+class TestRecording:
+    def test_initial_state_zero(self):
+        m = Metrics()
+        assert m.messages == 0
+        assert m.latency() == 0.0
+        assert m.as_dict()["units_visited"] == 0
+
+    def test_record_message(self):
+        m = Metrics()
+        m.record_message()
+        m.record_message(3)
+        assert m.messages == 4
+        assert m.hops == 4
+
+    def test_negative_message_count_rejected(self):
+        with pytest.raises(ValueError):
+            Metrics().record_message(-1)
+
+    def test_record_unit_visit_deduplicates(self):
+        m = Metrics()
+        m.record_unit_visit(3)
+        m.record_unit_visit(3)
+        m.record_unit_visit(5)
+        assert len(m.units_visited) == 2
+
+    def test_record_index_access_memory_vs_disk(self):
+        m = Metrics()
+        m.record_index_access(2)
+        m.record_index_access(3, on_disk=True)
+        assert m.memory_index_accesses == 2
+        assert m.disk_index_accesses == 3
+
+    def test_record_scan(self):
+        m = Metrics()
+        m.record_scan(10)
+        m.record_scan(5, on_disk=True)
+        assert m.memory_records_scanned == 10
+        assert m.disk_records_scanned == 5
+
+    def test_bloom_probe_counts_as_memory_access(self):
+        m = Metrics()
+        m.record_bloom_probe(4)
+        assert m.bloom_probes == 4
+        assert m.memory_index_accesses == 4
+
+
+class TestAggregation:
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.record_message(2)
+        a.record_unit_visit(1)
+        b.record_message(3)
+        b.record_unit_visit(2)
+        b.record_scan(7)
+        a.merge(b)
+        assert a.messages == 5
+        assert a.units_visited == {1, 2}
+        assert a.memory_records_scanned == 7
+
+    def test_copy_is_independent(self):
+        a = Metrics()
+        a.record_message()
+        b = a.copy()
+        b.record_message()
+        assert a.messages == 1 and b.messages == 2
+
+    def test_reset(self):
+        m = Metrics()
+        m.record_message(5)
+        m.record_scan(3, on_disk=True)
+        m.reset()
+        assert m.messages == 0
+        assert m.disk_records_scanned == 0
+        assert m.latency() == 0.0
+
+
+class TestLatency:
+    def test_latency_formula(self):
+        cm = CostModel()
+        m = Metrics()
+        m.record_message(2)
+        m.record_index_access(3)
+        m.record_index_access(1, on_disk=True)
+        m.record_scan(10)
+        m.record_scan(4, on_disk=True)
+        expected = (
+            2 * cm.network_hop_latency
+            + 3 * cm.memory_index_access
+            + 1 * cm.disk_index_access
+            + 10 * cm.memory_record_scan
+            + 4 * cm.disk_record_scan
+        )
+        assert m.latency(cm) == pytest.approx(expected)
+
+    def test_latency_monotone_in_events(self):
+        m = Metrics()
+        before = m.latency()
+        m.record_message()
+        assert m.latency() > before
+
+    def test_disk_dominates_memory(self):
+        disk = Metrics()
+        disk.record_index_access(10, on_disk=True)
+        mem = Metrics()
+        mem.record_index_access(10)
+        assert disk.latency() > 100 * mem.latency()
+
+    def test_as_dict_keys(self):
+        d = Metrics().as_dict()
+        assert {"messages", "units_visited", "memory_index_accesses",
+                "disk_index_accesses", "memory_records_scanned",
+                "disk_records_scanned", "bloom_probes"} == set(d.keys())
+
+    def test_repr(self):
+        assert "Metrics(" in repr(Metrics())

@@ -1,0 +1,42 @@
+"""Tests for the network message accounting."""
+
+from repro.cluster.metrics import Metrics
+from repro.cluster.network import Network
+
+
+class TestNetwork:
+    def test_send_counts_one_message(self):
+        net = Network()
+        net.send(0, 1)
+        assert net.metrics.messages == 1
+
+    def test_self_send_is_free(self):
+        net = Network()
+        net.send(3, 3)
+        assert net.metrics.messages == 0
+
+    def test_response_costs_like_request(self):
+        net = Network()
+        net.send_response(1, 0)
+        assert net.metrics.messages == 1
+
+    def test_multicast_counts_distinct_destinations(self):
+        net = Network()
+        sent = net.multicast(0, [1, 2, 3, 2, 0])
+        assert sent == 3
+        assert net.metrics.messages == 3
+
+    def test_multicast_excludes_source(self):
+        net = Network()
+        assert net.multicast(5, [5, 5]) == 0
+
+    def test_gather(self):
+        net = Network()
+        assert net.gather([1, 2, 3], dst=3) == 2
+        assert net.metrics.messages == 2
+
+    def test_shared_metrics_object(self):
+        metrics = Metrics()
+        net = Network(metrics)
+        net.send(0, 1)
+        assert metrics.messages == 1

@@ -1,0 +1,117 @@
+"""Tests for the automatic multi-tree configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoconfig import AutoConfigurator
+from repro.core.semantic_rtree import SemanticRTree, StorageUnitDescriptor
+from repro.metadata.attributes import AttributeSchema, AttributeSpec
+from repro.rtree.mbr import MBR
+
+SCHEMA = AttributeSchema(
+    (
+        AttributeSpec("size", log_scale=True),
+        AttributeSpec("mtime"),
+        AttributeSpec("owner"),
+        AttributeSpec("access_count", kind="behavioural"),
+    )
+)
+
+
+def unit_matrix(num_units=16, seed=0):
+    """Per-unit centroids where different attribute subsets group differently."""
+    rng = np.random.default_rng(seed)
+    m = rng.random((num_units, SCHEMA.dimension))
+    # 'mtime' separates units into two far-apart bands; 'owner' into four.
+    m[:, 1] += (np.arange(num_units) % 2) * 10.0
+    m[:, 2] += (np.arange(num_units) % 4) * 5.0
+    return m
+
+
+def make_builder():
+    def build_tree(vectors: np.ndarray) -> SemanticRTree:
+        descriptors = []
+        for i, vec in enumerate(vectors):
+            descriptors.append(
+                StorageUnitDescriptor(
+                    unit_id=i,
+                    mbr=MBR(vec, vec + 0.1),
+                    centroid=vec,
+                    semantic_vector=vec - vectors.mean(axis=0),
+                    filenames=[],
+                    file_count=1,
+                )
+            )
+        return SemanticRTree.build(descriptors, thresholds=[0.6, 0.3], max_fanout=4)
+    return build_tree
+
+
+class TestConfiguration:
+    def test_full_tree_always_first_and_retained(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder())
+        trees = cfg.configure(max_subset_size=2)
+        assert trees[0].is_full
+        assert trees[0].attributes == SCHEMA.names
+
+    def test_examines_expected_number_of_subsets(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder())
+        cfg.configure(max_subset_size=2)
+        # C(4,1) + C(4,2) = 4 + 6
+        assert cfg.examined_subsets == 10
+
+    def test_explicit_candidate_subsets(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder())
+        cfg.configure(candidate_subsets=[("mtime",), ("owner", "mtime")])
+        assert cfg.examined_subsets == 2
+
+    def test_threshold_one_retains_only_full_tree(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=1.0)
+        trees = cfg.configure(max_subset_size=2)
+        assert len(trees) == 1
+
+    def test_threshold_zero_retains_any_differing_tree(self):
+        lax = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=0.0)
+        strict = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=0.9)
+        assert len(lax.configure(max_subset_size=2)) >= len(strict.configure(max_subset_size=2))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=1.5)
+
+    def test_matrix_shape_validated(self):
+        with pytest.raises(ValueError):
+            AutoConfigurator(SCHEMA, np.ones((4, 2)), make_builder())
+
+    def test_summary(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder())
+        cfg.configure(max_subset_size=2)
+        summary = cfg.summary()
+        assert summary["retained_trees"] >= 1
+        assert summary["examined_subsets"] == 10
+
+
+class TestSelection:
+    def test_select_before_configure_rejected(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder())
+        with pytest.raises(RuntimeError):
+            cfg.select_tree(("size",))
+
+    def test_exact_match_wins(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=0.0)
+        cfg.configure(max_subset_size=2)
+        retained = [t for t in cfg.trees if not t.is_full]
+        if retained:
+            target = retained[0]
+            chosen = cfg.select_tree(target.attributes)
+            assert chosen.attributes == target.attributes
+
+    def test_unmatched_query_falls_back_sensibly(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=1.0)
+        cfg.configure(max_subset_size=2)
+        chosen = cfg.select_tree(("size", "mtime"))
+        assert chosen.is_full
+
+    def test_full_query_selects_full_tree(self):
+        cfg = AutoConfigurator(SCHEMA, unit_matrix(), make_builder(), difference_threshold=0.0)
+        cfg.configure(max_subset_size=2)
+        assert cfg.select_tree(SCHEMA.names).is_full

@@ -1,0 +1,171 @@
+"""Tests for semantic grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import (
+    build_group_levels,
+    group_by_correlation,
+    grouping_quality,
+    optimal_threshold,
+    partition_files,
+)
+from repro.metadata.attributes import DEFAULT_SCHEMA
+
+from helpers import make_files
+
+
+def cluster_vectors(n_clusters=4, per=6, seed=0):
+    """Well-separated unit-ish vectors for grouping tests."""
+    rng = np.random.default_rng(seed)
+    directions = rng.normal(size=(n_clusters, 5))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    vectors = []
+    for c in range(n_clusters):
+        vectors.append(directions[c] + rng.normal(0, 0.05, size=(per, 5)))
+    return np.vstack(vectors)
+
+
+class TestPartitionFiles:
+    def test_labels_cover_all_files(self):
+        files = make_files(60)
+        part = partition_files(files, 6, DEFAULT_SCHEMA, seed=0)
+        assert part.labels.shape == (60,)
+        assert part.n_groups <= 6
+        assert part.semantic_vectors.shape[0] == 60
+
+    def test_num_units_clamped_to_population(self):
+        files = make_files(5)
+        part = partition_files(files, 50, DEFAULT_SCHEMA, seed=0)
+        assert part.n_groups <= 5
+
+    def test_single_unit(self):
+        files = make_files(20)
+        part = partition_files(files, 1, DEFAULT_SCHEMA)
+        assert set(part.labels.tolist()) == {0}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            partition_files([], 4, DEFAULT_SCHEMA)
+
+    def test_groups_respect_clusters(self):
+        # Files from the same synthetic cluster should mostly share units.
+        files = make_files(80, clusters=4)
+        part = partition_files(files, 8, DEFAULT_SCHEMA, seed=1)
+        clusters = np.array([f.extra["cluster"] for f in files])
+        purity = []
+        for unit in range(part.n_groups):
+            members = clusters[part.labels == unit]
+            if len(members):
+                purity.append(np.bincount(members).max() / len(members))
+        assert np.mean(purity) > 0.8
+
+    def test_quality_and_bounds_exposed(self):
+        part = partition_files(make_files(40), 4, DEFAULT_SCHEMA)
+        assert part.quality >= 0.0
+        assert part.norm_lower.shape == (DEFAULT_SCHEMA.dimension,)
+        assert part.center.shape == (DEFAULT_SCHEMA.dimension,)
+
+
+class TestGroupByCorrelation:
+    def test_no_items(self):
+        assert group_by_correlation(np.empty((0, 3)), 0.5) == []
+
+    def test_single_item(self):
+        assert group_by_correlation(np.ones((1, 3)), 0.5) == [[0]]
+
+    def test_all_items_preserved(self):
+        vectors = cluster_vectors()
+        groups = group_by_correlation(vectors, 0.5)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(vectors.shape[0]))
+
+    def test_recovers_clusters_at_moderate_threshold(self):
+        vectors = cluster_vectors(n_clusters=4, per=5, seed=1)
+        groups = group_by_correlation(vectors, 0.8, max_group_size=8)
+        # Each group must be cluster-pure (never mixes two separated clusters).
+        for g in groups:
+            clusters = {i // 5 for i in g}
+            assert len(clusters) == 1
+
+    def test_threshold_one_keeps_singletons(self):
+        vectors = cluster_vectors()
+        groups = group_by_correlation(vectors, 1.0)
+        assert len(groups) == vectors.shape[0]
+
+    def test_max_group_size_respected(self):
+        vectors = np.tile(np.array([1.0, 0.0]), (20, 1))
+        groups = group_by_correlation(vectors, 0.5, max_group_size=4)
+        assert all(len(g) <= 4 for g in groups)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            group_by_correlation(np.ones((3, 2)), 1.5)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_by_correlation(np.ones((3, 2)), 0.5, max_group_size=0)
+
+
+class TestBuildGroupLevels:
+    def test_reaches_single_root(self):
+        vectors = cluster_vectors()
+        levels = build_group_levels(vectors, thresholds=[0.8, 0.5], max_fanout=8)
+        assert len(levels[-1]) == 1
+        assert len(levels[0]) == vectors.shape[0]
+
+    def test_level_zero_is_singletons(self):
+        vectors = cluster_vectors(n_clusters=2, per=3)
+        levels = build_group_levels(vectors, thresholds=[0.5], max_fanout=4)
+        assert all(len(g) == 1 for g in levels[0])
+
+    def test_identical_vectors_terminate(self):
+        vectors = np.ones((10, 3))
+        levels = build_group_levels(vectors, thresholds=[0.9], max_fanout=4)
+        assert len(levels[-1]) == 1
+
+    def test_requires_threshold(self):
+        with pytest.raises(ValueError):
+            build_group_levels(np.ones((3, 2)), thresholds=[], max_fanout=4)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            build_group_levels(np.empty((0, 2)), thresholds=[0.5])
+
+    def test_fanout_bound_respected(self):
+        vectors = cluster_vectors(n_clusters=3, per=10, seed=2)
+        levels = build_group_levels(vectors, thresholds=[0.3], max_fanout=5)
+        for level in levels[1:]:
+            assert all(len(g) <= 5 for g in level)
+
+
+class TestQualityAndThreshold:
+    def test_quality_zero_for_singleton_groups(self):
+        points = np.random.default_rng(0).random((10, 3))
+        labels = np.arange(10)
+        assert grouping_quality(points, labels) == pytest.approx(0.0)
+
+    def test_quality_positive_for_one_group(self):
+        points = np.random.default_rng(1).random((10, 3))
+        assert grouping_quality(points, np.zeros(10, dtype=int)) > 0
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouping_quality(np.ones((5, 2)), np.zeros(4))
+
+    def test_good_grouping_beats_random_grouping(self):
+        vectors = cluster_vectors(n_clusters=4, per=10, seed=3)
+        true_labels = np.repeat(np.arange(4), 10)
+        rng = np.random.default_rng(0)
+        random_labels = rng.permutation(true_labels)
+        assert grouping_quality(vectors, true_labels) < grouping_quality(vectors, random_labels)
+
+    def test_optimal_threshold_in_range(self):
+        vectors = cluster_vectors()
+        threshold, quality = optimal_threshold(vectors, max_fanout=8)
+        assert 0.0 <= threshold <= 1.0
+        assert quality >= 0.0
+
+    def test_optimal_threshold_tiny_input(self):
+        threshold, quality = optimal_threshold(np.ones((1, 3)))
+        assert threshold == 1.0 and quality == 0.0

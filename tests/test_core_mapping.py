@@ -1,0 +1,83 @@
+"""Tests for index-unit mapping and root multi-mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import hosting_plan, map_index_units, multi_map_root
+from repro.core.semantic_rtree import SemanticRTree
+
+from test_core_semantic_rtree import make_descriptors
+
+
+@pytest.fixture()
+def tree():
+    return SemanticRTree.build(make_descriptors(12), thresholds=[0.8, 0.5, 0.2], max_fanout=4)
+
+
+class TestMapIndexUnits:
+    def test_every_index_unit_assigned(self, tree):
+        assignment = map_index_units(tree, np.random.default_rng(0))
+        for node in tree.index_units():
+            assert node.hosted_on is not None
+            assert assignment[node.node_id] == node.hosted_on
+
+    def test_leaves_host_themselves(self, tree):
+        map_index_units(tree, np.random.default_rng(0))
+        for unit_id, leaf in tree.leaves.items():
+            assert leaf.hosted_on == unit_id
+
+    def test_hosts_are_valid_storage_units(self, tree):
+        map_index_units(tree, np.random.default_rng(1))
+        valid = set(tree.leaves.keys())
+        for node in tree.index_units():
+            assert node.hosted_on in valid
+
+    def test_index_units_prefer_descendant_hosts(self, tree):
+        map_index_units(tree, np.random.default_rng(2))
+        for node in tree.index_units():
+            assert node.hosted_on in node.descendant_unit_ids() or True  # fallback allowed
+        # First-level groups must host within their own subtree (they always
+        # have unlabelled descendants available).
+        for group in tree.first_level_groups():
+            assert group.hosted_on in group.descendant_unit_ids()
+
+    def test_no_double_hosting_when_enough_units(self, tree):
+        map_index_units(tree, np.random.default_rng(3))
+        hosts = [n.hosted_on for n in tree.index_units()]
+        assert len(hosts) == len(set(hosts))
+
+    def test_deterministic_given_rng(self, tree):
+        a = map_index_units(tree, np.random.default_rng(7))
+        tree2 = SemanticRTree.build(make_descriptors(12), thresholds=[0.8, 0.5, 0.2], max_fanout=4)
+        b = map_index_units(tree2, np.random.default_rng(7))
+        assert a == b
+
+
+class TestRootMultiMapping:
+    def test_replicas_cover_other_subtrees(self, tree):
+        map_index_units(tree, np.random.default_rng(0))
+        replicas = multi_map_root(tree, np.random.default_rng(0))
+        assert replicas == tree.root.replica_hosts
+        # One replica host per first-level subtree (minus the primary's own).
+        assert len(replicas) >= len(tree.first_level_groups()) - 1 - 1
+
+    def test_replica_hosts_are_distinct(self, tree):
+        map_index_units(tree, np.random.default_rng(1))
+        replicas = multi_map_root(tree, np.random.default_rng(1))
+        assert len(replicas) == len(set(replicas))
+        assert tree.root.hosted_on not in replicas
+
+
+class TestHostingPlan:
+    def test_plan_lists_every_index_unit_once(self, tree):
+        map_index_units(tree, np.random.default_rng(0))
+        multi_map_root(tree, np.random.default_rng(0))
+        plan = hosting_plan(tree)
+        hosted = [node_id for nodes in plan.values() for node_id in nodes]
+        for node in tree.index_units():
+            assert hosted.count(node.node_id) >= 1
+
+    def test_plan_keys_are_units(self, tree):
+        map_index_units(tree, np.random.default_rng(0))
+        plan = hosting_plan(tree)
+        assert set(plan.keys()) == set(tree.leaves.keys())

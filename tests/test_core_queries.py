@@ -1,0 +1,173 @@
+"""Tests for the query engines (point / range / top-k, on-line and off-line)."""
+
+import numpy as np
+import pytest
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.recall import ground_truth_range, ground_truth_topk, recall
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(120, clusters=4)
+
+
+@pytest.fixture(scope="module")
+def store(files):
+    return SmartStore.build(files, SmartStoreConfig(num_units=12, seed=0))
+
+
+@pytest.fixture(scope="module")
+def online_store(files):
+    return SmartStore.build(files, SmartStoreConfig(num_units=12, seed=0, mode="online"))
+
+
+class TestPointQuery:
+    def test_existing_file_found(self, store, files):
+        result = store.point_query(files[10].filename)
+        assert result.found
+        assert any(f.file_id == files[10].file_id for f in result.files)
+
+    def test_missing_file_not_found(self, store):
+        result = store.point_query("definitely-not-there.bin")
+        assert not result.found
+
+    def test_query_object_accepted(self, store, files):
+        result = store.point_query(PointQuery(files[3].filename))
+        assert result.found
+
+    def test_metrics_recorded(self, store, files):
+        result = store.point_query(files[0].filename)
+        assert result.metrics.bloom_probes > 0
+        assert result.latency > 0
+        assert result.hops >= 0
+
+    def test_hit_rate_over_population(self, store, files):
+        hits = sum(1 for f in files[:60] if store.point_query(f.filename).found)
+        assert hits / 60 > 0.95
+
+
+class TestRangeQuery:
+    def test_results_satisfy_predicate(self, store, files):
+        q = RangeQuery(("mtime",), (1000.0,), (1200.0,))
+        result = store.range_query(q)
+        for f in result.files:
+            assert 1000.0 <= f.attributes["mtime"] <= 1200.0
+
+    def test_matches_ground_truth_on_clustered_window(self, store, files):
+        # Cluster 1 lives around mtime ~2060; the window covers it entirely.
+        q = RangeQuery(("mtime", "owner"), (2000.0, 1.0), (2300.0, 1.0))
+        result = store.range_query(q)
+        ideal = ground_truth_range(files, q)
+        assert recall(result.files, ideal) == pytest.approx(1.0)
+
+    def test_convenience_signature(self, store):
+        result = store.range_query(("size",), (0.0,), (1e12,))
+        assert result.found
+
+    def test_missing_bounds_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.range_query(("size",))
+
+    def test_empty_window(self, store):
+        result = store.range_query(("mtime",), (1e8,), (2e8,))
+        assert result.files == []
+        assert not result.found
+
+    def test_no_duplicate_results(self, store):
+        result = store.range_query(("size",), (0.0,), (1e12,))
+        ids = [f.file_id for f in result.files]
+        assert len(ids) == len(set(ids))
+
+    def test_hops_bounded_by_search_breadth(self, store):
+        result = store.range_query(("size",), (0.0,), (1e12,))
+        assert result.hops <= store.config.search_breadth - 1
+
+    def test_groups_visited_at_least_one(self, store):
+        result = store.range_query(("mtime",), (1e8,), (2e8,))
+        assert result.groups_visited >= 1
+
+
+class TestTopKQuery:
+    def test_returns_k_results_sorted(self, store, files):
+        q = TopKQuery(("size", "mtime"), (files[5].attributes["size"], files[5].attributes["mtime"]), k=6)
+        result = store.topk_query(q)
+        assert len(result.files) == 6
+        assert result.distances == sorted(result.distances)
+
+    def test_matches_ground_truth(self, store, files):
+        anchors = files[::17]
+        for anchor in anchors:
+            q = TopKQuery(
+                ("size", "mtime"),
+                (anchor.attributes["size"], anchor.attributes["mtime"]),
+                k=5,
+            )
+            result = store.topk_query(q)
+            ideal = ground_truth_topk(
+                files, q, raw_lower=store.index_lower, raw_upper=store.index_upper
+            )
+            assert recall(result.files, ideal) >= 0.8
+
+    def test_anchor_file_is_nearest(self, store, files):
+        anchor = files[20]
+        q = TopKQuery(
+            ("size", "mtime", "owner"),
+            (anchor.attributes["size"], anchor.attributes["mtime"], anchor.attributes["owner"]),
+            k=1,
+        )
+        result = store.topk_query(q)
+        assert result.distances[0] < 0.05
+
+    def test_k_larger_than_population(self, store, files):
+        q = TopKQuery(("size",), (1000.0,), k=10_000)
+        result = store.topk_query(q)
+        assert len(result.files) == len(files)
+
+    def test_convenience_signature(self, store):
+        result = store.topk_query(("size",), (2048.0,), k=3)
+        assert len(result.files) == 3
+
+    def test_missing_values_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.topk_query(("size",))
+
+    def test_no_duplicates(self, store):
+        result = store.topk_query(("size",), (4096.0,), k=20)
+        ids = [f.file_id for f in result.files]
+        assert len(ids) == len(set(ids))
+
+
+class TestOnlineVsOffline:
+    def test_online_uses_more_messages(self, store, online_store):
+        q = RangeQuery(("mtime",), (2000.0,), (2300.0,))
+        off = store.range_query(q)
+        on = online_store.range_query(q)
+        assert on.metrics.messages > off.metrics.messages
+
+    def test_both_modes_agree_on_results(self, store, online_store, files):
+        q = RangeQuery(("mtime", "owner"), (2000.0, 1.0), (2300.0, 1.0))
+        off = {f.file_id for f in store.range_query(q).files}
+        on = {f.file_id for f in online_store.range_query(q).files}
+        assert off == on
+
+    def test_online_topk_agrees(self, store, online_store, files):
+        anchor = files[7]
+        q = TopKQuery(("size", "mtime"), (anchor.attributes["size"], anchor.attributes["mtime"]), k=5)
+        off = {f.file_id for f in store.topk_query(q).files}
+        on = {f.file_id for f in online_store.topk_query(q).files}
+        assert len(off & on) >= 4
+
+
+class TestExecuteDispatch:
+    def test_dispatch(self, store, files):
+        assert store.execute(PointQuery(files[0].filename)).found
+        assert store.execute(RangeQuery(("size",), (0.0,), (1e12,))).found
+        assert store.execute(TopKQuery(("size",), (100.0,), k=2)).found
+
+    def test_unknown_type_rejected(self, store):
+        with pytest.raises(TypeError):
+            store.execute("not a query")

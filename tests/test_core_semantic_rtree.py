@@ -1,0 +1,162 @@
+"""Tests for the semantic R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.metrics import Metrics
+from repro.core.semantic_rtree import SemanticRTree, StorageUnitDescriptor
+from repro.rtree.mbr import MBR
+
+
+def make_descriptors(n_units=12, seed=0, dim=4):
+    """Descriptors forming 3 obvious clusters in both MBR and semantic space."""
+    rng = np.random.default_rng(seed)
+    descriptors = []
+    for i in range(n_units):
+        cluster = i % 3
+        center = np.full(dim, 10.0 * cluster)
+        lower = center + rng.random(dim)
+        upper = lower + 1.0
+        sem = np.zeros(3)
+        sem[cluster] = 1.0
+        sem += rng.normal(0, 0.05, size=3)
+        descriptors.append(
+            StorageUnitDescriptor(
+                unit_id=i,
+                mbr=MBR(lower, upper),
+                centroid=(lower + upper) / 2,
+                semantic_vector=sem,
+                filenames=[f"u{i}-f{j}.dat" for j in range(5)],
+                file_count=5,
+            )
+        )
+    return descriptors
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return SemanticRTree.build(make_descriptors(), thresholds=[0.8, 0.5, 0.2], max_fanout=4)
+
+
+class TestBuild:
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticRTree.build([], thresholds=[0.5])
+
+    def test_single_unit_tree(self):
+        tree = SemanticRTree.build(make_descriptors(1), thresholds=[0.5])
+        assert tree.num_storage_units == 1
+        assert tree.root.is_leaf
+        assert tree.height == 1
+
+    def test_leaves_registered(self, tree):
+        assert tree.num_storage_units == 12
+        assert set(tree.leaves.keys()) == set(range(12))
+
+    def test_root_reaches_every_unit(self, tree):
+        assert sorted(tree.root.descendant_unit_ids()) == list(range(12))
+
+    def test_first_level_groups_partition_leaves(self, tree):
+        groups = tree.first_level_groups()
+        covered = [u for g in groups for u in g.descendant_unit_ids()]
+        assert sorted(covered) == list(range(12))
+        assert len(covered) == len(set(covered))
+
+    def test_group_of_unit_consistent(self, tree):
+        for unit_id in range(12):
+            group = tree.group_of_unit(unit_id)
+            assert unit_id in group.descendant_unit_ids()
+
+    def test_semantic_grouping_respects_clusters(self, tree):
+        # Units of the same synthetic cluster (i % 3) should share groups.
+        for group in tree.first_level_groups():
+            clusters = {u % 3 for u in group.descendant_unit_ids()}
+            assert len(clusters) == 1
+
+    def test_index_units_counted(self, tree):
+        assert tree.num_index_units == len(tree.index_units())
+        assert tree.num_index_units >= 3
+
+    def test_fanout_bound(self, tree):
+        for node in tree.nodes:
+            if not node.is_leaf:
+                assert len(node.children) <= tree.max_fanout
+
+    def test_parent_mbr_covers_children(self, tree):
+        for node in tree.nodes:
+            if node.is_leaf or node.mbr is None:
+                continue
+            for child in node.children:
+                if child.mbr is not None:
+                    assert node.mbr.contains(child.mbr)
+
+    def test_parent_bloom_covers_children_filenames(self, tree):
+        for leaf in tree.leaves.values():
+            node = leaf.parent
+            while node is not None:
+                for j in range(5):
+                    assert node.bloom.contains(f"u{leaf.unit_id}-f{j}.dat")
+                node = node.parent
+
+    def test_file_counts_aggregate(self, tree):
+        assert tree.root.file_count == 12 * 5
+
+    def test_height_consistent(self, tree):
+        assert tree.height >= 2
+
+
+class TestTraversal:
+    def test_leaves_for_range_prunes(self, tree):
+        metrics = Metrics()
+        # A window covering only cluster 0's MBRs (values around 10-12).
+        hits = tree.leaves_for_range([0, 1], [9.0, 9.0], [12.0, 12.0], metrics)
+        assert hits
+        assert all(leaf.unit_id % 3 == 1 for leaf in hits)
+        assert metrics.memory_index_accesses > 0
+
+    def test_leaves_for_range_empty_region(self, tree):
+        hits = tree.leaves_for_range([0], [100.0], [200.0])
+        assert hits == []
+
+    def test_groups_for_range(self, tree):
+        groups = tree.groups_for_range([0], [0.0], [3.0])
+        assert groups
+        for g in groups:
+            assert any(u % 3 == 0 for u in g.descendant_unit_ids())
+
+    def test_most_correlated_group(self, tree):
+        query = np.array([0.0, 1.0, 0.0])
+        group, sim = tree.most_correlated_group(query)
+        assert sim > 0.8
+        assert all(u % 3 == 1 for u in group.descendant_unit_ids())
+
+    def test_route_filename_finds_owner(self, tree):
+        metrics = Metrics()
+        hits = tree.route_filename("u7-f3.dat", metrics)
+        assert any(leaf.unit_id == 7 for leaf in hits)
+        assert metrics.bloom_probes > 0
+
+    def test_route_missing_filename_mostly_empty(self, tree):
+        empty = sum(1 for i in range(50) if not tree.route_filename(f"missing-{i}.bin"))
+        assert empty > 40
+
+
+class TestMaintenance:
+    def test_refresh_leaf_propagates_mbr(self):
+        tree = SemanticRTree.build(make_descriptors(6), thresholds=[0.8, 0.3], max_fanout=4)
+        new_mbr = MBR(np.full(4, -50.0), np.full(4, -49.0))
+        tree.refresh_leaf(0, mbr=new_mbr, file_count=9, new_filenames=["brand-new.dat"])
+        assert tree.leaves[0].file_count == 9
+        assert tree.root.mbr.contains(new_mbr)
+        assert tree.leaves[0].bloom.contains("brand-new.dat")
+
+    def test_allocate_and_forget_node(self):
+        tree = SemanticRTree.build(make_descriptors(4), thresholds=[0.5], max_fanout=4)
+        before = len(tree.nodes)
+        node = tree.allocate_node(1)
+        assert len(tree.nodes) == before + 1
+        tree.forget_node(node)
+        assert len(tree.nodes) == before
+
+    def test_index_size_bytes_positive(self, tree):
+        assert tree.index_size_bytes() > 0

@@ -1,0 +1,153 @@
+"""Tests for versioning-based consistency."""
+
+import pytest
+
+from repro.cluster.metrics import Metrics
+from repro.core.versioning import (
+    Version,
+    VersionChain,
+    VersionedChange,
+    VersioningManager,
+)
+from repro.metadata.file_metadata import FileMetadata
+
+
+def f(path, **attrs):
+    return FileMetadata(path=path, attributes={"size": 1.0, **attrs})
+
+
+def insert(path, unit=0):
+    return VersionedChange(kind="insert", file=f(path), unit_id=unit)
+
+
+def delete(path, unit=0):
+    return VersionedChange(kind="delete", file=f(path), unit_id=unit)
+
+
+class TestVersionedChange:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VersionedChange(kind="rename", file=f("/a"), unit_id=0)
+
+
+class TestVersionChain:
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            VersionChain(0, version_ratio=0)
+
+    def test_comprehensive_versioning_seals_every_change(self):
+        chain = VersionChain(0, version_ratio=1)
+        for i in range(5):
+            chain.record(insert(f"/f{i}"))
+        assert len(chain) == 5
+        assert all(v.sealed for v in chain.versions)
+
+    def test_aggregated_versioning_batches_changes(self):
+        chain = VersionChain(0, version_ratio=4)
+        for i in range(10):
+            chain.record(insert(f"/f{i}"))
+        assert len(chain) == 3          # 4 + 4 + 2 (open)
+        assert chain.total_changes() == 10
+        assert not chain.versions[-1].sealed
+
+    def test_higher_ratio_means_fewer_versions(self):
+        chains = {}
+        for ratio in (1, 5, 20):
+            chain = VersionChain(0, version_ratio=ratio)
+            for i in range(40):
+                chain.record(insert(f"/f{i}"))
+            chains[ratio] = len(chain)
+        assert chains[1] > chains[5] > chains[20]
+
+    def test_pending_files_nets_out_deletions(self):
+        chain = VersionChain(0)
+        chain.record(insert("/a"))
+        chain.record(insert("/b"))
+        chain.record(delete("/a"))
+        pending = chain.pending_files()
+        assert {p.path for p in pending} == {"/b"}
+        assert chain.deleted_file_ids() == [f("/a").file_id]
+
+    def test_pending_files_reflects_latest_modification(self):
+        chain = VersionChain(0)
+        chain.record(VersionedChange("insert", f("/a", size=1.0), 0))
+        chain.record(VersionedChange("modify", f("/a", size=99.0), 0))
+        pending = chain.pending_files()
+        assert len(pending) == 1
+        assert pending[0].attributes["size"] == 99.0
+
+    def test_rolling_backwards_order(self):
+        chain = VersionChain(0, version_ratio=2)
+        for i in range(4):
+            chain.record(insert(f"/f{i}"))
+        backwards = [c.file.path for c in chain.iter_backwards()]
+        assert backwards == ["/f3", "/f2", "/f1", "/f0"]
+
+    def test_pending_files_charges_scans(self):
+        chain = VersionChain(0)
+        for i in range(7):
+            chain.record(insert(f"/f{i}"))
+        metrics = Metrics()
+        chain.pending_files(metrics)
+        assert metrics.memory_records_scanned == 7
+
+    def test_size_bytes_grows_with_changes(self):
+        chain = VersionChain(0)
+        sizes = []
+        for i in range(5):
+            chain.record(insert(f"/f{i}"))
+            sizes.append(chain.size_bytes())
+        assert sizes == sorted(sizes)
+        assert sizes[0] > 0
+
+    def test_comprehensive_versioning_uses_more_space_than_aggregated(self):
+        a = VersionChain(0, version_ratio=1)
+        b = VersionChain(1, version_ratio=10)
+        for i in range(50):
+            a.record(insert(f"/f{i}"))
+            b.record(insert(f"/f{i}"))
+        assert a.size_bytes() > b.size_bytes()
+
+    def test_clear_returns_changes(self):
+        chain = VersionChain(0)
+        chain.record(insert("/a"))
+        chain.record(insert("/b"))
+        applied = chain.clear()
+        assert len(applied) == 2
+        assert chain.total_changes() == 0
+        assert chain.pending_files() == []
+
+
+class TestVersioningManager:
+    def test_chain_created_on_demand(self):
+        mgr = VersioningManager()
+        chain = mgr.chain_for(5)
+        assert chain.group_id == 5
+        assert mgr.chain_for(5) is chain
+
+    def test_record_and_pending(self):
+        mgr = VersioningManager()
+        mgr.record(1, insert("/a"))
+        mgr.record(2, insert("/b"))
+        assert {p.path for p in mgr.pending_files(1)} == {"/a"}
+        assert mgr.pending_files(99) == []
+        assert mgr.total_changes() == 2
+
+    def test_space_per_group(self):
+        mgr = VersioningManager()
+        for i in range(10):
+            mgr.record(1, insert(f"/f{i}"))
+        mgr.record(2, insert("/x"))
+        space = mgr.space_bytes_per_group()
+        assert space[1] > space[2] > 0
+
+    def test_clear_all(self):
+        mgr = VersioningManager()
+        mgr.record(1, insert("/a"))
+        applied = mgr.clear_all()
+        assert len(applied[1]) == 1
+        assert mgr.total_changes() == 0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            VersioningManager(version_ratio=0)

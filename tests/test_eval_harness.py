@@ -1,0 +1,130 @@
+"""Tests for the evaluation harness (workload runners, staleness experiment)."""
+
+import pytest
+
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.harness import (
+    StalenessExperiment,
+    WorkloadResult,
+    build_baselines,
+    build_smartstore,
+    hop_distribution,
+    point_query_hit_rate,
+    run_query_workload,
+)
+from repro.workloads.generator import QueryWorkloadGenerator
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(120, clusters=4)
+
+
+@pytest.fixture(scope="module")
+def store(files):
+    return build_smartstore(files, SmartStoreConfig(num_units=10, seed=0))
+
+
+@pytest.fixture(scope="module")
+def generator(files):
+    return QueryWorkloadGenerator(files, seed=1)
+
+
+class TestWorkloadResult:
+    def test_empty_result_defaults(self):
+        r = WorkloadResult()
+        assert r.num_queries == 0
+        assert r.mean_latency == 0.0
+        assert r.mean_recall == 1.0
+        assert r.hit_rate == 0.0
+        assert r.hop_histogram() == {}
+
+    def test_as_dict(self):
+        r = WorkloadResult(latencies=[1.0, 3.0], messages=[2, 4], hops=[0, 1],
+                           recalls=[0.5, 1.0], found=[True, False])
+        d = r.as_dict()
+        assert d["queries"] == 2
+        assert d["mean_latency_s"] == 2.0
+        assert d["total_messages"] == 6
+        assert d["mean_recall"] == 0.75
+        assert d["hit_rate"] == 0.5
+
+    def test_hop_histogram_fractions(self):
+        r = WorkloadResult(hops=[0, 0, 1, 2], latencies=[0] * 4, messages=[0] * 4, found=[True] * 4)
+        hist = r.hop_histogram()
+        assert hist[0] == 0.5
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+
+class TestRunners:
+    def test_run_query_workload_with_recall(self, store, generator, files):
+        queries = generator.range_queries(10, distribution="zipf", ensure_nonempty=True)
+        result = run_query_workload(store, queries, ground_truth_files=files)
+        assert result.num_queries == 10
+        assert len(result.recalls) == 10
+        assert 0.0 <= result.mean_recall <= 1.0
+        assert result.total_latency > 0
+
+    def test_run_query_workload_against_baselines(self, files, generator):
+        rtree, dbms = build_baselines(files)
+        queries = generator.topk_queries(5, k=4)
+        assert run_query_workload(rtree, queries).num_queries == 5
+        assert run_query_workload(dbms, queries).num_queries == 5
+
+    def test_hop_distribution(self, store, generator):
+        queries = generator.mixed_complex_queries(10, 10)
+        hist = hop_distribution(store, queries)
+        assert sum(hist.values()) == pytest.approx(1.0)
+        assert min(hist.keys()) >= 0
+
+    def test_point_query_hit_rate(self, store, generator):
+        queries = generator.point_queries(40, existing_fraction=0.8)
+        rate = point_query_hit_rate(store, queries)
+        assert 0.9 <= rate <= 1.0
+
+    def test_point_query_hit_rate_all_missing(self, store, generator):
+        queries = generator.point_queries(10, existing_fraction=0.0)
+        assert point_query_hit_rate(store, queries) == 1.0
+
+
+class TestStalenessExperiment:
+    def test_holdback_is_most_recent_files(self, files):
+        exp = StalenessExperiment(files, update_fraction=0.2, config=SmartStoreConfig(num_units=8, seed=0))
+        newest_initial = max(f.attributes["ctime"] for f in exp.initial_files)
+        oldest_update = min(f.attributes["ctime"] for f in exp.update_files)
+        assert oldest_update >= newest_initial
+        assert len(exp.update_files) == int(len(files) * 0.2)
+
+    def test_zero_update_fraction(self, files):
+        exp = StalenessExperiment(files, update_fraction=0.0)
+        assert exp.update_files == []
+        assert len(exp.initial_files) == len(files)
+
+    def test_invalid_fraction(self, files):
+        with pytest.raises(ValueError):
+            StalenessExperiment(files, update_fraction=1.0)
+
+    def test_versioning_improves_or_matches_recall(self, files):
+        exp = StalenessExperiment(
+            files, update_fraction=0.25, config=SmartStoreConfig(num_units=8, seed=1), seed=2
+        )
+        results = {}
+        for versioning in (False, True):
+            store = exp.build(versioning=versioning)
+            generator = QueryWorkloadGenerator(files, seed=5)
+            queries = generator.range_queries(30, distribution="zipf", ensure_nonempty=True)
+            results[versioning] = exp.run(store, queries).mean_recall
+        assert results[True] >= results[False]
+        assert results[False] < 1.0  # staleness must actually bite
+
+    def test_recall_sweep_shape(self, files):
+        exp = StalenessExperiment(
+            files, update_fraction=0.2, config=SmartStoreConfig(num_units=8, seed=1), seed=3
+        )
+        table = exp.recall_with_and_without_versioning([10, 20], query_kind="topk", k=4)
+        assert set(table.keys()) == {10, 20}
+        for row in table.values():
+            assert set(row.keys()) == {"without", "with"}
+            assert row["with"] >= row["without"] - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the recall measure and brute-force ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.eval.recall import ground_truth_range, ground_truth_topk, recall
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.types import RangeQuery, TopKQuery
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(100, clusters=4)
+
+
+class TestRecall:
+    def test_perfect_recall(self, files):
+        assert recall(files[:10], files[:10]) == 1.0
+
+    def test_partial_recall(self, files):
+        assert recall(files[:5], files[:10]) == 0.5
+
+    def test_zero_recall(self, files):
+        assert recall(files[10:20], files[:10]) == 0.0
+
+    def test_empty_ideal_set_is_one(self, files):
+        assert recall(files[:5], []) == 1.0
+
+    def test_extra_reported_files_do_not_hurt(self, files):
+        assert recall(files, files[:10]) == 1.0
+
+
+class TestGroundTruthRange:
+    def test_matches_predicate(self, files):
+        q = RangeQuery(("mtime",), (2000.0,), (2300.0,))
+        ideal = ground_truth_range(files, q)
+        assert ideal
+        for f in ideal:
+            assert 2000.0 <= f.attributes["mtime"] <= 2300.0
+        for f in files:
+            if f not in ideal:
+                assert not f.matches_ranges(q.attributes, q.lower, q.upper)
+
+    def test_empty_window(self, files):
+        q = RangeQuery(("mtime",), (9e9,), (1e10,))
+        assert ground_truth_range(files, q) == []
+
+
+class TestGroundTruthTopK:
+    def test_returns_k_files(self, files):
+        q = TopKQuery(("size", "mtime"), (4096.0, 2100.0), k=7)
+        assert len(ground_truth_topk(files, q, DEFAULT_SCHEMA)) == 7
+
+    def test_k_capped_at_population(self, files):
+        q = TopKQuery(("size",), (1.0,), k=10_000)
+        assert len(ground_truth_topk(files, q, DEFAULT_SCHEMA)) == len(files)
+
+    def test_empty_population(self):
+        q = TopKQuery(("size",), (1.0,), k=3)
+        assert ground_truth_topk([], q, DEFAULT_SCHEMA) == []
+
+    def test_anchor_is_its_own_nearest_neighbour(self, files):
+        anchor = files[17]
+        q = TopKQuery(
+            ("size", "mtime", "owner"),
+            (anchor.attributes["size"], anchor.attributes["mtime"], anchor.attributes["owner"]),
+            k=1,
+        )
+        ideal = ground_truth_topk(files, q, DEFAULT_SCHEMA)
+        assert ideal[0].file_id == anchor.file_id
+
+    def test_results_ordered_by_distance(self, files):
+        q = TopKQuery(("size", "mtime"), (8192.0, 3100.0), k=10)
+        ideal = ground_truth_topk(files, q, DEFAULT_SCHEMA)
+        sizes = np.array([np.log1p(f.attributes["size"]) for f in ideal])
+        mtimes = np.array([f.attributes["mtime"] for f in ideal])
+        all_sizes = np.log1p([f.attributes["size"] for f in files])
+        all_mtimes = [f.attributes["mtime"] for f in files]
+        lo = np.array([min(all_sizes), min(all_mtimes)])
+        hi = np.array([max(all_sizes), max(all_mtimes)])
+        span = hi - lo
+        target = (np.array([np.log1p(8192.0), 3100.0]) - lo) / span
+        pts = (np.stack([sizes, mtimes], axis=1) - lo) / span
+        dists = np.linalg.norm(pts - target, axis=1)
+        assert np.all(np.diff(dists) >= -1e-9)
+
+    def test_explicit_bounds_accepted(self, files):
+        q = TopKQuery(("size",), (4096.0,), k=5)
+        lower = np.zeros(DEFAULT_SCHEMA.dimension)
+        upper = np.full(DEFAULT_SCHEMA.dimension, 20.0)
+        ideal = ground_truth_topk(files, q, DEFAULT_SCHEMA, raw_lower=lower, raw_upper=upper)
+        assert len(ideal) == 5

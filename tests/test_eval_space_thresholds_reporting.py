@@ -1,0 +1,87 @@
+"""Tests for space comparison, threshold studies and reporting helpers."""
+
+import pytest
+
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.reporting import format_bytes, format_count, format_seconds, format_table
+from repro.eval.space import space_comparison
+from repro.eval.thresholds import optimal_threshold_per_level, optimal_threshold_vs_scale
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def files():
+    return make_files(120, clusters=4)
+
+
+class TestSpaceComparison:
+    def test_shapes_of_figure7(self, files):
+        result = space_comparison(files, SmartStoreConfig(num_units=10, seed=0))
+        assert set(result.keys()) == {"smartstore", "rtree", "dbms"}
+        for stats in result.values():
+            assert stats["per_node_mean"] > 0
+            assert stats["total"] > 0
+        # The comparison the paper draws: SmartStore's per-node footprint is
+        # far below both centralised baselines, and DBMS is the largest.
+        assert result["smartstore"]["per_node_mean"] < result["rtree"]["per_node_mean"]
+        assert result["rtree"]["per_node_mean"] < result["dbms"]["per_node_mean"]
+        assert result["smartstore"]["nodes"] > 1
+
+    def test_prebuilt_systems_accepted(self, files):
+        from repro.baselines import DBMSBaseline, RTreeBaseline
+        from repro.core.smartstore import SmartStore
+
+        config = SmartStoreConfig(num_units=8, seed=0)
+        store = SmartStore.build(files, config)
+        rtree = RTreeBaseline(files)
+        dbms = DBMSBaseline(files)
+        result = space_comparison(files, config, store=store, rtree=rtree, dbms=dbms)
+        assert result["smartstore"]["nodes"] == store.cluster.num_units
+
+
+class TestThresholdStudies:
+    def test_vs_scale_rows(self, files):
+        rows = optimal_threshold_vs_scale(files, [4, 8, 12], seed=0)
+        assert [r[0] for r in rows] == [4, 8, 12]
+        assert all(0.0 <= r[1] <= 1.0 for r in rows)
+
+    def test_per_level_rows(self, files):
+        rows = optimal_threshold_per_level(files, 12, seed=0)
+        assert rows
+        assert rows[0][0] == 1
+        levels = [r[0] for r in rows]
+        assert levels == sorted(levels)
+        assert all(0.0 <= r[1] <= 1.0 for r in rows)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 2.5]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert all(line.startswith("|") for line in lines[1:])
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_format_table_numbers(self):
+        out = format_table(["x"], [[0.000001], [12345.678], [0.25]])
+        assert "e-06" in out or "1e-06" in out
+        assert "0.25" in out
+
+    def test_format_seconds(self):
+        assert "us" in format_seconds(5e-6)
+        assert "ms" in format_seconds(5e-3)
+        assert format_seconds(2.0).endswith("s")
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert "KiB" in format_bytes(2048)
+        assert "MiB" in format_bytes(5 * 1024**2)
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+    def test_format_count(self):
+        assert format_count(950) == "950"
+        assert format_count(1500) == "1.50K"
+        assert format_count(2_500_000) == "2.50M"
+        assert format_count(7_576_000_000) == "7.58B"

@@ -1,0 +1,138 @@
+"""Tests for the K-D tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.kdtree.kdtree import KDTree
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+def _brute_range(points, lower, upper):
+    inside = np.all((points >= lower) & (points <= upper), axis=1)
+    return set(np.nonzero(inside)[0].tolist())
+
+
+def _brute_knn(points, query, k):
+    dists = np.sqrt(((points - query[None, :]) ** 2).sum(axis=1))
+    order = np.argsort(dists, kind="stable")[:k]
+    return dists[order]
+
+
+class TestConstruction:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            KDTree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            KDTree(np.ones(5))
+        with pytest.raises(ValueError):
+            KDTree(np.ones((5, 2)), leaf_size=0)
+
+    def test_basic_properties(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(200, 4))
+        tree = KDTree(points, leaf_size=8)
+        assert len(tree) == 200
+        assert tree.dimension == 4
+        assert tree.node_count >= 200 // 8
+        assert tree.height() >= 3
+        assert "KDTree" in repr(tree)
+
+    def test_identical_points_become_one_leaf(self):
+        points = np.ones((50, 3))
+        tree = KDTree(points, leaf_size=4)
+        assert tree.height() == 1
+        assert len(tree.range_search([1, 1, 1], [1, 1, 1])) == 50
+
+    def test_access_counter_called(self):
+        counts = []
+        tree = KDTree(np.random.default_rng(1).normal(size=(100, 2)), leaf_size=4,
+                      access_counter=lambda c=1: counts.append(c))
+        tree.range_search([-10, -10], [10, 10])
+        assert counts  # every visited node was charged
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 100, size=(500, 3))
+        tree = KDTree(points, leaf_size=10)
+        for _ in range(20):
+            lower = rng.uniform(0, 80, size=3)
+            upper = lower + rng.uniform(0, 40, size=3)
+            got = set(tree.range_search(lower, upper))
+            assert got == _brute_range(points, lower, upper)
+
+    def test_empty_box(self):
+        points = np.random.default_rng(4).uniform(0, 1, size=(100, 2))
+        tree = KDTree(points)
+        assert tree.range_search([5, 5], [6, 6]) == []
+
+    def test_full_box_returns_everything(self):
+        points = np.random.default_rng(5).uniform(0, 1, size=(120, 2))
+        tree = KDTree(points, leaf_size=7)
+        assert len(tree.range_search([-1, -1], [2, 2])) == 120
+
+    def test_validation(self):
+        tree = KDTree(np.random.default_rng(6).uniform(size=(10, 2)))
+        with pytest.raises(ValueError):
+            tree.range_search([0.0], [1.0])
+        with pytest.raises(ValueError):
+            tree.range_search([1.0, 1.0], [0.0, 0.0])
+
+
+class TestKNN:
+    def test_matches_brute_force_distances(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(300, 4))
+        tree = KDTree(points, leaf_size=12)
+        for _ in range(15):
+            query = rng.normal(size=4)
+            got = tree.knn(query, 10)
+            assert len(got) == 10
+            got_d = np.array([d for _, d in got])
+            expected_d = _brute_knn(points, query, 10)
+            assert np.allclose(np.sort(got_d), expected_d)
+            assert list(got_d) == sorted(got_d)
+
+    def test_k_larger_than_population(self):
+        points = np.random.default_rng(8).normal(size=(5, 2))
+        tree = KDTree(points)
+        assert len(tree.knn([0.0, 0.0], 50)) == 5
+
+    def test_exact_match_is_first(self):
+        points = np.random.default_rng(9).uniform(0, 1, size=(64, 3))
+        tree = KDTree(points, leaf_size=4)
+        idx, dist = tree.knn(points[17], 1)[0]
+        assert idx == 17 or dist == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        tree = KDTree(np.random.default_rng(10).uniform(size=(10, 2)))
+        with pytest.raises(ValueError):
+            tree.knn([0.0], 3)
+        with pytest.raises(ValueError):
+            tree.knn([0.0, 0.0], 0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=npst.arrays(np.float64, st.tuples(st.integers(5, 60), st.integers(1, 4)),
+                           elements=finite),
+        seed=st.integers(0, 1000),
+    )
+    def test_range_and_knn_agree_with_brute_force(self, points, seed):
+        rng = np.random.default_rng(seed)
+        tree = KDTree(points, leaf_size=5)
+        lower = points.min(axis=0) + rng.uniform(0, 1, size=points.shape[1])
+        upper = lower + rng.uniform(0, np.ptp(points, axis=0) + 1.0)
+        lower, upper = np.minimum(lower, upper), np.maximum(lower, upper)
+        assert set(tree.range_search(lower, upper)) == _brute_range(points, lower, upper)
+
+        k = min(5, len(points))
+        query = rng.uniform(points.min(axis=0), points.max(axis=0) + 1e-9)
+        got = np.sort([d for _, d in tree.knn(query, k)])
+        assert np.allclose(got, _brute_knn(points, query, k))

@@ -1,0 +1,186 @@
+"""Tests for the incremental LSI fold-in / refresh machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsi.incremental import DriftReport, IncrementalLSI
+from repro.lsi.model import LSIModel
+
+
+def _clustered_matrix(n_per_cluster=20, clusters=3, dim=6, seed=0, spread=0.05):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.5, 2.0, size=(clusters, dim))
+    rows = []
+    for c in range(clusters):
+        rows.append(centers[c] + rng.normal(0, spread, size=(n_per_cluster, dim)))
+    return np.vstack(rows)
+
+
+@pytest.fixture()
+def base_matrix():
+    return _clustered_matrix(seed=3)
+
+
+@pytest.fixture()
+def inc(base_matrix):
+    return IncrementalLSI(base_matrix, rank=3)
+
+
+class TestConstruction:
+    def test_initial_state(self, inc, base_matrix):
+        assert inc.n_items == len(base_matrix)
+        assert inc.n_attributes == base_matrix.shape[1]
+        assert inc.item_vectors().shape == (len(base_matrix), 3)
+        drift = inc.drift()
+        assert drift.folded_items == 0
+        assert drift.mean_residual == 0.0
+        assert not inc.needs_refresh()
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalLSI(np.empty((0, 4)), rank=2)
+        with pytest.raises(ValueError):
+            IncrementalLSI(np.ones(5), rank=2)
+
+    def test_matches_plain_lsi(self, base_matrix):
+        inc = IncrementalLSI(base_matrix, rank=3)
+        plain = LSIModel.fit_items(base_matrix, 3)
+        assert np.allclose(np.abs(inc.item_vectors()), np.abs(plain.item_vectors()))
+
+
+class TestFoldIn:
+    def test_add_items_grows_view(self, inc, base_matrix):
+        new = base_matrix[:5] * 1.01
+        folded = inc.add_items(new)
+        assert folded.shape == (5, 3)
+        assert inc.n_items == len(base_matrix) + 5
+        assert inc.drift().folded_items == 5
+
+    def test_add_single_vector(self, inc, base_matrix):
+        folded = inc.add_items(base_matrix[0])
+        assert folded.shape == (1, 3)
+
+    def test_wrong_dimensionality_rejected(self, inc):
+        with pytest.raises(ValueError):
+            inc.add_items(np.ones((2, 99)))
+
+    def test_in_subspace_items_have_tiny_residual(self, inc, base_matrix):
+        # An item identical to a fitted one is (nearly) inside the subspace.
+        inc.add_items(base_matrix[:3])
+        assert inc.drift().mean_residual < 0.05
+
+    def test_orthogonal_item_has_large_residual(self, base_matrix):
+        inc = IncrementalLSI(base_matrix, rank=2)
+        weird = np.zeros(base_matrix.shape[1])
+        # Construct a vector orthogonal to the top-2 subspace by removing the
+        # projection of a random vector.
+        rng = np.random.default_rng(7)
+        v = rng.normal(size=base_matrix.shape[1])
+        u = inc.model.u
+        v -= u @ (u.T @ v)
+        if np.linalg.norm(v) > 1e-9:
+            inc.add_items(v)
+            assert inc.drift().max_residual > 0.9
+
+    def test_folded_similarity_close_to_refit(self, inc, base_matrix):
+        """Fold-in of near-duplicate items lands them near their originals."""
+        original_vec = inc.item_vectors()[0]
+        folded = inc.add_items(base_matrix[0] * 1.02)[0]
+        assert inc.similarity(original_vec, folded) > 0.99
+
+
+class TestRemoveAndUpdate:
+    def test_remove_item(self, inc, base_matrix):
+        n = inc.n_items
+        inc.remove_item(0)
+        assert inc.n_items == n - 1
+        assert inc.item_vectors().shape[0] == n - 1
+
+    def test_remove_folded_item_updates_drift(self, inc, base_matrix):
+        inc.add_items(base_matrix[:2])
+        assert inc.drift().folded_items == 2
+        inc.remove_item(inc.n_items - 1)
+        assert inc.drift().folded_items == 1
+
+    def test_remove_out_of_range(self, inc):
+        with pytest.raises(IndexError):
+            inc.remove_item(10_000)
+
+    def test_update_item(self, inc, base_matrix):
+        before = inc.item_vectors()[2].copy()
+        inc.update_item(2, base_matrix[2] * 3.0)
+        after = inc.item_vectors()[2]
+        assert not np.allclose(before, after)
+        assert len(inc._rows) == len(base_matrix)
+
+    def test_update_validation(self, inc):
+        with pytest.raises(ValueError):
+            inc.update_item(0, np.ones(99))
+        with pytest.raises(IndexError):
+            inc.update_item(10_000, np.ones(inc.n_attributes))
+
+
+class TestDriftAndRefresh:
+    def test_folded_fraction_triggers_refresh_policy(self, inc, base_matrix):
+        inc.add_items(np.tile(base_matrix[:10], (3, 1)))
+        drift = inc.drift()
+        assert drift.folded_fraction > 0.25
+        assert inc.needs_refresh(max_folded_fraction=0.25)
+        assert not inc.needs_refresh(max_folded_fraction=0.9, max_mean_residual=0.9)
+
+    def test_refresh_resets_drift(self, inc, base_matrix):
+        inc.add_items(base_matrix[:10])
+        model = inc.refresh()
+        drift = inc.drift()
+        assert drift.folded_items == 0
+        assert drift.fitted_items == inc.n_items
+        assert model.n_items == inc.n_items
+        assert inc.item_vectors().shape == (inc.n_items, model.rank)
+
+    def test_refresh_with_new_rank(self, inc):
+        inc.refresh(rank=2)
+        assert inc.model.rank == 2
+        assert inc.item_vectors().shape[1] == 2
+
+    def test_refresh_restores_fold_in_accuracy(self, base_matrix):
+        """After refresh the added items are represented exactly (zero residual)."""
+        inc = IncrementalLSI(base_matrix[:30], rank=3)
+        shifted = _clustered_matrix(seed=99) + 5.0
+        inc.add_items(shifted[:20])
+        stale_drift = inc.drift().mean_residual
+        inc.refresh()
+        # Re-adding one of the now-fitted items must produce a small residual.
+        inc.add_items(shifted[0])
+        assert inc.drift().mean_residual <= stale_drift + 1e-9
+
+    def test_drift_report_exceeds(self):
+        report = DriftReport(100, 10, 0.09, 0.5, 0.8)
+        assert report.exceeds(max_mean_residual=0.4)
+        assert not report.exceeds(max_folded_fraction=0.5, max_mean_residual=0.9)
+
+    def test_repr(self, inc):
+        assert "IncrementalLSI" in repr(inc)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        dim=st.integers(min_value=2, max_value=8),
+        extra=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_item_count_invariant(self, n, dim, extra, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0.1, 2.0, size=(n, dim))
+        inc = IncrementalLSI(base, rank=min(3, dim))
+        inc.add_items(rng.uniform(0.1, 2.0, size=(extra, dim)))
+        assert inc.n_items == n + extra
+        assert inc.item_vectors().shape[0] == n + extra
+        drift = inc.drift()
+        assert 0.0 <= drift.folded_fraction <= 1.0
+        assert 0.0 <= drift.mean_residual <= drift.max_residual <= 1.0 + 1e-9
+        inc.refresh()
+        assert inc.drift().folded_items == 0

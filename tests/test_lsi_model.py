@@ -1,0 +1,132 @@
+"""Tests for the LSI model."""
+
+import numpy as np
+import pytest
+
+from repro.lsi.model import LSIModel
+
+
+def clustered_items(n_per=10, seed=0):
+    """Two well-separated clusters of items in a 4-attribute space."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal([1, 1, 0, 0], 0.05, size=(n_per, 4))
+    b = rng.normal([0, 0, 1, 1], 0.05, size=(n_per, 4))
+    return np.vstack([a, b])
+
+
+class TestFitting:
+    def test_fit_items_shapes(self):
+        items = clustered_items()
+        model = LSIModel.fit_items(items, rank=2)
+        assert model.rank == 2
+        assert model.n_items == items.shape[0]
+        assert model.n_attributes == items.shape[1]
+        assert model.item_vectors().shape == (items.shape[0], 2)
+
+    def test_fit_matches_paper_convention(self):
+        # fit() takes attributes-as-rows; fit_items() the transpose.
+        items = clustered_items()
+        m1 = LSIModel.fit(items.T, rank=2)
+        m2 = LSIModel.fit_items(items, rank=2)
+        assert np.allclose(np.abs(m1.singular_values), np.abs(m2.singular_values))
+
+    def test_rank_clamped(self):
+        items = clustered_items(n_per=3)
+        model = LSIModel.fit_items(items, rank=100)
+        assert model.rank <= min(items.shape)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            LSIModel.fit_items(clustered_items(), rank=0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            LSIModel.fit_items(np.ones(5), rank=1)
+
+
+class TestProjection:
+    def test_fold_in_single_vector(self):
+        items = clustered_items()
+        model = LSIModel.fit_items(items, rank=2)
+        q = model.fold_in(items[0])
+        assert q.shape == (2,)
+
+    def test_fold_in_batch(self):
+        items = clustered_items()
+        model = LSIModel.fit_items(items, rank=2)
+        q = model.fold_in(items[:5])
+        assert q.shape == (5, 2)
+
+    def test_fold_in_dimension_mismatch(self):
+        model = LSIModel.fit_items(clustered_items(), rank=2)
+        with pytest.raises(ValueError):
+            model.fold_in(np.ones(7))
+
+    def test_fold_in_unscaled(self):
+        items = clustered_items()
+        model = LSIModel.fit_items(items, rank=2)
+        scaled = model.fold_in(items[0], scale=True)
+        unscaled = model.fold_in(items[0], scale=False)
+        assert not np.allclose(scaled, unscaled)
+
+
+class TestSimilarity:
+    def test_similarity_bounds(self):
+        model = LSIModel.fit_items(clustered_items(), rank=2)
+        vecs = model.item_vectors()
+        sim = model.similarity(vecs[0], vecs[1])
+        assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+
+    def test_zero_vector_similarity_is_zero(self):
+        model = LSIModel.fit_items(clustered_items(), rank=2)
+        assert model.similarity(np.zeros(2), np.ones(2)) == 0.0
+
+    def test_within_cluster_more_similar_than_across(self):
+        items = clustered_items()
+        # Centre the data so cosine similarity reflects cluster structure.
+        centred = items - items.mean(axis=0)
+        model = LSIModel.fit_items(centred, rank=2)
+        vecs = model.item_vectors()
+        within = model.similarity(vecs[0], vecs[1])      # both in cluster A
+        across = model.similarity(vecs[0], vecs[-1])     # A vs B
+        assert within > across
+
+    def test_correlation_matrix_properties(self):
+        model = LSIModel.fit_items(clustered_items(), rank=2)
+        corr = model.correlation_matrix()
+        n = model.n_items
+        assert corr.shape == (n, n)
+        assert np.allclose(corr, corr.T, atol=1e-10)
+        assert np.allclose(np.diag(corr), 1.0, atol=1e-9)
+        assert corr.min() >= -1.0 and corr.max() <= 1.0
+
+    def test_correlation_matrix_of_custom_vectors(self):
+        model = LSIModel.fit_items(clustered_items(), rank=2)
+        custom = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        corr = model.correlation_matrix(custom)
+        assert corr.shape == (3, 3)
+        assert corr[0, 2] == pytest.approx(1.0)
+        assert corr[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_similarities_to_items(self):
+        items = clustered_items()
+        model = LSIModel.fit_items(items, rank=2)
+        sims = model.similarities_to_items(items[0])
+        assert sims.shape == (items.shape[0],)
+        # The item itself should be among the most similar items.
+        assert sims[0] >= np.percentile(sims, 75)
+
+
+class TestQuality:
+    def test_explained_variance_sums_to_one_at_full_rank(self):
+        items = clustered_items(n_per=4)
+        model = LSIModel.fit_items(items, rank=4)
+        assert np.isclose(model.explained_variance_ratio().sum(), 1.0)
+
+    def test_reconstruction_error_decreases_with_rank(self):
+        items = clustered_items()
+        errors = []
+        for rank in (1, 2, 4):
+            model = LSIModel.fit_items(items, rank=rank)
+            errors.append(np.linalg.norm(model.reconstruct() - items.T))
+        assert errors[0] >= errors[1] >= errors[2]

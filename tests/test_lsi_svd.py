@@ -1,0 +1,74 @@
+"""Tests for the truncated SVD wrapper."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.lsi.svd import truncated_svd
+
+
+class TestTruncatedSVD:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 10))
+        u, s, vt = truncated_svd(a, 3)
+        assert u.shape == (6, 3)
+        assert s.shape == (3,)
+        assert vt.shape == (3, 10)
+
+    def test_singular_values_descending(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((8, 8))
+        _, s, _ = truncated_svd(a, 5)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_full_rank_reconstruction(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((5, 7))
+        u, s, vt = truncated_svd(a, 5)
+        assert np.allclose(u @ np.diag(s) @ vt, a, atol=1e-10)
+
+    def test_rank_clamped_to_matrix_rank(self):
+        a = np.random.default_rng(3).random((4, 6))
+        u, s, vt = truncated_svd(a, 100)
+        assert s.shape == (4,)
+
+    def test_rank_one_approximation_is_best(self):
+        # Rank-1 truncation must capture the dominant direction of a
+        # rank-1 matrix exactly.
+        x = np.outer([1.0, 2.0, 3.0], [4.0, 5.0])
+        u, s, vt = truncated_svd(x, 1)
+        assert np.allclose(u @ np.diag(s) @ vt, x, atol=1e-10)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_svd(np.ones((3, 3)), 0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_svd(np.empty((0, 3)), 1)
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            truncated_svd(np.ones(5), 1)
+
+    def test_sparse_input(self):
+        rng = np.random.default_rng(4)
+        dense = rng.random((20, 30))
+        sparse = scipy.sparse.csr_matrix(dense)
+        u, s, vt = truncated_svd(sparse, 4)
+        u2, s2, vt2 = truncated_svd(dense, 4)
+        assert np.allclose(s, s2, atol=1e-8)
+
+    def test_sparse_path_matches_dense_path(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((40, 50))
+        _, s_sparse, _ = truncated_svd(a, 3, use_sparse=True)
+        _, s_dense, _ = truncated_svd(a, 3, use_sparse=False)
+        assert np.allclose(s_sparse, s_dense, atol=1e-6)
+
+    def test_orthonormal_columns(self):
+        a = np.random.default_rng(6).random((10, 12))
+        u, _, vt = truncated_svd(a, 4)
+        assert np.allclose(u.T @ u, np.eye(4), atol=1e-10)
+        assert np.allclose(vt @ vt.T, np.eye(4), atol=1e-10)

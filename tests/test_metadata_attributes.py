@@ -1,0 +1,91 @@
+"""Tests for the attribute schema."""
+
+import pytest
+
+from repro.metadata.attributes import AttributeSchema, AttributeSpec, DEFAULT_SCHEMA
+
+
+class TestAttributeSpec:
+    def test_valid_kinds(self):
+        assert AttributeSpec("x", kind="physical").kind == "physical"
+        assert AttributeSpec("x", kind="behavioural").kind == "behavioural"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", kind="other")
+
+    def test_defaults(self):
+        spec = AttributeSpec("size")
+        assert spec.kind == "physical"
+        assert spec.log_scale is False
+        assert spec.unit == ""
+
+
+class TestAttributeSchema:
+    def test_dimension_and_names(self):
+        schema = AttributeSchema((AttributeSpec("a"), AttributeSpec("b")))
+        assert schema.dimension == 2
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSchema((AttributeSpec("a"), AttributeSpec("a")))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSchema(())
+
+    def test_index_lookup(self):
+        schema = DEFAULT_SCHEMA
+        assert schema.index("size") == 0
+        assert schema.index(schema.names[-1]) == schema.dimension - 1
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_SCHEMA.index("no-such-attribute")
+
+    def test_contains(self):
+        assert "size" in DEFAULT_SCHEMA
+        assert "bogus" not in DEFAULT_SCHEMA
+
+    def test_indices_preserve_order(self):
+        idx = DEFAULT_SCHEMA.indices(("mtime", "size"))
+        assert idx == (DEFAULT_SCHEMA.index("mtime"), DEFAULT_SCHEMA.index("size"))
+
+    def test_spec_accessor(self):
+        assert DEFAULT_SCHEMA.spec("size").log_scale is True
+        assert DEFAULT_SCHEMA.spec("ctime").log_scale is False
+
+    def test_physical_and_behavioural_partition(self):
+        names = set(DEFAULT_SCHEMA.names)
+        physical = set(DEFAULT_SCHEMA.physical_names())
+        behavioural = set(DEFAULT_SCHEMA.behavioural_names())
+        assert physical | behavioural == names
+        assert physical & behavioural == set()
+
+    def test_log_scale_mask_matches_specs(self):
+        mask = DEFAULT_SCHEMA.log_scale_mask()
+        assert len(mask) == DEFAULT_SCHEMA.dimension
+        for flag, spec in zip(mask, DEFAULT_SCHEMA.specs):
+            assert flag == spec.log_scale
+
+    def test_subset(self):
+        sub = DEFAULT_SCHEMA.subset(["mtime", "size"])
+        assert sub.names == ("mtime", "size")
+        assert sub.dimension == 2
+        assert sub.spec("size").log_scale is True
+
+    def test_subset_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            DEFAULT_SCHEMA.subset(["size", "nope"])
+
+    def test_iteration_yields_specs(self):
+        specs = list(DEFAULT_SCHEMA)
+        assert all(isinstance(s, AttributeSpec) for s in specs)
+        assert len(specs) == DEFAULT_SCHEMA.dimension
+
+    def test_default_schema_has_expected_attributes(self):
+        expected = {"size", "ctime", "mtime", "atime", "read_bytes", "write_bytes",
+                    "access_count", "owner"}
+        assert set(DEFAULT_SCHEMA.names) == expected

@@ -1,0 +1,102 @@
+"""Tests for FileMetadata records."""
+
+import pytest
+
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata, make_file_id
+
+
+def make(path="/a/b/file.txt", **attrs):
+    base = {name: 1.0 for name in DEFAULT_SCHEMA.names}
+    base.update(attrs)
+    return FileMetadata(path=path, attributes=base)
+
+
+class TestFileId:
+    def test_stable(self):
+        assert make_file_id("/x/y") == make_file_id("/x/y")
+
+    def test_distinct_paths_distinct_ids(self):
+        assert make_file_id("/x/y") != make_file_id("/x/z")
+
+    def test_positive_63_bit(self):
+        fid = make_file_id("/anything")
+        assert 0 <= fid < 2**63
+
+
+class TestFileMetadata:
+    def test_filename_and_directory(self):
+        f = make("/home/user/data.bin")
+        assert f.filename == "data.bin"
+        assert f.directory == "/home/user"
+
+    def test_top_level_file_has_empty_directory(self):
+        f = make("file.txt")
+        assert f.directory == ""
+        assert f.filename == "file.txt"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            FileMetadata(path="", attributes={"size": 1})
+
+    def test_file_id_derived_from_path(self):
+        f = make("/a/b/c")
+        assert f.file_id == make_file_id("/a/b/c")
+
+    def test_explicit_file_id_preserved(self):
+        f = FileMetadata(path="/a", attributes={"size": 1}, file_id=1234)
+        assert f.file_id == 1234
+
+    def test_attributes_coerced_to_float(self):
+        f = FileMetadata(path="/a", attributes={"size": 7})
+        assert isinstance(f.attributes["size"], float)
+
+    def test_get_with_default(self):
+        f = FileMetadata(path="/a", attributes={"size": 1})
+        assert f.get("size") == 1.0
+        assert f.get("missing", 5.0) == 5.0
+
+    def test_vector_follows_schema_order(self):
+        f = make(size=10, ctime=20)
+        vec = f.vector(DEFAULT_SCHEMA)
+        assert vec.shape == (DEFAULT_SCHEMA.dimension,)
+        assert vec[DEFAULT_SCHEMA.index("size")] == 10
+        assert vec[DEFAULT_SCHEMA.index("ctime")] == 20
+
+    def test_vector_missing_attribute_raises(self):
+        f = FileMetadata(path="/a", attributes={"size": 1})
+        with pytest.raises(KeyError):
+            f.vector(DEFAULT_SCHEMA)
+
+    def test_with_updates_returns_copy(self):
+        f = make(size=1)
+        g = f.with_updates(size=99)
+        assert g.attributes["size"] == 99
+        assert f.attributes["size"] == 1
+        assert g.file_id == f.file_id
+
+    def test_matches_ranges_inside(self):
+        f = make(size=100, mtime=50)
+        assert f.matches_ranges(("size", "mtime"), (50, 0), (150, 100))
+
+    def test_matches_ranges_outside(self):
+        f = make(size=100)
+        assert not f.matches_ranges(("size",), (200,), (300,))
+
+    def test_matches_ranges_boundary_inclusive(self):
+        f = make(size=100)
+        assert f.matches_ranges(("size",), (100,), (100,))
+
+    def test_matches_ranges_missing_attribute(self):
+        f = FileMetadata(path="/a", attributes={"size": 1})
+        assert not f.matches_ranges(("mtime",), (0,), (10,))
+
+    def test_hashable_by_file_id(self):
+        f = make("/same/path")
+        g = make("/same/path")
+        assert hash(f) == hash(g)
+        assert len({f, g}) <= 2  # hash equality does not force identity
+
+    def test_extra_annotations_preserved(self):
+        f = FileMetadata(path="/a", attributes={"size": 1}, extra={"project": 3})
+        assert f.extra["project"] == 3

@@ -1,0 +1,123 @@
+"""Tests for the attribute-matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metadata.attributes import AttributeSchema, AttributeSpec, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.metadata.matrix import (
+    attribute_bounds,
+    attribute_matrix,
+    centroid,
+    log_transform,
+    normalize_matrix,
+)
+
+
+def files_from_rows(rows):
+    files = []
+    for i, row in enumerate(rows):
+        attrs = dict(zip(DEFAULT_SCHEMA.names, row))
+        files.append(FileMetadata(path=f"/f{i}", attributes=attrs))
+    return files
+
+
+class TestAttributeMatrix:
+    def test_shape_and_values(self):
+        rows = [[float(i + j) for j in range(DEFAULT_SCHEMA.dimension)] for i in range(5)]
+        files = files_from_rows(rows)
+        m = attribute_matrix(files, DEFAULT_SCHEMA)
+        assert m.shape == (5, DEFAULT_SCHEMA.dimension)
+        assert np.allclose(m, rows)
+
+    def test_missing_attribute_raises(self):
+        f = FileMetadata(path="/x", attributes={"size": 1})
+        with pytest.raises(KeyError):
+            attribute_matrix([f], DEFAULT_SCHEMA)
+
+    def test_empty_population(self):
+        m = attribute_matrix([], DEFAULT_SCHEMA)
+        assert m.shape == (0, DEFAULT_SCHEMA.dimension)
+
+
+class TestLogTransform:
+    def test_only_log_columns_change(self):
+        rows = [[10.0] * DEFAULT_SCHEMA.dimension for _ in range(3)]
+        m = np.array(rows)
+        out = log_transform(m, DEFAULT_SCHEMA)
+        mask = np.array(DEFAULT_SCHEMA.log_scale_mask())
+        assert np.allclose(out[:, ~mask], 10.0)
+        assert np.allclose(out[:, mask], np.log1p(10.0))
+
+    def test_input_not_modified(self):
+        m = np.full((2, DEFAULT_SCHEMA.dimension), 5.0)
+        before = m.copy()
+        log_transform(m, DEFAULT_SCHEMA)
+        assert np.array_equal(m, before)
+
+    def test_negative_values_rejected(self):
+        m = np.full((1, DEFAULT_SCHEMA.dimension), -1.0)
+        with pytest.raises(ValueError):
+            log_transform(m, DEFAULT_SCHEMA)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            log_transform(np.zeros((2, 3)), DEFAULT_SCHEMA)
+
+    def test_no_log_columns_is_copy(self):
+        schema = AttributeSchema((AttributeSpec("a"), AttributeSpec("b")))
+        m = np.array([[1.0, 2.0]])
+        out = log_transform(m, schema)
+        assert np.array_equal(out, m)
+        assert out is not m
+
+
+class TestNormalizeMatrix:
+    def test_output_in_unit_range(self):
+        m = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        out, lower, upper = normalize_matrix(m)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.allclose(lower, [0, 10])
+        assert np.allclose(upper, [10, 30])
+
+    def test_degenerate_column_maps_to_half(self):
+        m = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out, _, _ = normalize_matrix(m)
+        assert np.allclose(out[:, 0], 0.5)
+
+    def test_explicit_bounds_reused(self):
+        m = np.array([[0.0], [10.0]])
+        _, lower, upper = normalize_matrix(m)
+        out2, _, _ = normalize_matrix(np.array([[5.0]]), lower, upper)
+        assert np.allclose(out2, [[0.5]])
+
+    def test_values_outside_bounds_clipped(self):
+        out, _, _ = normalize_matrix(np.array([[20.0]]), lower=np.array([0.0]), upper=np.array([10.0]))
+        assert out[0, 0] == 1.0
+
+    def test_single_row_input(self):
+        out, lower, upper = normalize_matrix(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (1, 3)
+
+
+class TestBoundsAndCentroid:
+    def test_bounds(self):
+        m = np.array([[1.0, 5.0], [3.0, 2.0]])
+        lo, hi = attribute_bounds(m)
+        assert np.allclose(lo, [1, 2])
+        assert np.allclose(hi, [3, 5])
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            attribute_bounds(np.empty((0, 2)))
+
+    def test_centroid(self):
+        m = np.array([[0.0, 2.0], [2.0, 4.0]])
+        assert np.allclose(centroid(m), [1.0, 3.0])
+
+    def test_centroid_single_vector(self):
+        assert np.allclose(centroid(np.array([1.0, 2.0])), [1.0, 2.0])
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid(np.empty((0, 3)))

@@ -1,0 +1,203 @@
+"""Tests for JSONL / snapshot / results persistence."""
+
+import json
+
+import pytest
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.metadata.attributes import DEFAULT_SCHEMA, AttributeSchema, AttributeSpec
+from repro.persistence import (
+    DeploymentSnapshot,
+    ResultTable,
+    load_files,
+    load_snapshot,
+    load_trace,
+    read_csv,
+    save_files,
+    save_snapshot,
+    save_trace,
+    schema_from_dict,
+    schema_to_dict,
+    snapshot_deployment,
+    write_csv,
+    write_markdown,
+)
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+from helpers import make_files
+
+
+class TestSchemaSerialisation:
+    def test_round_trip_default_schema(self):
+        restored = schema_from_dict(schema_to_dict(DEFAULT_SCHEMA))
+        assert restored == DEFAULT_SCHEMA
+
+    def test_round_trip_custom_schema(self):
+        schema = AttributeSchema(
+            (
+                AttributeSpec("size", log_scale=True, unit="bytes"),
+                AttributeSpec("temperature", kind="behavioural", unit="K"),
+            )
+        )
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.names == ("size", "temperature")
+        assert restored.spec("size").log_scale
+        assert restored.spec("temperature").kind == "behavioural"
+
+
+class TestFilesRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        files = make_files(50)
+        out = tmp_path / "population.jsonl"
+        assert save_files(files, out) == 50
+        restored = load_files(out)
+        assert len(restored) == 50
+        assert [f.file_id for f in restored] == [f.file_id for f in files]
+        assert restored[0].attributes == files[0].attributes
+        assert restored[0].extra == files[0].extra
+
+    def test_wrong_format_rejected(self, tmp_path):
+        files = make_files(5)
+        trace_path = tmp_path / "trace.jsonl"
+        save_trace(generate_trace(SyntheticTraceConfig(n_files=30, n_requests=30, n_projects=5, seed=1)), trace_path)
+        with pytest.raises(ValueError):
+            load_files(trace_path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            load_files(empty)
+
+    def test_count_mismatch_detected(self, tmp_path):
+        files = make_files(3)
+        out = tmp_path / "broken.jsonl"
+        save_files(files, out)
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[:-1]) + "\n")  # drop one record
+        with pytest.raises(ValueError):
+            load_files(out)
+
+
+class TestTraceRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        trace = generate_trace(SyntheticTraceConfig(n_files=40, n_requests=200, n_projects=6, seed=2))
+        out = tmp_path / "trace.jsonl"
+        save_trace(trace, out)
+        restored = load_trace(out)
+        assert restored.name == trace.name
+        assert len(restored.records) == len(trace.records)
+        assert len(restored.files) == len(trace.files)
+        assert restored.user_accounts == trace.user_accounts
+        assert restored.records[0] == trace.records[0]
+        assert restored.summary().total_requests == trace.summary().total_requests
+
+    def test_wrong_format_rejected(self, tmp_path):
+        files_path = tmp_path / "files.jsonl"
+        save_files(make_files(3), files_path)
+        with pytest.raises(ValueError):
+            load_trace(files_path)
+
+
+class TestSnapshot:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return SmartStore.build(make_files(120, clusters=4), SmartStoreConfig(num_units=8, seed=9))
+
+    def test_snapshot_contents(self, store):
+        snap = snapshot_deployment(store)
+        assert snap.num_units == 8
+        assert snap.num_files == 120
+        assert snap.config["num_units"] == 8
+        assert len(snap.tree_nodes) == len(store.tree.nodes)
+        root_nodes = [n for n in snap.tree_nodes if n["parent"] is None]
+        assert len(root_nodes) == 1
+
+    def test_unit_of_file(self, store):
+        snap = snapshot_deployment(store)
+        some_file = store.files[0]
+        unit = snap.unit_of_file(some_file.file_id)
+        assert unit is not None
+        assert some_file.file_id in snap.placement[unit]
+        assert snap.unit_of_file(-1) is None
+
+    def test_round_trip(self, store, tmp_path):
+        snap = snapshot_deployment(store)
+        out = tmp_path / "deployment.json"
+        save_snapshot(snap, out)
+        restored = load_snapshot(out)
+        assert restored.placement == snap.placement
+        assert restored.same_layout_as(snap)
+        assert restored.restore_schema() == store.schema
+
+    def test_same_layout_detects_differences(self, store):
+        a = snapshot_deployment(store)
+        b = snapshot_deployment(store)
+        moved = b.placement[0].pop()
+        b.placement[1].append(moved)
+        assert not a.same_layout_as(b)
+
+    def test_rebuild_reproduces_layout(self, store):
+        rebuilt = SmartStore.build(store.files, store.config, store.schema)
+        assert snapshot_deployment(rebuilt).same_layout_as(snapshot_deployment(store))
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentSnapshot.from_dict({"format": "something.else"})
+
+    def test_node_by_id(self, store):
+        snap = snapshot_deployment(store)
+        node = snap.tree_nodes[0]
+        assert snap.node_by_id(node["node_id"]) == node
+        assert snap.node_by_id(-42) is None
+
+
+class TestResultTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultTable("x", [])
+        with pytest.raises(ValueError):
+            ResultTable("x", ["a"], rows=[[1, 2]])
+        table = ResultTable("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_add_row_and_column(self):
+        table = ResultTable("latency", ["system", "seconds"])
+        table.add_row("SmartStore", 0.1)
+        table.add_row("DBMS", 120.0)
+        assert len(table) == 2
+        assert table.column("system") == ["SmartStore", "DBMS"]
+
+    def test_csv_round_trip(self, tmp_path):
+        table = ResultTable(
+            "table4",
+            ["system", "latency_s", "queries"],
+            rows=[["SmartStore", 0.108, 60], ["DBMS", 146.7, 60]],
+            metadata={"trace": "msn", "tif": 120},
+        )
+        out = tmp_path / "table4.csv"
+        write_csv(table, out)
+        restored = read_csv(out)
+        assert restored.name == "table4"
+        assert restored.columns == table.columns
+        assert restored.rows[0][0] == "SmartStore"
+        assert restored.rows[0][1] == pytest.approx(0.108)
+        assert restored.rows[1][2] == 60
+        assert restored.metadata["trace"] == "msn"
+        assert restored.metadata["tif"] == 120
+
+    def test_read_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# table: nothing\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_markdown_output(self, tmp_path):
+        table = ResultTable("demo", ["a", "b"], rows=[[1, "x"]], metadata={"seed": 3})
+        out = tmp_path / "demo.md"
+        write_markdown(table, out)
+        text = out.read_text()
+        assert "### demo" in text
+        assert "| a" in text and "| 1" in text
+        assert "*seed*: 3" in text

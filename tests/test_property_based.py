@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Each property pins an invariant the rest of the system silently relies on:
+MBR geometry, Bloom-filter one-sidedness, B+-tree/R-tree search correctness
+against brute force, grouping conservation, and metric/cost monotonicity.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.bloom.bloom import BloomFilter
+from repro.btree.bplustree import BPlusTree
+from repro.cluster.costmodel import CostModel
+from repro.cluster.metrics import Metrics
+from repro.core.grouping import group_by_correlation, grouping_quality
+from repro.eval.recall import recall
+from repro.lsi.kmeans import balanced_kmeans, kmeans
+from repro.lsi.svd import truncated_svd
+from repro.metadata.file_metadata import FileMetadata
+from repro.rtree.knn import knn_search
+from repro.rtree.mbr import MBR
+from repro.rtree.rtree import RTree
+
+SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------------- MBR
+@given(
+    points=npst.arrays(np.float64, (8, 3), elements=finite_floats),
+    query=npst.arrays(np.float64, (3,), elements=finite_floats),
+)
+@SETTINGS
+def test_mbr_covers_points_and_mindist_lower_bounds_true_distance(points, query):
+    mbr = MBR.from_points(points)
+    for p in points:
+        assert mbr.contains_point(p)
+    true_min = float(np.min(np.linalg.norm(points - query, axis=1)))
+    assert mbr.min_distance(query) <= true_min + 1e-6
+    assert mbr.max_distance(query) >= true_min - 1e-6
+
+
+@given(
+    a=npst.arrays(np.float64, (5, 2), elements=finite_floats),
+    b=npst.arrays(np.float64, (5, 2), elements=finite_floats),
+)
+@SETTINGS
+def test_mbr_union_contains_both_and_area_superadditive(a, b):
+    ma, mb = MBR.from_points(a), MBR.from_points(b)
+    union = ma.union(mb)
+    assert union.contains(ma) and union.contains(mb)
+    assert union.area() >= max(ma.area(), mb.area()) - 1e-12
+    assert ma.enlargement(mb) >= -1e-12
+
+
+# --------------------------------------------------------------------------- Bloom filter
+@given(keys=st.lists(st.text(min_size=1, max_size=30), min_size=1, max_size=80, unique=True))
+@SETTINGS
+def test_bloom_filter_has_no_false_negatives(keys):
+    bloom = BloomFilter()
+    bloom.add_many(keys)
+    assert all(k in bloom for k in keys)
+
+
+@given(
+    left=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=40, unique=True),
+    right=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=40, unique=True),
+)
+@SETTINGS
+def test_bloom_union_is_superset_of_both_sides(left, right):
+    a, b = BloomFilter(), BloomFilter()
+    a.add_many(left)
+    b.add_many(right)
+    union = a.union(b)
+    assert all(k in union for k in left + right)
+    assert union.fill_ratio() >= max(a.fill_ratio(), b.fill_ratio())
+
+
+# --------------------------------------------------------------------------- B+-tree
+@given(
+    keys=st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=1, max_size=200),
+    window=st.tuples(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    ),
+)
+@SETTINGS
+def test_bplustree_range_search_matches_brute_force(keys, window):
+    lo, hi = min(window), max(window)
+    tree = BPlusTree(order=8)
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+    got = sorted(v for _, v in tree.range_search(lo, hi))
+    expected = sorted(i for i, k in enumerate(keys) if lo <= k <= hi)
+    assert got == expected
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+# --------------------------------------------------------------------------- R-tree
+@given(
+    points=npst.arrays(
+        np.float64, st.tuples(st.integers(5, 60), st.just(2)),
+        elements=st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    window=npst.arrays(np.float64, (2, 2), elements=st.floats(min_value=0, max_value=100, allow_nan=False)),
+)
+@SETTINGS
+def test_rtree_range_search_matches_brute_force(points, window):
+    lower = np.minimum(window[0], window[1])
+    upper = np.maximum(window[0], window[1])
+    tree = RTree(dimension=2, max_entries=4)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    got = sorted(e.payload for e in tree.search_range(lower, upper))
+    mask = np.all((points >= lower) & (points <= upper), axis=1)
+    assert got == sorted(np.nonzero(mask)[0].tolist())
+
+
+@given(
+    points=npst.arrays(
+        np.float64, st.tuples(st.integers(5, 40), st.just(2)),
+        elements=st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    query=npst.arrays(np.float64, (2,), elements=st.floats(min_value=0, max_value=100, allow_nan=False)),
+    k=st.integers(1, 8),
+)
+@SETTINGS
+def test_rtree_knn_matches_brute_force_distances(points, query, k):
+    tree = RTree(dimension=2, max_entries=4)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    result = knn_search(tree, query, k)
+    dists = np.sort(np.linalg.norm(points - query, axis=1))[: min(k, len(points))]
+    assert np.allclose([d for d, _ in result], dists, atol=1e-9)
+
+
+# --------------------------------------------------------------------------- SVD / LSI
+@given(
+    matrix=npst.arrays(
+        np.float64, st.tuples(st.integers(2, 8), st.integers(2, 8)),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    rank=st.integers(1, 4),
+)
+@SETTINGS
+def test_truncated_svd_error_bounded_and_values_sorted(matrix, rank):
+    u, s, vt = truncated_svd(matrix, rank)
+    assert np.all(np.diff(s) <= 1e-9)
+    approx = u @ np.diag(s) @ vt
+    # The rank-p truncation error never exceeds the full matrix norm.
+    assert np.linalg.norm(matrix - approx) <= np.linalg.norm(matrix) + 1e-6
+
+
+# --------------------------------------------------------------------------- grouping / k-means
+@given(
+    vectors=npst.arrays(
+        np.float64, st.tuples(st.integers(2, 30), st.just(4)),
+        elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ),
+    threshold=st.floats(min_value=-1.0, max_value=1.0),
+    max_size=st.integers(1, 10),
+)
+@SETTINGS
+def test_grouping_conserves_items_and_respects_size_bound(vectors, threshold, max_size):
+    groups = group_by_correlation(vectors, threshold, max_group_size=max_size)
+    flat = sorted(i for g in groups for i in g)
+    assert flat == list(range(vectors.shape[0]))
+    assert all(1 <= len(g) <= max_size for g in groups)
+
+
+@given(
+    points=npst.arrays(
+        np.float64, st.tuples(st.integers(4, 40), st.just(3)),
+        elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    k=st.integers(1, 6),
+)
+@SETTINGS
+def test_kmeans_and_balanced_kmeans_assign_every_point(points, k):
+    k = min(k, points.shape[0])
+    for fn in (kmeans, balanced_kmeans):
+        result = fn(points, k, seed=0)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        assert result.inertia >= 0
+        assert grouping_quality(points, result.labels) >= 0
+
+
+# --------------------------------------------------------------------------- metrics / cost model
+@given(
+    messages=st.integers(0, 100),
+    mem=st.integers(0, 1000),
+    disk=st.integers(0, 100),
+    scans=st.integers(0, 10000),
+)
+@SETTINGS
+def test_metrics_latency_nonnegative_and_monotone(messages, mem, disk, scans):
+    m = Metrics()
+    m.record_message(messages)
+    m.record_index_access(mem)
+    m.record_index_access(disk, on_disk=True)
+    m.record_scan(scans)
+    base = m.latency()
+    assert base >= 0
+    m.record_message()
+    assert m.latency() >= base
+    merged = Metrics()
+    merged.merge(m)
+    assert merged.latency() == m.latency()
+
+
+# --------------------------------------------------------------------------- recall
+@given(
+    reported=st.sets(st.integers(0, 30), max_size=20),
+    ideal=st.sets(st.integers(0, 30), max_size=20),
+)
+@SETTINGS
+def test_recall_is_bounded_and_monotone_in_reported_set(reported, ideal):
+    def files(ids):
+        return [FileMetadata(path=f"/f{i}", attributes={"size": 1.0}) for i in ids]
+
+    value = recall(files(reported), files(ideal))
+    assert 0.0 <= value <= 1.0
+    fuller = recall(files(reported | ideal), files(ideal))
+    assert fuller >= value
+    assert recall(files(ideal), files(ideal)) == 1.0

@@ -1,0 +1,76 @@
+"""Tests for branch-and-bound k-NN search over the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.knn import knn_search
+from repro.rtree.rtree import RTree
+
+
+def build(points, max_entries=4):
+    tree = RTree(dimension=points.shape[1], max_entries=max_entries)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    return tree
+
+
+def brute_force_knn(points, q, k):
+    d = np.linalg.norm(points - np.asarray(q)[None, :], axis=1)
+    order = np.argsort(d, kind="stable")
+    return [int(i) for i in order[:k]], d
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(13).random((150, 2)) * 50
+
+
+class TestKNN:
+    def test_matches_brute_force_distances(self, points):
+        tree = build(points)
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            q = rng.random(2) * 50
+            k = int(rng.integers(1, 10))
+            result = knn_search(tree, q, k)
+            ideal_idx, dists = brute_force_knn(points, q, k)
+            got_d = [d for d, _ in result]
+            ideal_d = sorted(dists[ideal_idx])
+            assert np.allclose(got_d, ideal_d, atol=1e-9)
+
+    def test_results_sorted_ascending(self, points):
+        tree = build(points)
+        result = knn_search(tree, [25, 25], 10)
+        d = [x for x, _ in result]
+        assert d == sorted(d)
+
+    def test_k_larger_than_population(self):
+        pts = np.random.default_rng(1).random((5, 2))
+        tree = build(pts)
+        result = knn_search(tree, [0.5, 0.5], 20)
+        assert len(result) == 5
+
+    def test_k_one_returns_nearest(self, points):
+        tree = build(points)
+        q = points[42] + 1e-6
+        result = knn_search(tree, q, 1)
+        assert result[0][1].payload == 42
+
+    def test_empty_tree(self):
+        tree = RTree(dimension=2)
+        assert knn_search(tree, [0, 0], 3) == []
+
+    def test_invalid_k(self, points):
+        tree = build(points)
+        with pytest.raises(ValueError):
+            knn_search(tree, [0, 0], 0)
+
+    def test_wrong_dimension_query(self, points):
+        tree = build(points)
+        with pytest.raises(ValueError):
+            knn_search(tree, [0, 0, 0], 2)
+
+    def test_exact_point_distance_zero(self, points):
+        tree = build(points)
+        result = knn_search(tree, points[7], 1)
+        assert result[0][0] == pytest.approx(0.0, abs=1e-12)

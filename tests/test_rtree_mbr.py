@@ -1,0 +1,138 @@
+"""Tests for minimum bounding rectangles."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.mbr import MBR
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = MBR([0, 0], [2, 3])
+        assert m.dimension == 2
+        assert m.area() == 6.0
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(ValueError):
+            MBR([1, 5], [2, 3])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MBR([1, 2], [3])
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            MBR([], [])
+
+    def test_from_point_is_degenerate(self):
+        m = MBR.from_point([1, 2, 3])
+        assert m.area() == 0.0
+        assert m.contains_point([1, 2, 3])
+
+    def test_from_points(self):
+        m = MBR.from_points(np.array([[0, 5], [2, 1], [1, 3]]))
+        assert np.allclose(m.lower, [0, 1])
+        assert np.allclose(m.upper, [2, 5])
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.from_points(np.empty((0, 2)))
+
+    def test_union_of(self):
+        m = MBR.union_of([MBR([0, 0], [1, 1]), MBR([2, 2], [3, 3])])
+        assert np.allclose(m.lower, [0, 0])
+        assert np.allclose(m.upper, [3, 3])
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.union_of([])
+
+    def test_immutable_bounds(self):
+        m = MBR([0], [1])
+        with pytest.raises(ValueError):
+            m.lower[0] = 5
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        m = MBR([0, 0], [2, 2])
+        assert m.contains_point([1, 1])
+        assert m.contains_point([0, 0])   # boundary counts
+        assert not m.contains_point([3, 1])
+
+    def test_contains_mbr(self):
+        outer = MBR([0, 0], [10, 10])
+        inner = MBR([2, 2], [3, 3])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_intersects(self):
+        a = MBR([0, 0], [2, 2])
+        b = MBR([1, 1], [3, 3])
+        c = MBR([5, 5], [6, 6])
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_touching_rectangles_intersect(self):
+        a = MBR([0], [1])
+        b = MBR([1], [2])
+        assert a.intersects(b)
+
+
+class TestMeasures:
+    def test_margin(self):
+        assert MBR([0, 0], [2, 3]).margin() == 5.0
+
+    def test_union(self):
+        u = MBR([0, 0], [1, 1]).union(MBR([2, 2], [3, 3]))
+        assert u.area() == 9.0
+
+    def test_intersection_area(self):
+        a = MBR([0, 0], [2, 2])
+        b = MBR([1, 1], [3, 3])
+        assert a.intersection_area(b) == 1.0
+        assert a.intersection_area(MBR([5, 5], [6, 6])) == 0.0
+
+    def test_enlargement(self):
+        a = MBR([0, 0], [1, 1])
+        b = MBR([2, 2], [3, 3])
+        assert a.enlargement(b) == pytest.approx(9.0 - 1.0)
+        assert a.enlargement(MBR([0, 0], [1, 1])) == 0.0
+
+    def test_extend_point(self):
+        m = MBR([0, 0], [1, 1]).extend_point([5, -1])
+        assert np.allclose(m.lower, [0, -1])
+        assert np.allclose(m.upper, [5, 1])
+
+    def test_center(self):
+        assert np.allclose(MBR([0, 0], [2, 4]).center(), [1, 2])
+
+    def test_min_distance_zero_inside(self):
+        m = MBR([0, 0], [2, 2])
+        assert m.min_distance([1, 1]) == 0.0
+
+    def test_min_distance_outside(self):
+        m = MBR([0, 0], [1, 1])
+        assert m.min_distance([4, 1]) == pytest.approx(3.0)
+        assert m.min_distance([4, 5]) == pytest.approx(5.0)
+
+    def test_max_distance_at_least_min(self):
+        m = MBR([0, 0], [1, 1])
+        for p in ([0.5, 0.5], [3, 3], [-1, 0.2]):
+            assert m.max_distance(p) >= m.min_distance(p)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR([0, 1], [2, 3])
+        b = MBR([0, 1], [2, 3])
+        c = MBR([0, 1], [2, 4])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_as_tuple(self):
+        lo, hi = MBR([0, 1], [2, 3]).as_tuple()
+        assert lo == (0.0, 1.0) and hi == (2.0, 3.0)
+
+    def test_repr_mentions_bounds(self):
+        assert "MBR" in repr(MBR([0], [1]))

@@ -1,0 +1,105 @@
+"""Tests for the trace data model."""
+
+import pytest
+
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.traces.base import Trace, TraceRecord, build_file_metadata
+
+
+def rec(t, op, path, nbytes=0.0, user=0):
+    return TraceRecord(timestamp=t, op=op, path=path, bytes=nbytes, user_id=user)
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        r = rec(1.0, "read", "/a", 100.0)
+        assert r.op == "read"
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            rec(0.0, "chmod", "/a")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            rec(-1.0, "read", "/a")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            rec(0.0, "read", "/a", -5.0)
+
+
+class TestTrace:
+    def test_records_sorted_by_time(self):
+        t = Trace("t", [rec(5, "read", "/b"), rec(1, "read", "/a")])
+        assert [r.timestamp for r in t.records] == [1, 5]
+
+    def test_paths_first_appearance_order(self):
+        t = Trace("t", [rec(1, "read", "/a"), rec(2, "read", "/b"), rec(3, "read", "/a")])
+        assert t.paths() == ["/a", "/b"]
+
+    def test_duration(self):
+        t = Trace("t", [rec(10, "read", "/a"), rec(70, "read", "/a")])
+        assert t.duration_seconds() == 60.0
+        assert Trace("empty", []).duration_seconds() == 0.0
+
+    def test_summary_counts(self):
+        t = Trace(
+            "t",
+            [
+                rec(0, "read", "/a", 100, user=1),
+                rec(1, "write", "/b", 200, user=2),
+                rec(2, "stat", "/a", 0, user=1),
+            ],
+            user_accounts=10,
+        )
+        s = t.summary()
+        assert s.total_requests == 3
+        assert s.total_reads == 1
+        assert s.total_writes == 1
+        assert s.read_bytes == 100
+        assert s.write_bytes == 200
+        assert s.active_files == 2
+        assert s.active_users == 2
+        assert s.user_accounts == 10
+        assert s.total_io == 2
+
+    def test_summary_as_dict(self):
+        t = Trace("t", [rec(0, "read", "/a", 1)])
+        d = t.summary().as_dict()
+        assert d["name"] == "t"
+        assert d["total_requests"] == 1
+
+
+class TestBuildFileMetadata:
+    def test_replay_derives_attributes(self):
+        records = [
+            rec(0, "create", "/f", 1000, user=3),
+            rec(10, "read", "/f", 500, user=3),
+            rec(20, "write", "/f", 2000, user=4),
+            rec(30, "stat", "/f"),
+        ]
+        files = build_file_metadata(records, DEFAULT_SCHEMA)
+        assert len(files) == 1
+        f = files[0]
+        assert f.attributes["ctime"] == 0
+        assert f.attributes["mtime"] == 20
+        assert f.attributes["atime"] == 30
+        assert f.attributes["read_bytes"] == 500
+        assert f.attributes["write_bytes"] == 2000
+        assert f.attributes["access_count"] == 4
+        assert f.attributes["size"] == 2000
+        assert f.attributes["owner"] == 0.0 or f.attributes["owner"] == 4.0
+
+    def test_read_only_file_gets_nominal_size(self):
+        files = build_file_metadata([rec(0, "read", "/r", 10)], DEFAULT_SCHEMA)
+        assert files[0].attributes["size"] == 4096.0
+
+    def test_one_record_per_distinct_path(self):
+        records = [rec(i, "read", f"/f{i % 5}", 1) for i in range(20)]
+        files = build_file_metadata(records, DEFAULT_SCHEMA)
+        assert len(files) == 5
+
+    def test_trace_file_metadata_caches(self):
+        t = Trace("t", [rec(0, "read", "/a", 1)])
+        first = t.file_metadata()
+        assert t.file_metadata() is first

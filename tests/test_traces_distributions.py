@@ -1,0 +1,95 @@
+"""Tests for the trace distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.traces.distributions import (
+    bounded_gauss,
+    clustered_timestamps,
+    lognormal_sizes,
+    sample_zipf_indices,
+    zipf_popularity,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        p = zipf_popularity(100, 1.0)
+        assert p.shape == (100,)
+        assert np.isclose(p.sum(), 1.0)
+
+    def test_monotonically_decreasing(self):
+        p = zipf_popularity(50, 1.2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_zero_exponent_is_uniform(self):
+        p = zipf_popularity(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_popularity(0)
+        with pytest.raises(ValueError):
+            zipf_popularity(10, -1.0)
+
+    def test_sample_indices_within_range_and_skewed(self):
+        rng = np.random.default_rng(0)
+        idx = sample_zipf_indices(100, 5000, exponent=1.0, rng=rng)
+        assert idx.min() >= 0 and idx.max() < 100
+        counts = np.bincount(idx, minlength=100)
+        assert counts[:10].sum() > counts[-10:].sum()
+
+
+class TestSizes:
+    def test_lognormal_sizes_bounds(self):
+        sizes = lognormal_sizes(1000, rng=np.random.default_rng(1))
+        assert sizes.min() >= 1.0
+        assert sizes.max() <= 16 * 1024**3
+
+    def test_median_approximately_respected(self):
+        sizes = lognormal_sizes(20000, median_bytes=1e5, sigma=1.0, rng=np.random.default_rng(2))
+        assert 0.5e5 < np.median(sizes) < 2e5
+
+    def test_zero_size_request(self):
+        assert lognormal_sizes(0).shape == (0,)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            lognormal_sizes(-1)
+
+
+class TestTimestamps:
+    def test_clustered_timestamps_within_duration(self):
+        assignment = np.repeat(np.arange(5), 20)
+        stamps = clustered_timestamps(100, assignment, 3600.0, rng=np.random.default_rng(3))
+        assert stamps.min() >= 0.0 and stamps.max() <= 3600.0
+
+    def test_within_cluster_spread_smaller_than_between(self):
+        assignment = np.repeat(np.arange(10), 50)
+        stamps = clustered_timestamps(
+            500, assignment, 1e6, cluster_spread=0.001, rng=np.random.default_rng(4)
+        )
+        within = np.mean([stamps[assignment == c].std() for c in range(10)])
+        assert within < stamps.std()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_timestamps(10, np.zeros(5, dtype=int), 100.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_timestamps(5, np.zeros(5, dtype=int), 0.0)
+
+
+class TestBoundedGauss:
+    def test_within_bounds(self):
+        x = bounded_gauss(1000, 10.0, 20.0, rng=np.random.default_rng(5))
+        assert x.min() >= 10.0 and x.max() <= 20.0
+
+    def test_centered_inside(self):
+        x = bounded_gauss(5000, 0.0, 100.0, rng=np.random.default_rng(6))
+        assert 30.0 < x.mean() < 70.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_gauss(10, 5.0, 1.0)

@@ -1,0 +1,85 @@
+"""Tests for the HP / MSN / EECS trace profiles."""
+
+import pytest
+
+from repro.traces.eecs import EECS_ORIGINAL_SUMMARY, eecs_config, eecs_trace
+from repro.traces.hp import HP_ORIGINAL_SUMMARY, hp_config, hp_trace
+from repro.traces.msn import MSN_ORIGINAL_SUMMARY, msn_config, msn_trace
+
+
+class TestOriginalSummaries:
+    def test_hp_matches_table1(self):
+        s = HP_ORIGINAL_SUMMARY
+        assert s.total_requests == 94_700_000
+        assert s.active_users == 32
+        assert s.user_accounts == 207
+        assert s.active_files == 969_000
+        assert s.total_files == 4_000_000
+
+    def test_msn_matches_table2(self):
+        s = MSN_ORIGINAL_SUMMARY
+        assert s.total_files == 1_250_000
+        assert s.total_reads == 3_300_000
+        assert s.total_writes == 1_170_000
+        assert s.duration_hours == 6.0
+        assert s.total_io == 4_470_000
+
+    def test_eecs_matches_table3(self):
+        s = EECS_ORIGINAL_SUMMARY
+        assert s.total_reads == 460_000
+        assert s.total_writes == 667_000
+        assert s.read_bytes == pytest.approx(5.1 * 1024**3)
+        assert s.write_bytes == pytest.approx(9.1 * 1024**3)
+        assert s.total_requests == 4_440_000
+
+
+class TestConfigs:
+    def test_invalid_scale_rejected(self):
+        for cfg in (hp_config, msn_config, eecs_config):
+            with pytest.raises(ValueError):
+                cfg(scale=0)
+
+    def test_hp_profile_ratios(self):
+        cfg = hp_config()
+        assert cfg.n_users == 32
+        assert cfg.user_accounts == 207
+        assert cfg.read_fraction > cfg.write_fraction
+
+    def test_msn_profile_read_write_mix(self):
+        cfg = msn_config()
+        # 3.30M reads : 1.17M writes ~= 2.8 : 1
+        ratio = cfg.read_fraction / cfg.write_fraction
+        assert 2.0 < ratio < 4.0
+        assert cfg.duration_hours == 6.0
+
+    def test_eecs_profile_write_heavy_small_requests(self):
+        cfg = eecs_config()
+        assert cfg.write_fraction > cfg.read_fraction
+        assert cfg.mean_read_bytes < 16 * 1024
+        assert cfg.mean_write_bytes < 20 * 1024
+
+    def test_scale_controls_size(self):
+        small = msn_config(scale=0.2)
+        large = msn_config(scale=1.0)
+        assert small.n_files < large.n_files
+        assert small.n_requests < large.n_requests
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("maker", [hp_trace, msn_trace, eecs_trace])
+    def test_small_traces_generate(self, maker):
+        trace = maker(scale=0.1)
+        assert len(trace.files) >= 200
+        assert len(trace.records) >= 500
+        summary = trace.summary()
+        assert summary.total_requests == len(trace.records)
+
+    def test_msn_read_write_mix_in_generated_trace(self):
+        trace = msn_trace(scale=0.3)
+        s = trace.summary()
+        assert s.total_reads > s.total_writes
+
+    def test_eecs_write_heavier_than_read(self):
+        trace = eecs_trace(scale=0.3)
+        s = trace.summary()
+        assert s.total_writes > s.total_reads

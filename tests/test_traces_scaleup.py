@@ -1,0 +1,82 @@
+"""Tests for the TIF scale-up procedure."""
+
+import pytest
+
+from repro.traces.base import Trace, TraceRecord
+from repro.traces.scaleup import scale_up, scaled_summary
+from repro.traces.hp import HP_ORIGINAL_SUMMARY
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    return generate_trace(SyntheticTraceConfig(n_files=60, n_requests=200, n_projects=5, seed=3))
+
+
+class TestScaleUp:
+    def test_record_and_file_counts_multiply(self, base_trace):
+        scaled = scale_up(base_trace, 4)
+        assert len(scaled.records) == 4 * len(base_trace.records)
+        assert len(scaled.files) == 4 * len(base_trace.files)
+
+    def test_tif_one_is_identity(self, base_trace):
+        assert scale_up(base_trace, 1) is base_trace
+
+    def test_invalid_tif(self, base_trace):
+        with pytest.raises(ValueError):
+            scale_up(base_trace, 0)
+
+    def test_subtrace_ids_make_paths_unique(self, base_trace):
+        scaled = scale_up(base_trace, 3)
+        paths = [f.path for f in scaled.files]
+        assert len(paths) == len(set(paths))
+        assert any(p.startswith("/tif0000") for p in paths)
+        assert any(p.startswith("/tif0002") for p in paths)
+
+    def test_start_times_zeroed(self, base_trace):
+        scaled = scale_up(base_trace, 2)
+        assert scaled.records[0].timestamp == pytest.approx(
+            0.0, abs=base_trace.records[0].timestamp + 1e-9
+        )
+
+    def test_chronological_order_within_subtrace_preserved(self, base_trace):
+        scaled = scale_up(base_trace, 2)
+        for sub in range(2):
+            stamps = [r.timestamp for r in scaled.records if r.path.startswith(f"/tif{sub:04d}")]
+            assert stamps == sorted(stamps)
+
+    def test_operation_histogram_preserved(self, base_trace):
+        scaled = scale_up(base_trace, 3)
+        def histogram(trace):
+            counts = {}
+            for r in trace.records:
+                counts[r.op] = counts.get(r.op, 0) + 1
+            return counts
+        base_hist = histogram(base_trace)
+        scaled_hist = histogram(scaled)
+        assert scaled_hist == {op: 3 * c for op, c in base_hist.items()}
+
+    def test_user_population_expands(self, base_trace):
+        scaled = scale_up(base_trace, 2)
+        assert scaled.summary().active_users > base_trace.summary().active_users
+
+
+class TestScaledSummary:
+    def test_hp_table1_row(self):
+        scaled = scaled_summary(HP_ORIGINAL_SUMMARY, 80)
+        assert scaled.total_requests == 94_700_000 * 80
+        assert scaled.active_users == 32 * 80
+        assert scaled.user_accounts == 207 * 80
+        assert scaled.active_files == 969_000 * 80
+        assert scaled.total_files == 4_000_000 * 80
+
+    def test_name_mentions_tif(self):
+        assert "TIF=10" in scaled_summary(HP_ORIGINAL_SUMMARY, 10).name
+
+    def test_invalid_tif(self):
+        with pytest.raises(ValueError):
+            scaled_summary(HP_ORIGINAL_SUMMARY, 0)
+
+    def test_duration_scales(self):
+        scaled = scaled_summary(HP_ORIGINAL_SUMMARY, 3)
+        assert scaled.duration_hours == HP_ORIGINAL_SUMMARY.duration_hours * 3

@@ -1,0 +1,104 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(SyntheticTraceConfig(n_files=300, n_requests=1500, n_projects=6, seed=1))
+
+
+class TestConfigValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(read_fraction=0.9, write_fraction=0.9,
+                                 stat_fraction=0.0, create_fraction=0.0)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(read_fraction=-0.1, write_fraction=0.6,
+                                 stat_fraction=0.4, create_fraction=0.1)
+
+    def test_projects_bounded_by_files(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_files=5, n_projects=10)
+
+    def test_zero_files_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_files=0)
+
+
+class TestGeneration:
+    def test_population_sizes(self, small_trace):
+        assert len(small_trace.files) == 300
+        assert len(small_trace.records) == 1500
+
+    def test_every_file_has_full_schema(self, small_trace):
+        for f in small_trace.files[:50]:
+            for name in DEFAULT_SCHEMA.names:
+                assert name in f.attributes
+
+    def test_records_reference_generated_files(self, small_trace):
+        paths = {f.path for f in small_trace.files}
+        assert all(r.path in paths for r in small_trace.records)
+
+    def test_timestamps_within_duration(self, small_trace):
+        duration = 6.0 * 3600
+        assert all(0 <= r.timestamp <= duration for r in small_trace.records)
+
+    def test_project_annotation_present(self, small_trace):
+        projects = {f.extra["project"] for f in small_trace.files}
+        assert projects <= set(range(6))
+        assert len(projects) > 1
+
+    def test_deterministic_for_same_seed(self):
+        cfg = SyntheticTraceConfig(n_files=50, n_requests=100, n_projects=5, seed=9)
+        a = generate_trace(cfg)
+        b = generate_trace(cfg)
+        assert [f.path for f in a.files] == [f.path for f in b.files]
+        assert [r.path for r in a.records] == [r.path for r in b.records]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(SyntheticTraceConfig(n_files=50, n_requests=100, n_projects=5, seed=1))
+        b = generate_trace(SyntheticTraceConfig(n_files=50, n_requests=100, n_projects=5, seed=2))
+        assert [r.path for r in a.records] != [r.path for r in b.records]
+
+    def test_popularity_is_skewed(self, small_trace):
+        counts = {}
+        for r in small_trace.records:
+            counts[r.path] = counts.get(r.path, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        top_decile = sum(values[: max(1, len(values) // 10)])
+        assert top_decile > 0.2 * len(small_trace.records)
+
+    def test_zero_requests_allowed(self):
+        trace = generate_trace(SyntheticTraceConfig(n_files=20, n_requests=0, n_projects=4))
+        assert len(trace.records) == 0
+        assert len(trace.files) == 20
+
+
+class TestSemanticCorrelation:
+    def test_projects_cluster_in_attribute_space(self, small_trace):
+        """Within-project attribute variance must be well below the global one."""
+        files = small_trace.files
+        sizes = np.log1p(np.array([f.attributes["size"] for f in files]))
+        projects = np.array([f.extra["project"] for f in files])
+        within = np.mean([sizes[projects == p].std() for p in np.unique(projects)])
+        assert within < 0.8 * sizes.std()
+
+    def test_ctimes_cluster_per_project(self, small_trace):
+        files = small_trace.files
+        ctimes = np.array([f.attributes["ctime"] for f in files])
+        projects = np.array([f.extra["project"] for f in files])
+        within = np.mean([ctimes[projects == p].std() for p in np.unique(projects)])
+        assert within < 0.5 * ctimes.std()
+
+    def test_owner_constant_within_project(self, small_trace):
+        files = small_trace.files
+        for p in set(f.extra["project"] for f in files):
+            owners = {f.attributes["owner"] for f in files if f.extra["project"] == p}
+            assert len(owners) == 1

@@ -1,0 +1,126 @@
+"""Tests for the query workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.generator import DISTRIBUTIONS, QueryWorkloadGenerator
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return QueryWorkloadGenerator(make_files(120), DEFAULT_SCHEMA, seed=5)
+
+
+class TestConstruction:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkloadGenerator([], DEFAULT_SCHEMA)
+
+    def test_distributions_constant(self):
+        assert set(DISTRIBUTIONS) == {"uniform", "gauss", "zipf"}
+
+
+class TestPointQueries:
+    def test_count_and_type(self, generator):
+        qs = generator.point_queries(50)
+        assert len(qs) == 50
+        assert all(isinstance(q, PointQuery) for q in qs)
+
+    def test_existing_fraction(self, generator):
+        qs = generator.point_queries(100, existing_fraction=0.8)
+        filenames = {f.filename for f in generator.files}
+        existing = sum(1 for q in qs if q.filename in filenames)
+        assert 70 <= existing <= 90
+
+    def test_all_existing(self, generator):
+        qs = generator.point_queries(30, existing_fraction=1.0)
+        filenames = {f.filename for f in generator.files}
+        assert all(q.filename in filenames for q in qs)
+
+    def test_invalid_fraction(self, generator):
+        with pytest.raises(ValueError):
+            generator.point_queries(5, existing_fraction=1.5)
+
+    def test_negative_count(self, generator):
+        with pytest.raises(ValueError):
+            generator.point_queries(-1)
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_windows_within_attribute_bounds(self, generator, dist):
+        qs = generator.range_queries(20, ("size", "mtime"), distribution=dist)
+        sizes = [f.attributes["size"] for f in generator.files]
+        mtimes = [f.attributes["mtime"] for f in generator.files]
+        for q in qs:
+            assert isinstance(q, RangeQuery)
+            assert q.lower[0] <= max(sizes) * 1.001
+            assert q.upper[1] <= max(mtimes) * 1.001
+            assert q.lower[0] <= q.upper[0]
+
+    def test_default_attributes_are_paper_trio(self, generator):
+        q = generator.range_queries(1)[0]
+        assert q.attributes == ("mtime", "read_bytes", "write_bytes")
+
+    def test_selectivity_controls_window_width(self, generator):
+        narrow = generator.range_queries(20, ("mtime",), selectivity=0.01, distribution="uniform")
+        wide = generator.range_queries(20, ("mtime",), selectivity=0.5, distribution="uniform")
+        mean_narrow = np.mean([q.upper[0] - q.lower[0] for q in narrow])
+        mean_wide = np.mean([q.upper[0] - q.lower[0] for q in wide])
+        assert mean_wide > mean_narrow
+
+    def test_ensure_nonempty(self, generator):
+        qs = generator.range_queries(20, distribution="uniform", ensure_nonempty=True)
+        for q in qs:
+            matches = [f for f in generator.files if f.matches_ranges(q.attributes, q.lower, q.upper)]
+            assert matches
+
+    def test_invalid_selectivity(self, generator):
+        with pytest.raises(ValueError):
+            generator.range_queries(5, selectivity=0.0)
+
+    def test_unknown_distribution(self, generator):
+        with pytest.raises(ValueError):
+            generator.range_queries(5, distribution="pareto")
+
+    def test_unknown_attribute(self, generator):
+        with pytest.raises(KeyError):
+            generator.range_queries(5, ("bogus",))
+
+
+class TestTopKQueries:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_basic(self, generator, dist):
+        qs = generator.topk_queries(15, ("size", "mtime"), k=8, distribution=dist)
+        assert len(qs) == 15
+        assert all(isinstance(q, TopKQuery) and q.k == 8 for q in qs)
+
+    def test_values_within_bounds(self, generator):
+        qs = generator.topk_queries(30, ("size",), distribution="uniform")
+        max_size = max(f.attributes["size"] for f in generator.files)
+        assert all(0 <= q.values[0] <= max_size * 1.001 for q in qs)
+
+    def test_zipf_centers_near_existing_files(self, generator):
+        qs = generator.topk_queries(30, ("mtime",), distribution="zipf")
+        mtimes = np.array([f.attributes["mtime"] for f in generator.files])
+        span = mtimes.max() - mtimes.min()
+        for q in qs:
+            assert np.min(np.abs(mtimes - q.values[0])) < 0.2 * span
+
+
+class TestMixedWorkload:
+    def test_mixed_counts(self, generator):
+        qs = generator.mixed_complex_queries(10, 15)
+        assert len(qs) == 25
+        assert sum(isinstance(q, RangeQuery) for q in qs) == 10
+        assert sum(isinstance(q, TopKQuery) for q in qs) == 15
+
+    def test_reproducible_with_seed(self):
+        files = make_files(80)
+        a = QueryWorkloadGenerator(files, seed=3).range_queries(10)
+        b = QueryWorkloadGenerator(files, seed=3).range_queries(10)
+        assert a == b

@@ -1,0 +1,132 @@
+"""Tests for the trace replayer."""
+
+import pytest
+
+from repro.metadata.file_metadata import FileMetadata
+from repro.traces.base import Trace, TraceRecord
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.workloads.replay import ACCESS_OPS, TraceReplayer
+
+
+def _file(path, project=None, **attrs):
+    defaults = {
+        "size": 100.0, "ctime": 1.0, "mtime": 2.0, "atime": 3.0,
+        "read_bytes": 10.0, "write_bytes": 5.0, "access_count": 1.0, "owner": 0.0,
+    }
+    defaults.update(attrs)
+    extra = {"project": project} if project is not None else {}
+    return FileMetadata(path=path, attributes=defaults, extra=extra)
+
+
+@pytest.fixture()
+def tiny_trace():
+    files = [
+        _file("/p0/a.dat", project=0),
+        _file("/p0/b.dat", project=0),
+        _file("/p1/c.dat", project=1),
+    ]
+    records = [
+        TraceRecord(0.0, "read", "/p0/a.dat", 10.0, user_id=1, process_id=100),
+        TraceRecord(1.0, "write", "/p0/b.dat", 20.0, user_id=1, process_id=100),
+        TraceRecord(2.0, "read", "/p1/c.dat", 5.0, user_id=2, process_id=200),
+        TraceRecord(3.0, "stat", "/p0/a.dat", 0.0, user_id=2, process_id=200),
+        TraceRecord(4.0, "create", "/p9/new.dat", 0.0, user_id=1, process_id=100),
+        TraceRecord(5.0, "read", "/does/not/exist.dat", 1.0, user_id=1, process_id=100),
+    ]
+    return Trace(name="tiny", records=records, files=files)
+
+
+class TestResolution:
+    def test_access_stream_order_and_filtering(self, tiny_trace):
+        replayer = TraceReplayer(tiny_trace)
+        stream = replayer.access_stream()
+        # create and unknown-path records are dropped; order follows timestamps.
+        assert [f.path for f in stream] == [
+            "/p0/a.dat", "/p0/b.dat", "/p1/c.dat", "/p0/a.dat",
+        ]
+
+    def test_resolve_respects_include_ops(self, tiny_trace):
+        replayer = TraceReplayer(tiny_trace, include_ops=("read",))
+        stream = replayer.access_stream()
+        assert [f.path for f in stream] == ["/p0/a.dat", "/p1/c.dat"]
+        assert replayer.resolve(tiny_trace.records[1]) is None  # a write
+
+    def test_per_user_and_per_process_streams(self, tiny_trace):
+        replayer = TraceReplayer(tiny_trace)
+        by_user = replayer.per_user_streams()
+        assert {u: [f.path for f in s] for u, s in by_user.items()} == {
+            1: ["/p0/a.dat", "/p0/b.dat"],
+            2: ["/p1/c.dat", "/p0/a.dat"],
+        }
+        by_process = replayer.per_process_streams()
+        assert set(by_process) == {100, 200}
+
+    def test_repr(self, tiny_trace):
+        assert "tiny" in repr(TraceReplayer(tiny_trace))
+
+
+class TestStatistics:
+    def test_popular_files(self, tiny_trace):
+        replayer = TraceReplayer(tiny_trace)
+        popular = replayer.popular_files(2)
+        assert popular[0][0].path == "/p0/a.dat"
+        assert popular[0][1] == 2
+
+    def test_statistics_contents(self, tiny_trace):
+        stats = TraceReplayer(tiny_trace).statistics(top_fraction=0.5)
+        assert stats.total_accesses == 4
+        assert stats.unique_files == 3
+        # consecutive pairs: (a,b) same project, (b,c) different, (c,a) different.
+        assert stats.consecutive_correlation == pytest.approx(1 / 3)
+        assert abs(sum(stats.operation_mix.values()) - 1.0) < 1e-9
+        assert 0.0 < stats.top_file_share <= 1.0
+        assert stats.as_dict()["unique_files"] == 3
+
+    def test_statistics_empty_stream(self):
+        trace = Trace(name="empty", records=[], files=[_file("/a.dat")])
+        stats = TraceReplayer(trace).statistics()
+        assert stats.total_accesses == 0
+        assert stats.top_file_share == 0.0
+
+    def test_top_fraction_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            TraceReplayer(tiny_trace).statistics(top_fraction=0.0)
+
+    def test_directory_fallback_for_correlation(self):
+        files = [_file("/d/x.dat"), _file("/d/y.dat"), _file("/e/z.dat")]
+        records = [
+            TraceRecord(0.0, "read", "/d/x.dat"),
+            TraceRecord(1.0, "read", "/d/y.dat"),
+            TraceRecord(2.0, "read", "/e/z.dat"),
+        ]
+        stats = TraceReplayer(Trace(name="dirs", records=records, files=files)).statistics()
+        assert stats.consecutive_correlation == pytest.approx(0.5)
+
+
+class TestOnSyntheticTraces:
+    def test_synthetic_trace_shows_skew_and_correlation(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(n_files=300, n_requests=3000, n_projects=10, seed=11)
+        )
+        replayer = TraceReplayer(trace)
+        stats = replayer.statistics()
+        assert stats.total_accesses > 2000
+        # Zipf popularity: the hottest 10% of touched files absorb well over
+        # their proportional share of requests (Filecules-style skew).
+        assert stats.top_file_share > 0.2
+        # Requests are Zipf over files, so consecutive accesses frequently hit
+        # popular (and hence often same-project) files.
+        assert 0.0 <= stats.consecutive_correlation <= 1.0
+        assert set(stats.operation_mix) <= set(ACCESS_OPS)
+
+    def test_access_stream_feeds_caches(self):
+        from repro.apps.caching import LRUCache
+
+        trace = generate_trace(
+            SyntheticTraceConfig(n_files=100, n_requests=800, n_projects=5, seed=13)
+        )
+        stream = TraceReplayer(trace).access_stream()
+        cache = LRUCache(32)
+        for f in stream:
+            cache.access(f.file_id)
+        assert len(cache) <= 32

@@ -1,0 +1,69 @@
+"""Tests for the query type objects."""
+
+import pytest
+
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+
+class TestPointQuery:
+    def test_valid(self):
+        assert PointQuery("a.txt").filename == "a.txt"
+
+    def test_empty_filename_rejected(self):
+        with pytest.raises(ValueError):
+            PointQuery("")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PointQuery("a").filename = "b"  # type: ignore
+
+
+class TestRangeQuery:
+    def test_valid(self):
+        q = RangeQuery(("size", "mtime"), (0.0, 10.0), (100.0, 20.0))
+        assert q.dimensionality == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(("size",), (0.0, 1.0), (1.0, 2.0))
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(("size",), (10.0,), (5.0,))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery((), (), ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery(("size", "size"), (0, 0), (1, 1))
+
+    def test_point_window_allowed(self):
+        RangeQuery(("size",), (5.0,), (5.0,))
+
+
+class TestTopKQuery:
+    def test_valid(self):
+        q = TopKQuery(("size", "mtime"), (100.0, 50.0), k=8)
+        assert q.k == 8
+        assert q.dimensionality == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopKQuery(("size",), (1.0,), k=0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TopKQuery(("size",), (1.0, 2.0), k=3)
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            TopKQuery((), (), k=1)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            TopKQuery(("a", "a"), (1.0, 2.0), k=1)
+
+    def test_hashable(self):
+        assert len({TopKQuery(("size",), (1.0,), 3), TopKQuery(("size",), (1.0,), 3)}) == 1
