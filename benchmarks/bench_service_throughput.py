@@ -1,0 +1,149 @@
+"""Service: throughput and latency of the concurrent query service.
+
+Not a paper figure — this benchmark covers the serving layer grown on top
+of the reproduction (ROADMAP north star).  A repeated-query stream (every
+unique query recurs, interleaved, the way popular requests recur in real
+query traffic) is driven through four service configurations plus the
+serial uncached facade baseline:
+
+* serial uncached — direct ``store.execute`` calls, one at a time;
+* service with the result cache and the batcher ablated on/off in all four
+  combinations.
+
+Reported per configuration: wall-clock throughput, speedup over serial,
+cache hit rate and the per-query-type simulated-latency percentiles of the
+full service.  Every configuration must return result payloads identical
+to the serial baseline — caching, coalescing and concurrency are not
+allowed to change any answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import NUM_UNITS, record_result
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.service import (
+    LoadGenerator,
+    QueryService,
+    ServiceConfig,
+    repeated_stream,
+    result_fingerprint,
+)
+from repro.workloads.generator import QueryWorkloadGenerator
+
+#: Unique queries per type and stream repetition factor.
+UNIQUE_PER_TYPE = 16
+REPEAT = 6
+WORKERS = 4
+BATCH_WINDOW = 16
+
+CONFIGURATIONS = [
+    ("service (cache + batching)", True, True),
+    ("service (cache only)", True, False),
+    ("service (batching only)", False, True),
+    ("service (neither)", False, False),
+]
+
+
+def _build_stream(files, seed=13):
+    generator = QueryWorkloadGenerator(files, seed=seed)
+    base = (
+        generator.point_queries(UNIQUE_PER_TYPE, existing_fraction=0.8)
+        + generator.range_queries(UNIQUE_PER_TYPE, distribution="zipf")
+        + generator.topk_queries(UNIQUE_PER_TYPE, k=8, distribution="zipf")
+    )
+    return repeated_stream(base, REPEAT, seed=3)
+
+
+def _run_all(files):
+    stream = _build_stream(files)
+
+    def build_store():
+        return SmartStore.build(files, SmartStoreConfig(num_units=NUM_UNITS, seed=17))
+
+    store = build_store()
+    started = time.perf_counter()
+    serial = [store.execute(q) for q in stream]
+    serial_wall = time.perf_counter() - started
+    reference = [result_fingerprint(r) for r in serial]
+
+    rows = [
+        ["serial uncached", f"{serial_wall:.3f}", f"{len(stream) / serial_wall:.0f}",
+         "1.00x", "-", "yes"]
+    ]
+    speedups = {}
+    telemetry_rows = None
+    for label, cache_on, batching_on in CONFIGURATIONS:
+        config = ServiceConfig(
+            max_workers=WORKERS,
+            batch_window=BATCH_WINDOW,
+            cache_enabled=cache_on,
+            batching_enabled=batching_on,
+        )
+        with QueryService(build_store(), config) as service:
+            report = LoadGenerator(service, seed=5).open_loop(stream)
+            identical = all(
+                result_fingerprint(r) == ref
+                for r, ref in zip(report.results, reference)
+            )
+            hit_rate = (
+                f"{service.cache.stats.hit_rate * 100:.0f}%"
+                if service.cache is not None
+                else "-"
+            )
+            if cache_on and batching_on:
+                telemetry_rows = service.telemetry.report_rows()
+        speedups[label] = (serial_wall / report.wall_seconds, identical)
+        rows.append(
+            [
+                label,
+                f"{report.wall_seconds:.3f}",
+                f"{report.achieved_qps:.0f}",
+                f"{serial_wall / report.wall_seconds:.2f}x",
+                hit_rate,
+                "yes" if identical else "NO",
+            ]
+        )
+
+    table = format_table(
+        ["configuration", "wall (s)", "qps", "speedup", "cache hits", "identical"],
+        rows,
+        title=f"Query-service throughput — {len(files)} files, "
+        f"{len(stream)} requests ({UNIQUE_PER_TYPE * 3} unique x{REPEAT})",
+    )
+    telemetry = format_table(
+        ["query type", "requests", "engine", "cache", "coalesced",
+         "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        telemetry_rows,
+        title="service telemetry (cache + batching, simulated latency)",
+    )
+    return table + "\n\n" + telemetry, speedups
+
+
+def test_service_throughput(benchmark, msn_files):
+    text, speedups = benchmark.pedantic(_run_all, args=(msn_files,), rounds=1, iterations=1)
+    record_result("service_throughput", text)
+
+    # Every configuration must answer exactly like the serial facade.
+    for label, (_, identical) in speedups.items():
+        assert identical, f"{label} diverged from serial execution"
+    # The headline claim: cache + batching gives >= 2x throughput over
+    # serial uncached execution on a repeated-query stream.
+    speedup, _ = speedups["service (cache + batching)"]
+    assert speedup >= 2.0, f"cache+batching speedup {speedup:.2f}x < 2x"
+
+
+def test_service_single_cached_query_wallclock(benchmark, msn_files):
+    """Wall-clock cost of serving one query from the warm result cache."""
+    store = SmartStore.build(msn_files, SmartStoreConfig(num_units=NUM_UNITS, seed=17))
+    query = QueryWorkloadGenerator(msn_files, seed=13).range_queries(
+        1, ensure_nonempty=True
+    )[0]
+    with QueryService(store, ServiceConfig(batching_enabled=False)) as service:
+        service.execute(query)  # warm
+        result = benchmark(service.execute, query)
+    assert result.files

@@ -42,13 +42,18 @@ Top-level layout
 ``repro.eval``
     Recall / latency / space metrics, experiment harness and the
     table/figure reporters used by ``benchmarks/``.
+``repro.service``
+    The concurrent query-service layer: batched/coalesced execution with
+    admission control, versioning-aware result caching, service telemetry
+    and open/closed-loop load generation.
 """
 
 from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
 from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.service import QueryService, ServiceConfig
 from repro.workloads import PointQuery, RangeQuery, TopKQuery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributeSchema",
@@ -56,6 +61,8 @@ __all__ = [
     "DEFAULT_SCHEMA",
     "SmartStore",
     "SmartStoreConfig",
+    "QueryService",
+    "ServiceConfig",
     "PointQuery",
     "RangeQuery",
     "TopKQuery",

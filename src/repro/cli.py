@@ -21,6 +21,11 @@ Subcommands
     Run a mixed workload against SmartStore and the baselines (non-semantic
     R-tree, per-attribute DBMS, directory tree) and print the latency /
     message comparison (a small, live version of the paper's Table 4).
+``serve-bench``
+    Drive the concurrent query service with a repeated-query stream and
+    print throughput/latency with the result cache and the batcher ablated
+    on and off, verifying that every configuration returns the same result
+    payloads as direct serial execution.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -48,6 +53,13 @@ from repro.persistence import (
     save_snapshot,
     save_trace,
     snapshot_deployment,
+)
+from repro.service import (
+    LoadGenerator,
+    QueryService,
+    ServiceConfig,
+    repeated_stream,
+    result_fingerprint,
 )
 from repro.traces.eecs import eecs_trace
 from repro.traces.hp import hp_trace
@@ -80,6 +92,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_ablation_directory.py": "Ablation: directory-tree organisation vs SmartStore (namespace locality)",
     "bench_ablation_failures.py": "Ablation: availability and root failover under unit crashes",
     "bench_ablation_spyglass.py": "Ablation: Spyglass-style single-server partitioned index vs SmartStore",
+    "bench_service_throughput.py": "Service: query-service throughput/latency with cache and batching ablated",
 }
 
 
@@ -263,6 +276,107 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=args.seed)
+    base = (
+        generator.point_queries(args.queries, existing_fraction=0.8)
+        + generator.range_queries(args.queries, distribution=args.distribution)
+        + generator.topk_queries(args.queries, k=8, distribution=args.distribution)
+    )
+    stream = repeated_stream(base, args.repeat, seed=args.seed)
+
+    def build_store():
+        return SmartStore.build(
+            files, SmartStoreConfig(num_units=args.units, seed=args.seed)
+        )
+
+    # Serial, uncached baseline: the library facade, one query at a time.
+    store = build_store()
+    started = time.perf_counter()
+    serial_results = [store.execute(q) for q in stream]
+    serial_wall = time.perf_counter() - started
+    reference = [result_fingerprint(r) for r in serial_results]
+
+    configurations = [
+        ("service (cache + batching)", True, True),
+        ("service (cache only)", True, False),
+        ("service (batching only)", False, True),
+        ("service (neither)", False, False),
+    ]
+    rows = [
+        [
+            "serial uncached",
+            f"{serial_wall:.3f}",
+            f"{len(stream) / serial_wall:.0f}",
+            "1.00x",
+            "-",
+            "yes",
+        ]
+    ]
+    telemetry_rows = None
+    for label, cache_on, batching_on in configurations:
+        config = ServiceConfig(
+            max_workers=args.workers,
+            batch_window=args.batch_window,
+            cache_enabled=cache_on,
+            batching_enabled=batching_on,
+            seed=args.seed,
+        )
+        with QueryService(build_store(), config) as service:
+            loadgen = LoadGenerator(service, seed=args.seed)
+            if args.mode == "closed":
+                report = loadgen.closed_loop(stream, clients=args.clients)
+            else:
+                report = loadgen.open_loop(stream)
+            identical = all(
+                result_fingerprint(r) == ref
+                for r, ref in zip(report.results, reference)
+            )
+            hit_rate = (
+                f"{service.cache.stats.hit_rate * 100:.0f}%"
+                if service.cache is not None
+                else "-"
+            )
+            if cache_on and batching_on:
+                telemetry_rows = service.telemetry.report_rows()
+        rows.append(
+            [
+                label,
+                f"{report.wall_seconds:.3f}",
+                f"{report.achieved_qps:.0f}",
+                f"{serial_wall / report.wall_seconds:.2f}x",
+                hit_rate,
+                "yes" if identical else "NO",
+            ]
+        )
+
+    _print(
+        format_table(
+            ["configuration", "wall (s)", "qps", "speedup", "cache hits", "results identical"],
+            rows,
+            title=f"serve-bench: {len(files)} files, {len(stream)} requests "
+            f"({len(base)} unique x{args.repeat}), {args.workers} workers, "
+            f"{args.mode} loop",
+        )
+    )
+    if telemetry_rows:
+        _print(
+            format_table(
+                ["query type", "requests", "engine", "cache", "coalesced",
+                 "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+                telemetry_rows,
+                title="service telemetry (cache + batching, simulated latency)",
+            )
+        )
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -329,6 +443,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--queries", type=int, default=20, help="queries per workload")
     p_cmp.add_argument("--distribution", choices=("uniform", "gauss", "zipf"), default="zipf")
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_serve = sub.add_parser(
+        "serve-bench", help="benchmark the concurrent query service"
+    )
+    add_trace_source(p_serve)
+    p_serve.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_serve.add_argument("--units", type=int, default=20, help="number of storage units")
+    p_serve.add_argument("--queries", type=int, default=12,
+                         help="unique queries per type (point/range/top-k)")
+    p_serve.add_argument("--repeat", type=int, default=4,
+                         help="how often the unique workload recurs in the stream")
+    p_serve.add_argument("--workers", type=int, default=4, help="thread-pool size")
+    p_serve.add_argument("--batch-window", type=int, default=16,
+                         help="requests coalesced per batch")
+    p_serve.add_argument("--mode", choices=("open", "closed"), default="open",
+                         help="load-generation client model")
+    p_serve.add_argument("--clients", type=int, default=4,
+                         help="concurrent clients (closed loop)")
+    p_serve.add_argument("--distribution", choices=("uniform", "gauss", "zipf"),
+                         default="zipf")
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

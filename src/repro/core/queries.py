@@ -225,10 +225,18 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------ point query
-    def point_query(self, query: PointQuery) -> QueryResult:
-        """Filename point query routed over the Bloom-filter hierarchy."""
+    def point_query(
+        self, query: PointQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
+        """Filename point query routed over the Bloom-filter hierarchy.
+
+        ``home_unit`` pins the storage unit the request initially lands on;
+        when omitted it is drawn from the cluster's shared RNG.  The query
+        service passes a per-request deterministic home so that concurrent
+        execution keeps the cost accounting reproducible.
+        """
         metrics = Metrics()
-        home = self.cluster.random_home_unit()
+        home = home_unit if home_unit is not None else self.cluster.random_home_unit()
         metrics.record_unit_visit(home)
 
         # Check the home unit's own filter first (free, local).
@@ -268,10 +276,12 @@ class QueryEngine:
         return self._finish(results, metrics, groups_visited)
 
     # ------------------------------------------------------------------ range query
-    def range_query(self, query: RangeQuery) -> QueryResult:
+    def range_query(
+        self, query: RangeQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
         """Multi-dimensional range query."""
         metrics = Metrics()
-        home = self.cluster.random_home_unit()
+        home = home_unit if home_unit is not None else self.cluster.random_home_unit()
         metrics.record_unit_visit(home)
         attr_idx = list(self.schema.indices(query.attributes))
         # The log transform is monotone per dimension, so the raw-unit window
@@ -370,7 +380,9 @@ class QueryEngine:
         return self._limit_range_groups(attr_idx, np.asarray(lower), np.asarray(upper), groups)
 
     # ------------------------------------------------------------------ top-k query
-    def topk_query(self, query: TopKQuery) -> QueryResult:
+    def topk_query(
+        self, query: TopKQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
         """Top-k nearest-neighbour query with MaxD refinement.
 
         The target group (the one "most closely associated with the query
@@ -381,7 +393,7 @@ class QueryEngine:
         ``MaxD`` and the search-breadth budget allows.
         """
         metrics = Metrics()
-        home = self.cluster.random_home_unit()
+        home = home_unit if home_unit is not None else self.cluster.random_home_unit()
         metrics.record_unit_visit(home)
         attr_idx = list(self.schema.indices(query.attributes))
         index_point = self.to_index_space(attr_idx, query.values)

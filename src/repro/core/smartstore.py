@@ -317,6 +317,15 @@ class SmartStore:
             return self.topk_query(query)
         raise TypeError(f"unsupported query type {type(query)!r}")
 
+    def serve(self, service_config=None):
+        """A :class:`~repro.service.service.QueryService` over this deployment.
+
+        Imported lazily: the service layer depends on this module.
+        """
+        from repro.service.service import QueryService
+
+        return QueryService(self, service_config)
+
     # ------------------------------------------------------------------ updates
     def file_semantic_vector(self, file: FileMetadata) -> np.ndarray:
         """Fold one file's attributes into the LSI semantic subspace."""
@@ -406,6 +415,7 @@ class SmartStore:
         self.offline_router.refresh_all()
         self._pending_insertions = 0
         self._pending_deletions = 0
+        self.versioning.touch()
         return applied
 
     # ------------------------------------------------------------------ accounting

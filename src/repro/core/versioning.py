@@ -22,7 +22,7 @@ changes that have not yet been folded into the originals:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cluster.metrics import Metrics
 from repro.metadata.file_metadata import FileMetadata
@@ -152,6 +152,48 @@ class VersioningManager:
             raise ValueError(f"version_ratio must be >= 1, got {version_ratio}")
         self.version_ratio = version_ratio
         self.chains: Dict[int, VersionChain] = {}
+        # Monotone counter bumped on every recorded change and on every
+        # reconfiguration; consumers that cache derived state (the query
+        # service's result cache) compare against it to detect staleness.
+        self._change_clock = 0
+        self._listeners: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ change notification
+    @property
+    def change_clock(self) -> int:
+        """Number of mutations (changes recorded + chains cleared) so far."""
+        return self._change_clock
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked after every mutation.
+
+        Listeners must be cheap and must not raise; the query service's
+        result cache uses this to invalidate eagerly instead of polling
+        :attr:`change_clock`.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self) -> None:
+        self._change_clock += 1
+        for listener in list(self._listeners):
+            listener()
+
+    def touch(self) -> None:
+        """Bump the change clock for a mutation that bypassed the chains.
+
+        Reconfiguration applies the cleared changes to the primary
+        structures *after* :meth:`clear_all` returns; callers invoke this
+        once the structures are consistent again so caches flushed mid-way
+        do not retain results computed against the half-applied state.
+        """
+        self._notify()
 
     def chain_for(self, group_id: int) -> VersionChain:
         """The chain of a group, created on first use."""
@@ -162,7 +204,9 @@ class VersioningManager:
         return chain
 
     def record(self, group_id: int, change: VersionedChange) -> Version:
-        return self.chain_for(group_id).record(change)
+        version = self.chain_for(group_id).record(change)
+        self._notify()
+        return version
 
     def pending_files(self, group_id: int, metrics: Optional[Metrics] = None) -> List[FileMetadata]:
         chain = self.chains.get(group_id)
@@ -180,4 +224,5 @@ class VersioningManager:
     def clear_all(self) -> Dict[int, List[VersionedChange]]:
         """Apply-and-forget every chain (used by reconfiguration)."""
         applied = {gid: chain.clear() for gid, chain in self.chains.items()}
+        self._notify()
         return applied

@@ -1,0 +1,191 @@
+"""Request batching and admission control for the query service.
+
+The batcher sits between request submission and the engine:
+
+* **Admission control** caps the number of requests admitted but not yet
+  completed.  Submitters either block until a slot frees up (backpressure,
+  the default — what a closed-loop client wants) or are rejected
+  immediately (``block=False`` — what an overloaded open-loop service
+  does).
+* **Coalescing** groups the requests of one batch by their query value.
+  The frozen query dataclasses of :mod:`repro.workloads.types` are
+  hashable, so "same-window range queries" and "same-name point queries"
+  are exactly the requests whose query objects compare equal.  Each group
+  executes once; every member receives the same result payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.types import Query
+
+__all__ = [
+    "ServiceOverloadedError",
+    "ServiceRequest",
+    "AdmissionController",
+    "RequestBatcher",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised when a non-blocking submission exceeds the admission limit."""
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted request travelling through the service.
+
+    ``request_id`` is assigned in admission order; ``seed`` is drawn from
+    ``(service seed, request_id)`` and ``home_unit`` from the same stream,
+    so cost accounting does not depend on thread scheduling.  The seed is
+    kept on the request to make the draw replayable when debugging.
+    """
+
+    request_id: int
+    query: Query
+    seed: int
+    home_unit: int
+    future: "Future" = field(default_factory=Future)
+
+    def resolve(self, result) -> None:
+        if not self.future.done():
+            self.future.set_result(result)
+
+    def fail(self, exc: BaseException) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+
+class AdmissionController:
+    """Counting semaphore with optional rejection and drain support."""
+
+    def __init__(self, max_in_flight: int, *, block: bool = True) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.max_in_flight = max_in_flight
+        self.block = block
+        self._in_flight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------ slots
+    def admit(self) -> bool:
+        """Take a slot; blocks or returns ``False`` depending on policy."""
+        with self._cond:
+            if not self.block and self._in_flight >= self.max_in_flight:
+                self._rejected += 1
+                return False
+            while self._in_flight >= self.max_in_flight:
+                self._cond.wait()
+            self._in_flight += 1
+            self._admitted += 1
+            return True
+
+    def release(self, count: int = 1) -> None:
+        with self._cond:
+            self._in_flight = max(0, self._in_flight - count)
+            self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Block until no admitted request remains in flight."""
+        with self._cond:
+            while self._in_flight > 0:
+                self._cond.wait()
+
+    # ------------------------------------------------------------------ accounting
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(in_flight={self.in_flight}/{self.max_in_flight}, "
+            f"admitted={self._admitted}, rejected={self._rejected})"
+        )
+
+
+class RequestBatcher:
+    """Accumulates admitted requests into batches of at most ``window``.
+
+    The batcher itself is a passive buffer: the service decides when to
+    flush (window full, explicit drain, or immediate execution for
+    unbatched submissions).  ``coalesce`` is the pure grouping step and is
+    also used directly for pre-formed batches.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._pending: List[ServiceRequest] = []
+        self._lock = threading.Lock()
+        self.batches_formed = 0
+        self.coalesced_requests = 0
+
+    # ------------------------------------------------------------------ buffering
+    def add(self, request: ServiceRequest) -> Optional[List[ServiceRequest]]:
+        """Buffer a request; returns a full batch when the window fills."""
+        with self._lock:
+            self._pending.append(request)
+            if len(self._pending) >= self.window:
+                batch, self._pending = self._pending, []
+                self.batches_formed += 1
+                return batch
+            return None
+
+    def flush(self) -> List[ServiceRequest]:
+        """Take whatever is buffered (possibly an empty list)."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+            if batch:
+                self.batches_formed += 1
+            return batch
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------ coalescing
+    def coalesce(
+        self, requests: Sequence[ServiceRequest]
+    ) -> List[Tuple[Query, List[ServiceRequest]]]:
+        """Group a batch by query value, preserving first-seen order.
+
+        The first request of each group is the *leader* that actually
+        executes; the rest ride along.  Coalesced (non-leader) requests are
+        counted for telemetry.
+        """
+        groups: "Dict[Query, List[ServiceRequest]]" = {}
+        order: List[Query] = []
+        for request in requests:
+            bucket = groups.get(request.query)
+            if bucket is None:
+                groups[request.query] = [request]
+                order.append(request.query)
+            else:
+                bucket.append(request)
+        coalesced = sum(len(groups[q]) - 1 for q in order)
+        with self._lock:
+            self.coalesced_requests += coalesced
+        return [(q, groups[q]) for q in order]
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestBatcher(window={self.window}, pending={self.pending}, "
+            f"batches={self.batches_formed}, coalesced={self.coalesced_requests})"
+        )

@@ -1,0 +1,210 @@
+"""Open- and closed-loop load generation against a :class:`QueryService`.
+
+Two canonical client models from the serving literature:
+
+* **closed loop** — a fixed population of clients, each waiting for its
+  previous response (plus an optional think time) before issuing the next
+  request.  Offered load adapts to service speed; this is the model that
+  exposes latency.
+* **open loop** — requests arrive on their own schedule regardless of
+  completions (Poisson arrivals at ``rate_qps``, or as fast as the
+  submitter can go when no rate is given).  Offered load does *not* adapt,
+  which is the model that exposes overload and admission behaviour.
+
+Query streams come from :class:`~repro.workloads.generator.QueryWorkloadGenerator`
+(synthetic attribute-space workloads) or from a
+:class:`~repro.workloads.replay.TraceReplayer` access stream via
+:func:`replay_point_stream` (every resolved access becomes a filename point
+query — the metadata-heavy request mix the paper's motivating studies
+observe).  All load-generator randomness (stream shuffling, think times,
+inter-arrival gaps) is driven by an explicit seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.queries import QueryResult
+from repro.service.batching import ServiceOverloadedError
+from repro.service.service import QueryService
+from repro.workloads.replay import TraceReplayer
+from repro.workloads.types import PointQuery, Query
+
+__all__ = ["LoadReport", "LoadGenerator", "replay_point_stream", "repeated_stream"]
+
+
+def replay_point_stream(
+    replayer: TraceReplayer, *, limit: Optional[int] = None
+) -> List[PointQuery]:
+    """The replayer's access stream as filename point queries."""
+    stream = replayer.access_stream()
+    if limit is not None:
+        stream = stream[:limit]
+    return [PointQuery(f.filename) for f in stream]
+
+
+def repeated_stream(
+    queries: Sequence[Query], repeat: int, *, seed: int = 0
+) -> List[Query]:
+    """``repeat`` copies of a base workload, shuffled deterministically.
+
+    This is the repeated-query stream the caching ablation uses: every
+    query recurs ``repeat`` times, interleaved, the way popular requests
+    recur in real query traffic.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    stream: List[Query] = [q for _ in range(repeat) for q in queries]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(stream))
+    return [stream[i] for i in order]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    requests: int
+    completed: int
+    rejected: int
+    wall_seconds: float
+    results: List[Optional[QueryResult]] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def total_simulated_latency(self) -> float:
+        return float(
+            sum(r.latency for r in self.results if r is not None)
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "wall_seconds": self.wall_seconds,
+            "achieved_qps": self.achieved_qps,
+            "total_simulated_latency_s": self.total_simulated_latency,
+        }
+
+
+class LoadGenerator:
+    """Drives a query service with a workload under a chosen client model."""
+
+    def __init__(self, service: QueryService, *, seed: int = 11) -> None:
+        self.service = service
+        self.seed = seed
+
+    # ------------------------------------------------------------------ closed loop
+    def closed_loop(
+        self,
+        queries: Sequence[Query],
+        *,
+        clients: int = 4,
+        think_time_s: float = 0.0,
+        collect_results: bool = True,
+    ) -> LoadReport:
+        """``clients`` concurrent clients issue the workload round-robin.
+
+        Client ``c`` serves queries ``c, c + clients, c + 2*clients, ...``
+        of the stream in order, waiting for each response (and an optional
+        exponential think time) before the next submission.
+        """
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        queries = list(queries)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        errors: List[BaseException] = []
+
+        def run_client(client_id: int) -> None:
+            rng = np.random.default_rng([self.seed, client_id])
+            try:
+                for i in range(client_id, len(queries), clients):
+                    results[i] = self.service.execute(queries[i])
+                    if think_time_s > 0.0:
+                        time.sleep(float(rng.exponential(think_time_s)))
+            except BaseException as exc:  # surface in the caller's thread
+                errors.append(exc)
+
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=run_client, args=(c,), name=f"repro-client-{c}")
+            for c in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        completed = sum(1 for r in results if r is not None)
+        return LoadReport(
+            mode="closed",
+            requests=len(queries),
+            completed=completed,
+            rejected=len(queries) - completed,
+            wall_seconds=wall,
+            results=results if collect_results else [],
+        )
+
+    # ------------------------------------------------------------------ open loop
+    def open_loop(
+        self,
+        queries: Sequence[Query],
+        *,
+        rate_qps: Optional[float] = None,
+        collect_results: bool = True,
+    ) -> LoadReport:
+        """Submit the stream on a fixed schedule, then drain.
+
+        With ``rate_qps`` the submitter spaces requests by exponential
+        inter-arrival gaps (Poisson arrivals); without it, requests are
+        submitted back-to-back.  Rejected submissions (admission limit with
+        ``block_on_overload=False``) leave a ``None`` in the results.
+        """
+        if rate_qps is not None and rate_qps <= 0.0:
+            raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+        queries = list(queries)
+        rng = np.random.default_rng([self.seed, 0x0BE2])
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        futures: List[Optional[object]] = [None] * len(queries)
+        rejected = 0
+
+        started = time.perf_counter()
+        next_arrival = started
+        for i, query in enumerate(queries):
+            if rate_qps is not None:
+                next_arrival += float(rng.exponential(1.0 / rate_qps))
+                delay = next_arrival - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                futures[i] = self.service.submit(query)
+            except ServiceOverloadedError:
+                rejected += 1
+        self.service.drain()
+        for i, future in enumerate(futures):
+            if future is not None:
+                results[i] = future.result()
+        wall = time.perf_counter() - started
+
+        completed = sum(1 for r in results if r is not None)
+        return LoadReport(
+            mode="open",
+            requests=len(queries),
+            completed=completed,
+            rejected=rejected,
+            wall_seconds=wall,
+            results=results if collect_results else [],
+        )

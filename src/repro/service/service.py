@@ -1,0 +1,337 @@
+"""The concurrent query service layered over a built SmartStore.
+
+A :class:`QueryService` turns the library facade into serving
+infrastructure:
+
+* requests are **admitted** (bounded in-flight window, blocking or
+  rejecting), **batched** (window of submissions) and **coalesced**
+  (identical queries execute once per batch);
+* unique queries execute **concurrently** on a thread pool against the
+  deployment's :class:`~repro.core.queries.QueryEngine`;
+* every request carries a **deterministic seed and home unit** derived from
+  its admission order, so results *and* simulated-cost accounting are
+  reproducible regardless of thread scheduling;
+* results are served from a versioning-aware :class:`ResultCache` when
+  possible, and every request is recorded by :class:`ServiceTelemetry`.
+
+Typical use::
+
+    from repro import SmartStore, SmartStoreConfig
+    from repro.service import QueryService, ServiceConfig
+
+    store = SmartStore.build(files, SmartStoreConfig(num_units=20))
+    with QueryService(store, ServiceConfig(max_workers=4)) as service:
+        results = service.execute_many(queries)
+        print(service.telemetry.report_rows())
+
+Correctness contract: with caching and batching enabled the service returns
+results whose payload (files, distances, found) is byte-identical to direct
+``store.execute`` calls over the same workload — verified by
+``tests/test_service_cache.py`` and re-checked by ``serve-bench``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.queries import QueryResult
+from repro.core.smartstore import SmartStore
+from repro.service.batching import (
+    AdmissionController,
+    RequestBatcher,
+    ServiceOverloadedError,
+    ServiceRequest,
+)
+from repro.service.cache import ResultCache
+from repro.service.telemetry import ServiceTelemetry
+from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
+
+__all__ = ["ServiceConfig", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a query service.
+
+    ``max_in_flight`` bounds admitted-but-uncompleted requests (the
+    admission window) and must be at least ``batch_window`` — otherwise a
+    batch could never fill while every buffered request holds a slot.
+    """
+
+    max_workers: int = 4
+    batch_window: int = 32
+    max_in_flight: int = 256
+    cache_enabled: bool = True
+    batching_enabled: bool = True
+    cache_capacity: int = 2048
+    negative_capacity: int = 8192
+    negative_bloom_bits: int = 8192
+    negative_bloom_hashes: int = 5
+    block_on_overload: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.batch_window < 1:
+            raise ValueError("batch_window must be >= 1")
+        if self.max_in_flight < self.batch_window:
+            raise ValueError(
+                "max_in_flight must be >= batch_window "
+                f"({self.max_in_flight} < {self.batch_window})"
+            )
+
+
+class QueryService:
+    """Concurrent, cached, batched query execution over one deployment."""
+
+    def __init__(self, store: SmartStore, config: Optional[ServiceConfig] = None) -> None:
+        self.store = store
+        self.config = config if config is not None else ServiceConfig()
+        self.telemetry = ServiceTelemetry()
+        self.admission = AdmissionController(
+            self.config.max_in_flight, block=self.config.block_on_overload
+        )
+        self.batcher = RequestBatcher(self.config.batch_window)
+        self.cache: Optional[ResultCache] = None
+        if self.config.cache_enabled:
+            self.cache = ResultCache(
+                self.config.cache_capacity,
+                negative_capacity=self.config.negative_capacity,
+                negative_bits=self.config.negative_bloom_bits,
+                negative_hashes=self.config.negative_bloom_hashes,
+                versioning=store.versioning,
+                cost_model=store.config.cost_model,
+            )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="repro-qs"
+        )
+        # Full batches are handed to a single dispatcher thread so that
+        # submit() never blocks on batch execution (an open-loop submitter
+        # must keep its arrival schedule); one thread keeps batch order —
+        # and therefore cache warm-up order — deterministic.
+        self._dispatcher = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-qs-batch"
+        )
+        self._dispatch_lock = threading.Lock()
+        self._dispatch_futures: List[Future] = []
+        self._unit_ids = np.asarray(store.cluster.unit_ids(), dtype=np.int64)
+        self._id_lock = threading.Lock()
+        self._next_request_id = 0
+        self._metrics_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Drain outstanding work and shut the thread pools down."""
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+        if self.cache is not None:
+            self.cache.detach()
+        self._dispatcher.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ request plumbing
+    def _new_request(self, query: Query) -> ServiceRequest:
+        with self._id_lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        # The per-request seed and the home unit drawn from it are pure
+        # functions of (service seed, admission order): thread scheduling
+        # cannot change any request's accounting.  The seed is recorded on
+        # the request so the draw is replayable when debugging.
+        rng = np.random.default_rng([self.config.seed, request_id])
+        seed = int(rng.integers(1 << 62))
+        home = int(self._unit_ids[rng.integers(len(self._unit_ids))])
+        return ServiceRequest(request_id=request_id, query=query, seed=seed, home_unit=home)
+
+    def _execute_on_engine(self, request: ServiceRequest) -> QueryResult:
+        engine = self.store.engine
+        query = request.query
+        if isinstance(query, PointQuery):
+            result = engine.point_query(query, home_unit=request.home_unit)
+        elif isinstance(query, RangeQuery):
+            result = engine.range_query(query, home_unit=request.home_unit)
+        elif isinstance(query, TopKQuery):
+            result = engine.topk_query(query, home_unit=request.home_unit)
+        else:
+            raise TypeError(f"unsupported query type {type(query)!r}")
+        # The facade merges per-query counters into the cluster-wide
+        # accounting; the service does the same, serialised.
+        with self._metrics_lock:
+            self.store.cluster.metrics.merge(result.metrics)
+        return result
+
+    # ------------------------------------------------------------------ batch execution
+    def _dispatch_batch(self, requests: List[ServiceRequest]) -> None:
+        """Queue a batch for asynchronous processing on the dispatcher."""
+        if not requests:
+            return
+        future = self._dispatcher.submit(self._process_batch, requests)
+        with self._dispatch_lock:
+            self._dispatch_futures = [
+                f for f in self._dispatch_futures if not f.done()
+            ]
+            self._dispatch_futures.append(future)
+
+    def _process_batch(self, requests: List[ServiceRequest]) -> None:
+        if not requests:
+            return
+        try:
+            # Snapshot the versioning clock before any engine work: a
+            # metadata mutation racing with this batch flushes the cache,
+            # and results computed against the pre-mutation state must not
+            # be stored back after that flush (store() drops them).
+            epoch = self.store.versioning.change_clock
+            groups = self.batcher.coalesce(requests)
+
+            pending: List[tuple] = []  # (future, leader, followers)
+            for query, members in groups:
+                leader, followers = members[0], members[1:]
+                hit = self.cache.lookup(query) if self.cache is not None else None
+                if hit is not None:
+                    self._resolve_group(
+                        leader, followers, hit.result, leader_source=hit.source
+                    )
+                    continue
+                future = self._pool.submit(self._execute_on_engine, leader)
+                pending.append((future, leader, followers))
+
+            for future, leader, followers in pending:
+                try:
+                    result = future.result()
+                except BaseException as exc:  # propagate to every waiter
+                    for request in [leader, *followers]:
+                        request.fail(exc)
+                        self.admission.release()
+                    continue
+                if self.cache is not None:
+                    self.cache.store(leader.query, result, epoch=epoch)
+                self._resolve_group(leader, followers, result, leader_source="engine")
+        except BaseException as exc:  # pragma: no cover - defensive
+            # Fail-and-release only requests not yet resolved: resolved
+            # ones already released their admission slot, and releasing
+            # twice would silently raise the effective admission limit.
+            for request in requests:
+                if not request.future.done():
+                    request.fail(exc)
+                    self.admission.release()
+            raise
+
+    def _resolve_group(
+        self,
+        leader: ServiceRequest,
+        followers: Sequence[ServiceRequest],
+        result: QueryResult,
+        *,
+        leader_source: str,
+    ) -> None:
+        self.telemetry.observe(
+            leader.query, result.latency, result.metrics, source=leader_source
+        )
+        leader.resolve(result)
+        self.admission.release()
+        for follower in followers:
+            self.telemetry.observe(
+                follower.query, result.latency, source="coalesced"
+            )
+            follower.resolve(result)
+            self.admission.release()
+
+    # ------------------------------------------------------------------ public API
+    def submit(self, query: Query) -> "Future[QueryResult]":
+        """Admit one request; returns a future resolving to its result.
+
+        With batching enabled the request may wait in the current window
+        until the window fills or :meth:`drain` runs.  When the admission
+        limit is reached the call blocks (default) or raises
+        :class:`ServiceOverloadedError` (``block_on_overload=False``).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.telemetry.start_window()
+        if not self.admission.admit():
+            self.telemetry.record_rejection()
+            raise ServiceOverloadedError(
+                f"admission limit of {self.config.max_in_flight} requests reached"
+            )
+        request = self._new_request(query)
+        if self.config.batching_enabled:
+            full_batch = self.batcher.add(request)
+            if full_batch is not None:
+                self._dispatch_batch(full_batch)
+        else:
+            self._dispatch_batch([request])
+        return request.future
+
+    def execute(self, query: Query) -> QueryResult:
+        """Serve one request immediately (bypasses the batching window).
+
+        Closed-loop clients use this: the request still goes through
+        admission, the cache and telemetry, but never waits for a window
+        to fill.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.telemetry.start_window()
+        if not self.admission.admit():
+            self.telemetry.record_rejection()
+            raise ServiceOverloadedError(
+                f"admission limit of {self.config.max_in_flight} requests reached"
+            )
+        request = self._new_request(query)
+        self._process_batch([request])
+        return request.future.result()
+
+    def execute_many(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Serve a whole workload, preserving input order in the results."""
+        futures = [self.submit(query) for query in queries]
+        self.drain()
+        return [f.result() for f in futures]
+
+    def drain(self) -> None:
+        """Flush the partial batching window and wait for in-flight work."""
+        self._dispatch_batch(self.batcher.flush())
+        while True:
+            with self._dispatch_lock:
+                if not self._dispatch_futures:
+                    break
+                future = self._dispatch_futures.pop(0)
+            future.result()  # surfaces dispatcher-side failures
+        self.admission.drain()
+        self.telemetry.stop_window()
+
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> dict:
+        """Service-level statistics (telemetry + cache + admission)."""
+        d = {
+            "telemetry": self.telemetry.as_dict(),
+            "admitted": self.admission.admitted,
+            "rejected": self.admission.rejected,
+            "batches_formed": self.batcher.batches_formed,
+            "coalesced_requests": self.batcher.coalesced_requests,
+        }
+        if self.cache is not None:
+            d["cache"] = self.cache.stats.as_dict()
+        return d
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(store={self.store!r}, workers={self.config.max_workers}, "
+            f"batch_window={self.config.batch_window}, "
+            f"cache={'on' if self.cache is not None else 'off'}, "
+            f"batching={'on' if self.config.batching_enabled else 'off'})"
+        )

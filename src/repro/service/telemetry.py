@@ -1,0 +1,233 @@
+"""Service-level telemetry: throughput and latency percentiles per query type.
+
+The cluster-level :class:`~repro.cluster.metrics.Metrics` counts *events*
+(messages, probes, scans) for one query or one whole workload; the service
+telemetry aggregates **per-query-type distributions** on top of it:
+
+* request counts, split into engine executions, positive/negative cache
+  hits and coalesced rides;
+* simulated-latency percentiles (p50/p95/p99) and means;
+* a merged :class:`Metrics` per query type (so the event counters of the
+  whole service run stay available);
+* wall-clock throughput over the measurement window.
+
+Simulated latency distributions are deterministic for a given workload and
+service seed (execution order does not change any request's simulated
+cost); the wall-clock figures are whatever the host delivered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.metrics import Metrics
+from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
+
+__all__ = ["QUERY_KINDS", "QueryClassStats", "ServiceTelemetry", "kind_of"]
+
+#: Telemetry classes, in reporting order.
+QUERY_KINDS = ("point", "range", "topk")
+
+#: Percentiles reported for every query class.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def kind_of(query: Query) -> str:
+    """Telemetry class of a query object."""
+    if isinstance(query, PointQuery):
+        return "point"
+    if isinstance(query, RangeQuery):
+        return "range"
+    if isinstance(query, TopKQuery):
+        return "topk"
+    raise TypeError(f"unsupported query type {type(query)!r}")
+
+
+@dataclass
+class QueryClassStats:
+    """Aggregated statistics of one query type."""
+
+    kind: str
+    count: int = 0
+    engine_executions: int = 0
+    cache_hits: int = 0
+    negative_hits: int = 0
+    coalesced: int = 0
+    latencies: List[float] = field(default_factory=list)
+    metrics: Metrics = field(default_factory=Metrics)
+
+    # ------------------------------------------------------------------ recording
+    def observe(
+        self,
+        latency: float,
+        metrics: Optional[Metrics] = None,
+        *,
+        source: str = "engine",
+    ) -> None:
+        """Record one served request.
+
+        ``source`` is ``"engine"``, ``"cache"``, ``"negative"`` or
+        ``"coalesced"``.
+        """
+        self.count += 1
+        self.latencies.append(latency)
+        if metrics is not None:
+            self.metrics.merge(metrics)
+        if source == "engine":
+            self.engine_executions += 1
+        elif source == "cache":
+            self.cache_hits += 1
+        elif source == "negative":
+            self.negative_hits += 1
+        elif source == "coalesced":
+            self.coalesced += 1
+        else:
+            raise ValueError(f"unknown request source {source!r}")
+
+    # ------------------------------------------------------------------ summaries
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def total_latency(self) -> float:
+        return float(np.sum(self.latencies)) if self.latencies else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        """Simulated-latency percentiles ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        if not self.latencies:
+            return {f"p{int(p)}": 0.0 for p in PERCENTILES}
+        values = np.percentile(np.asarray(self.latencies), PERCENTILES)
+        return {f"p{int(p)}": float(v) for p, v in zip(PERCENTILES, values)}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        served = self.cache_hits + self.negative_hits
+        return served / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "kind": self.kind,
+            "count": self.count,
+            "engine_executions": self.engine_executions,
+            "cache_hits": self.cache_hits,
+            "negative_hits": self.negative_hits,
+            "coalesced": self.coalesced,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_latency_s": self.mean_latency,
+            "total_latency_s": self.total_latency,
+        }
+        d.update(self.percentiles())
+        return d
+
+
+class ServiceTelemetry:
+    """Thread-safe aggregation of every request the service serves."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._classes: Dict[str, QueryClassStats] = {
+            kind: QueryClassStats(kind) for kind in QUERY_KINDS
+        }
+        self._wall_started: Optional[float] = None
+        self._wall_elapsed = 0.0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ wall clock
+    def start_window(self) -> None:
+        """Open (or re-open) the wall-clock measurement window."""
+        with self._lock:
+            if self._wall_started is None:
+                self._wall_started = time.perf_counter()
+
+    def stop_window(self) -> None:
+        """Close the window, accumulating elapsed wall time."""
+        with self._lock:
+            if self._wall_started is not None:
+                self._wall_elapsed += time.perf_counter() - self._wall_started
+                self._wall_started = None
+
+    @property
+    def wall_seconds(self) -> float:
+        with self._lock:
+            extra = (
+                time.perf_counter() - self._wall_started
+                if self._wall_started is not None
+                else 0.0
+            )
+            return self._wall_elapsed + extra
+
+    # ------------------------------------------------------------------ recording
+    def observe(
+        self,
+        query: Query,
+        latency: float,
+        metrics: Optional[Metrics] = None,
+        *,
+        source: str = "engine",
+    ) -> None:
+        with self._lock:
+            self._classes[kind_of(query)].observe(latency, metrics, source=source)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    # ------------------------------------------------------------------ reading
+    def query_class(self, kind: str) -> QueryClassStats:
+        return self._classes[kind]
+
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(c.count for c in self._classes.values())
+
+    @property
+    def throughput_qps(self) -> float:
+        """Requests served per wall-clock second over the open windows."""
+        wall = self.wall_seconds
+        return self.total_requests / wall if wall > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "total_requests": sum(c.count for c in self._classes.values()),
+                "wall_seconds": self._wall_elapsed,
+                "rejected": self.rejected,
+                "classes": {k: c.as_dict() for k, c in self._classes.items()},
+            }
+
+    def report_rows(self) -> List[List[object]]:
+        """Rows for :func:`repro.eval.reporting.format_table`."""
+        rows: List[List[object]] = []
+        with self._lock:
+            for kind in QUERY_KINDS:
+                c = self._classes[kind]
+                if c.count == 0:
+                    continue
+                p = c.percentiles()
+                rows.append(
+                    [
+                        kind,
+                        c.count,
+                        c.engine_executions,
+                        c.cache_hits + c.negative_hits,
+                        c.coalesced,
+                        f"{c.mean_latency * 1e3:.3f}",
+                        f"{p['p50'] * 1e3:.3f}",
+                        f"{p['p95'] * 1e3:.3f}",
+                        f"{p['p99'] * 1e3:.3f}",
+                    ]
+                )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceTelemetry(requests={self.total_requests}, "
+            f"wall={self.wall_seconds:.3f}s, qps={self.throughput_qps:.1f})"
+        )

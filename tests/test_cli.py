@@ -143,6 +143,46 @@ class TestCompareCommand:
             assert name in out
 
 
+class TestServeBenchCommand:
+    def test_serve_bench_end_to_end_on_tiny_trace(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(100, clusters=4), pop)
+        code = main([
+            "serve-bench", "--input", str(pop), "--units", "5",
+            "--queries", "4", "--repeat", "3", "--workers", "2",
+            "--batch-window", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench" in out
+        # the four service ablations plus the serial baseline
+        assert "serial uncached" in out
+        assert "cache + batching" in out
+        assert "cache only" in out
+        assert "batching only" in out
+        # every configuration must have answered exactly like the baseline
+        assert "NO" not in out
+        # telemetry table with per-type percentiles
+        assert "service telemetry" in out
+        assert "p99 (ms)" in out
+
+    def test_serve_bench_closed_loop(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(80, clusters=4), pop)
+        code = main([
+            "serve-bench", "--input", str(pop), "--units", "4",
+            "--queries", "3", "--repeat", "2", "--workers", "2",
+            "--mode", "closed", "--clients", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed loop" in out
+        assert "NO" not in out
+
+    def test_serve_bench_registered_in_experiments(self):
+        assert "bench_service_throughput.py" in EXPERIMENT_INDEX
+
+
 class TestExperimentsCommand:
     def test_lists_every_bench_module(self, capsys):
         assert main(["experiments"]) == 0
