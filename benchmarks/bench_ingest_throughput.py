@@ -1,0 +1,140 @@
+"""Ingest: sustained mutation throughput of the durable write path.
+
+Not a paper figure — this benchmark covers the WAL-backed ingest pipeline
+grown on top of the reproduction (ROADMAP north star).  A mixed
+insert/delete/modify stream is driven through the shared write-path
+ablation harness (:mod:`repro.ingest.benchmarking` — the same loop and
+correctness gates the ``ingest-bench`` CLI subcommand and the CI smoke job
+run), ablating the two write-path knobs:
+
+* **WAL fsync batching** — fsync after every record (full per-record
+  durability) vs. one fsync per batch of records vs. no WAL at all;
+* **compaction** — policy-driven incremental draining on vs. staged
+  mutations accumulating in the overlay.
+
+Two layers are measured:
+
+* the **WAL layer alone** (append + checksum + fsync discipline) — this
+  isolates the durability cost and carries the headline assertion: batched
+  fsync must sustain at least 2x the throughput of fsync-per-record;
+* the **end-to-end pipeline** (WAL + semantic routing + version chains +
+  overlay + compaction), where the semantic staging work dilutes the fsync
+  difference.
+
+Both correctness gates are asserted: crash recovery (checkpoint + WAL
+replay answers byte-identically to the live store) and drain equivalence
+(the compacted store answers byte-identically to a fresh
+``SmartStore.build`` over the mutated population).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import record_result
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.ingest import CompactionPolicy, IngestPipeline, WriteAheadLog
+from repro.ingest.benchmarking import run_ingest_ablation
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.workloads.generator import QueryWorkloadGenerator
+
+NUM_UNITS = 12
+N_MUTATIONS = 240
+FSYNC_BATCH = 64
+WAL_ONLY_RECORDS = 400
+PROBES_PER_TYPE = 8
+
+CONFIG = SmartStoreConfig(num_units=NUM_UNITS, seed=17, search_breadth=64)
+
+
+def _mutation_stream(files, seed=13):
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=seed)
+    n_del = N_MUTATIONS // 3
+    n_mod = N_MUTATIONS // 6
+    return generator.mutation_stream(N_MUTATIONS - n_del - n_mod, n_del, n_mod)
+
+
+def _wal_layer_ablation(tmp_path: Path, stream):
+    """Append the stream's records to a bare WAL under both fsync policies."""
+    results = {}
+    records = [f for _, f in stream][:WAL_ONLY_RECORDS] or [f for _, f in stream]
+    for label, fsync_every in (("fsync/record", 1), (f"fsync/{FSYNC_BATCH}", FSYNC_BATCH)):
+        with WriteAheadLog(tmp_path / f"wal-only-{fsync_every}.jsonl",
+                           fsync_every=fsync_every) as wal:
+            started = time.perf_counter()
+            for f in records:
+                wal.append("insert", f)
+            wall = time.perf_counter() - started
+        results[label] = len(records) / wall
+    return results
+
+
+def _run_all(files, tmp_path: Path):
+    stream = _mutation_stream(files)
+    report = run_ingest_ablation(
+        files,
+        CONFIG,
+        stream,
+        workdir=tmp_path,
+        fsync_batch=FSYNC_BATCH,
+        policy=CompactionPolicy(max_staged_per_group=24, max_staged_total=192),
+        probes_per_type=PROBES_PER_TYPE,
+        probe_seed=23,
+    )
+
+    wal_only = _wal_layer_ablation(tmp_path, stream)
+    per_record = wal_only["fsync/record"]
+    batched = wal_only[f"fsync/{FSYNC_BATCH}"]
+    wal_rows = [
+        ["fsync/record", f"{per_record:.0f}", "1.00x"],
+        [f"fsync/{FSYNC_BATCH}", f"{batched:.0f}", f"{batched / per_record:.2f}x"],
+    ]
+
+    table = format_table(
+        ["configuration", "wall (s)", "mut/s", "fsyncs", "compactions", "staged left"],
+        [row.as_table_row() for row in report.rows],
+        title=f"Ingest throughput — {len(files)} files, {len(stream)} mutations, "
+        f"{NUM_UNITS} units",
+    )
+    wal_table = format_table(
+        ["WAL policy", "appends/s", "speedup"],
+        wal_rows,
+        title=f"WAL layer alone ({min(len(stream), WAL_ONLY_RECORDS)} checksummed appends)",
+    )
+    gate_lines = "\n".join(
+        f"{name}: {'yes' if ok else 'NO'}" for name, ok in report.gates.items()
+    )
+    text = table + "\n\n" + wal_table + "\n\n" + gate_lines + "\n"
+    return text, batched / per_record, report
+
+
+def test_ingest_throughput(benchmark, msn_files, tmp_path):
+    text, wal_speedup, report = benchmark.pedantic(
+        _run_all, args=(msn_files, tmp_path), rounds=1, iterations=1
+    )
+    record_result("ingest_throughput", text)
+
+    # The durable write path must not change any answer.
+    for name, ok in report.gates.items():
+        assert ok, f"write-path gate failed: {name}"
+    # The headline claim: batching fsyncs sustains >= 2x the mutation
+    # logging throughput of fsync-per-record.
+    assert wal_speedup >= 2.0, f"WAL batching speedup {wal_speedup:.2f}x < 2x"
+
+
+def test_single_durable_insert_wallclock(benchmark, msn_files, tmp_path):
+    """Wall-clock cost of one fully durable (fsync-per-record) insert."""
+    from repro.core.smartstore import SmartStore
+
+    store = SmartStore.build(msn_files, CONFIG)
+    generator = QueryWorkloadGenerator(msn_files, DEFAULT_SCHEMA, seed=31)
+    inserts = iter(generator.mutation_stream(4096, 0, 0, shuffle=False))
+    with IngestPipeline(
+        store, WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=1)
+    ) as pipeline:
+        receipt = benchmark(lambda: pipeline.insert(next(inserts)[1]))
+    assert receipt.known

@@ -46,14 +46,19 @@ Top-level layout
     The concurrent query-service layer: batched/coalesced execution with
     admission control, versioning-aware result caching, service telemetry
     and open/closed-loop load generation.
+``repro.ingest``
+    The durable write path: write-ahead logging with fsync batching, a
+    read-your-writes staging overlay, incremental background compaction
+    into the semantic R-tree, and checkpoint + WAL-replay crash recovery.
 """
 
 from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
 from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest import CompactionPolicy, IngestPipeline, WriteAheadLog, recover
 from repro.service import QueryService, ServiceConfig
 from repro.workloads import PointQuery, RangeQuery, TopKQuery
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttributeSchema",
@@ -63,6 +68,10 @@ __all__ = [
     "SmartStoreConfig",
     "QueryService",
     "ServiceConfig",
+    "IngestPipeline",
+    "WriteAheadLog",
+    "CompactionPolicy",
+    "recover",
     "PointQuery",
     "RangeQuery",
     "TopKQuery",

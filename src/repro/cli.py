@@ -26,6 +26,14 @@ Subcommands
     print throughput/latency with the result cache and the batcher ablated
     on and off, verifying that every configuration returns the same result
     payloads as direct serial execution.
+``ingest-bench``
+    Drive the durable write path with a mixed insert/delete/modify stream:
+    mutation throughput with the WAL fsync batching and the compactor
+    ablated, plus two correctness gates — crash recovery (checkpoint + WAL
+    replay answers identically to the live store) and drain equivalence
+    (the compacted store answers identically to a fresh build over the
+    mutated population).  Exits non-zero if either gate fails, so CI can
+    run it as a smoke test.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -42,6 +50,8 @@ from repro.baselines.rtree_db import RTreeBaseline
 from repro.baselines.spyglass import SpyglassBaseline
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.eval.harness import run_query_workload
+from repro.ingest import CompactionPolicy
+from repro.ingest.benchmarking import run_ingest_ablation
 from repro.eval.reporting import format_bytes, format_seconds, format_table
 from repro.metadata.attributes import DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
@@ -93,6 +103,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_ablation_failures.py": "Ablation: availability and root failover under unit crashes",
     "bench_ablation_spyglass.py": "Ablation: Spyglass-style single-server partitioned index vs SmartStore",
     "bench_service_throughput.py": "Service: query-service throughput/latency with cache and batching ablated",
+    "bench_ingest_throughput.py": "Ingest: durable write-path throughput with WAL fsync batching and compaction ablated",
 }
 
 
@@ -377,6 +388,55 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gates compare stores with
+    # different physical layouts, so bounded-breadth recall loss must not
+    # masquerade as a write-path bug.
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=args.seed)
+    n_del = args.mutations // 3
+    n_mod = args.mutations // 6
+    n_ins = args.mutations - n_del - n_mod
+    stream = generator.mutation_stream(n_ins, n_del, n_mod)
+
+    workdir = Path(args.wal_dir) if args.wal_dir else Path(
+        tempfile.mkdtemp(prefix="repro-ingest-")
+    )
+    report = run_ingest_ablation(
+        files,
+        config,
+        stream,
+        workdir=workdir,
+        fsync_batch=args.fsync_batch,
+        policy=CompactionPolicy(
+            max_staged_per_group=args.compact_threshold,
+            max_staged_total=8 * args.compact_threshold,
+        ),
+        probes_per_type=args.probes,
+        probe_seed=args.seed + 1,
+    )
+
+    _print(
+        format_table(
+            ["configuration", "wall (s)", "mut/s", "fsyncs", "compactions", "staged left"],
+            [row.as_table_row() for row in report.rows],
+            title=f"ingest-bench: {len(files)} files, {len(stream)} mutations "
+            f"({n_ins} ins / {n_del} del / {n_mod} mod), {args.units} units",
+        )
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(format_table(["correctness gate", "passed"], gate_rows, title="write-path gates"))
+    return 0 if report.passed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -464,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--distribution", choices=("uniform", "gauss", "zipf"),
                          default="zipf")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_ingest = sub.add_parser(
+        "ingest-bench", help="benchmark the durable WAL-backed write path"
+    )
+    add_trace_source(p_ingest)
+    p_ingest.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_ingest.add_argument("--units", type=int, default=8, help="number of storage units")
+    p_ingest.add_argument("--mutations", type=int, default=120,
+                          help="total mutations in the stream (inserts/deletes/modifies)")
+    p_ingest.add_argument("--fsync-batch", type=int, default=64,
+                          help="records per fsync in the batched-WAL configurations")
+    p_ingest.add_argument("--compact-threshold", type=int, default=24,
+                          help="per-group staged-mutation count that triggers compaction")
+    p_ingest.add_argument("--probes", type=int, default=6,
+                          help="probe queries per type for the correctness gates")
+    p_ingest.add_argument("--wal-dir",
+                          help="directory for WAL/checkpoint artefacts (default: temp)")
+    p_ingest.set_defaults(func=_cmd_ingest_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

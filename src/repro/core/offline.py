@@ -70,6 +70,29 @@ class OfflineRouter:
             self._store_replica(group)
         self._pending_changes = {gid: 0 for gid in self.replicas}
 
+    def refresh_group(
+        self,
+        group: SemanticNode,
+        metrics: Optional[Metrics] = None,
+        *,
+        num_units: int = 0,
+    ) -> None:
+        """Re-snapshot one group's replica after a partial reconfiguration.
+
+        Incremental compaction refreshes only the group it drained instead
+        of re-replicating every first-level summary (:meth:`refresh_all`).
+        The multicast that pushes the fresh replica to the other storage
+        units is charged to ``metrics`` (``num_units - 1`` messages), and
+        the group's lazy-update change counter is reset — its replica is
+        exact again.
+        """
+        metrics = metrics if metrics is not None else Metrics()
+        self._store_replica(group)
+        self._pending_changes[group.node_id] = 0
+        if num_units > 1:
+            metrics.record_message(num_units - 1)
+            self.lazy_update_multicasts += 1
+
     def _store_replica(self, group: SemanticNode) -> None:
         vector = (
             np.asarray(group.semantic_vector, dtype=np.float64)

@@ -153,7 +153,31 @@ class QueryEngine:
         self.versioning_enabled = versioning_enabled and versioning is not None
         self.search_breadth = search_breadth
         self.cost_model = cost_model
+        # Read-your-writes overlay for the ingest pipeline (None outside it);
+        # set via SmartStore.attach_overlay.  Unlike the version chains it
+        # masks staged deletions and serves staged records id-indexed.
+        self.overlay = None
         self._nodes_by_id: Dict[int, SemanticNode] = {n.node_id: n for n in tree.nodes}
+
+    def refresh_topology(self) -> None:
+        """Re-index the tree's nodes after a structural change.
+
+        Compaction may split hot groups (allocating new index units); the
+        id → node map used by off-line routing must follow.
+        """
+        self._nodes_by_id = {n.node_id: n for n in self.tree.nodes}
+
+    def node_by_id(self, node_id: int) -> Optional[SemanticNode]:
+        """O(1) tree-node lookup, re-indexing once on a stale miss.
+
+        The miss path covers callers that changed the tree through
+        :mod:`repro.core.reconfig` without calling :meth:`refresh_topology`.
+        """
+        node = self._nodes_by_id.get(node_id)
+        if node is None:
+            self.refresh_topology()
+            node = self._nodes_by_id.get(node_id)
+        return node
 
     # ------------------------------------------------------------------ space transforms
     def to_index_space(self, attr_indices: Sequence[int], values: Sequence[float]) -> np.ndarray:
@@ -271,8 +295,24 @@ class QueryEngine:
                     if pending.filename == query.filename:
                         results.append(pending)
 
+        if self.overlay is not None and len(self.overlay):
+            # Staged mutations win over any indexed copy: staged records
+            # surface with their latest values, staged deletions mask the
+            # record out.  One in-memory probe against the id-indexed view.
+            metrics.record_index_access()
+            live, deleted = self.overlay.snapshot()
+            merged: Dict[int, FileMetadata] = {}
+            for f in results:
+                merged.setdefault(f.file_id, f)
+            for fid, staged in live.items():
+                if staged.filename == query.filename:
+                    merged[fid] = staged
+            results = [f for f in merged.values() if f.file_id not in deleted]
+
         groups = {self.tree.group_of_unit(leaf.unit_id).node_id for leaf in candidates}
         groups_visited = max(1, len(groups))
+        # Same canonical order as range results (placement-independent).
+        results.sort(key=lambda f: f.file_id)
         return self._finish(results, metrics, groups_visited)
 
     # ------------------------------------------------------------------ range query
@@ -303,22 +343,42 @@ class QueryEngine:
                     attr_idx, lower, upper, metrics
                 )
                 results.extend(files)
+        # Deduplicate by file identity; later merge stages override earlier
+        # ones because chains and overlay carry fresher values (§4.4 rolls
+        # versions backwards so fresh information is found first).
+        unique: Dict[int, FileMetadata] = {}
+        for f in results:
+            unique.setdefault(f.file_id, f)
         if self.versioning_enabled:
             # The version chains are attached to the first-level index-unit
             # replicas every storage unit holds (§3.4, §4.4), so the home
             # unit can roll through all of them locally — this is the small
-            # extra latency Figure 14(b) measures.
+            # extra latency Figure 14(b) measures.  A pending record wins
+            # over its indexed copy (its attribute values are newer).
             for group in self.tree.first_level_groups():
                 for pending in self.versioning.pending_files(group.node_id, metrics):
                     if pending.matches_ranges(query.attributes, query.lower, query.upper):
-                        results.append(pending)
-        # Deduplicate by file identity (overlap between indexed records and
-        # version-chain entries after a modification).
-        unique: Dict[int, FileMetadata] = {}
-        for f in results:
-            unique.setdefault(f.file_id, f)
+                        unique[pending.file_id] = pending
+        if self.overlay is not None and len(self.overlay):
+            metrics.record_index_access()
+            # Staged records replace any indexed copy in both directions: a
+            # staged insert/modify matching the window is served with its
+            # new values, and a staged modify that moved the file *out* of
+            # the window masks the stale indexed copy.
+            live, deleted = self.overlay.snapshot()
+            for fid, staged in live.items():
+                if staged.matches_ranges(query.attributes, query.lower, query.upper):
+                    unique[fid] = staged
+                else:
+                    unique.pop(fid, None)
+            for fid in deleted:
+                unique.pop(fid, None)
         groups_visited = max(1, len(target_groups))
-        return self._finish(list(unique.values()), metrics, groups_visited)
+        # Canonical order: a range result is a set; returning it sorted by
+        # file id makes payloads independent of physical placement (two
+        # deployments over the same logical population answer identically).
+        files = sorted(unique.values(), key=lambda f: f.file_id)
+        return self._finish(files, metrics, groups_visited)
 
     def _limit_range_groups(
         self,
@@ -417,6 +477,23 @@ class QueryEngine:
         candidates: List[Tuple[float, FileMetadata]] = []
         scanned_groups: List[SemanticNode] = []
 
+        # Staged mutations must be resolved *before* MaxD pruning: a staged
+        # delete's indexed copy would otherwise tighten MaxD with a record
+        # that is later masked out (stopping the group scan too early), and
+        # a staged modify's indexed copy carries stale coordinates.  Staged
+        # records enter the pool up front with fresh distances; their ids
+        # are masked from every server scan, which over-fetches to keep the
+        # per-unit candidate count intact.
+        staged_ids = None
+        if self.overlay is not None and len(self.overlay):
+            metrics.record_index_access()
+            live, deleted = self.overlay.snapshot()
+            staged_ids = set(live) | deleted
+            for staged_file in live.values():
+                dist = self._pending_distance(staged_file, query.attributes, query_norm)
+                candidates.append((dist, staged_file))
+        k_fetch = query.k + (len(staged_ids) if staged_ids else 0)
+
         def scan_group(group: SemanticNode) -> None:
             if group.hosted_on is not None and group.hosted_on != home:
                 metrics.record_message(2)
@@ -425,17 +502,24 @@ class QueryEngine:
                 if leaf.unit_id != home:
                     metrics.record_message(2)
                 local = self.cluster.server(leaf.unit_id).scan_knn(
-                    query_norm, query.k, metrics, attr_indices=attr_idx
+                    query_norm, k_fetch, metrics, attr_indices=attr_idx
                 )
+                if staged_ids:
+                    local = [(d, f) for d, f in local if f.file_id not in staged_ids]
                 candidates.extend(local)
             scanned_groups.append(group)
 
         if self.versioning_enabled:
             # Version chains are replicated alongside the first-level index
             # summaries, so their (few) entries are folded into the candidate
-            # pool locally before the distributed search starts.
+            # pool locally before the distributed search starts.  Entries
+            # the overlay already contributed are skipped: a duplicate pair
+            # in the pool would understate the k-th-best distance (MaxD)
+            # and stop the group scan too early.
             for group in self.tree.first_level_groups():
                 for pending in self.versioning.pending_files(group.node_id, metrics):
+                    if staged_ids and pending.file_id in staged_ids:
+                        continue
                     dist = self._pending_distance(pending, query.attributes, query_norm)
                     candidates.append((dist, pending))
 

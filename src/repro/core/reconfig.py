@@ -34,6 +34,7 @@ __all__ = [
     "delete_storage_unit",
     "split_group",
     "merge_into_sibling",
+    "refresh_upward",
 ]
 
 
@@ -193,6 +194,12 @@ def split_group(tree: SemanticRTree, group: SemanticNode) -> Tuple[SemanticNode,
         sibling.add_child(child)
     group.refresh_from_children()
     sibling.refresh_from_children()
+    # The new index unit needs a physical host (build-time mapping only ran
+    # once); keep the paper's discipline of hosting an index unit on one of
+    # its own descendant storage units.
+    descendants = sibling.descendant_unit_ids()
+    if sibling.hosted_on is None and descendants:
+        sibling.hosted_on = descendants[0]
 
     parent = group.parent
     if parent is None:
@@ -234,10 +241,15 @@ def merge_into_sibling(tree: SemanticRTree, group: SemanticNode) -> Optional[Sem
     return best
 
 
-def _refresh_upward(node: Optional[SemanticNode]) -> None:
+def refresh_upward(node: Optional[SemanticNode]) -> None:
+    """Recompute the summaries of ``node`` and every ancestor, bottom-up."""
     while node is not None:
         node.refresh_from_children()
         node = node.parent
+
+
+# Backwards-compatible alias (the helper predates its public export).
+_refresh_upward = refresh_upward
 
 
 def _collapse_single_child_chains(tree: SemanticRTree) -> None:

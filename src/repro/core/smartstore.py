@@ -39,7 +39,33 @@ from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
 
-__all__ = ["SmartStoreConfig", "SmartStore", "QueryResult"]
+__all__ = ["SmartStoreConfig", "SmartStore", "QueryResult", "StageOutcome", "UNKNOWN_GROUP"]
+
+#: Sentinel group id returned by :meth:`SmartStore.delete_file` /
+#: :meth:`SmartStore.modify_file` when the target file is unknown — neither
+#: applied to any storage unit nor pending in a version chain.  The mutation
+#: is *not* recorded in that case, so reconfiguration and compaction never
+#: see (and never mis-apply) deletions of files that do not exist.
+UNKNOWN_GROUP = -1
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Result of staging one mutation (insert / delete / modify).
+
+    ``known`` is False only for deletions/modifications of files the
+    deployment has never seen (``group_id`` is then :data:`UNKNOWN_GROUP`
+    and nothing was recorded).  ``metrics`` carries the staging cost —
+    routing probes, version-chain append, lazy-update multicasts — already
+    merged into the cluster-wide accounting.
+    """
+
+    kind: str
+    file: FileMetadata
+    group_id: int
+    unit_id: int
+    metrics: Metrics
+    known: bool = True
 
 
 @dataclass(frozen=True)
@@ -119,15 +145,43 @@ class SmartStore:
         self.versioning = versioning
         self.offline_router = offline_router
         self.engine = engine
-        self.files = files
+        # The applied population, id-indexed: deletion and duplicate checks
+        # are O(1), and the ingest overlay merge reuses the same map.
+        self._files_by_id: Dict[int, FileMetadata] = {f.file_id: f for f in files}
         self._pending_insertions = 0
         self._pending_deletions = 0
+        # Optional staging overlay (attached by the ingest pipeline); when
+        # present, every staged mutation is mirrored into it so queries get
+        # id-indexed read-your-writes including deletion masking.
+        self.overlay = None
         # Where each file's metadata currently lives (unit id); maintained by
         # build and by reconfigure() so deletions reach the owning server.
         self._file_locations: Dict[int, int] = {}
         for unit_id, server in cluster.servers.items():
             for f in server.files:
                 self._file_locations[f.file_id] = unit_id
+
+    @property
+    def files(self) -> List[FileMetadata]:
+        """The applied (non-pending) file population, in insertion order."""
+        return list(self._files_by_id.values())
+
+    def file_by_id(self, file_id: int) -> Optional[FileMetadata]:
+        """O(1) lookup of an applied metadata record."""
+        return self._files_by_id.get(file_id)
+
+    def attach_overlay(self, overlay) -> None:
+        """Attach a staging overlay (read-your-writes for the ingest path).
+
+        The overlay is mirrored by :meth:`stage_mutation` and consulted by
+        the query engine; the ingest pipeline owns its lifecycle.
+        """
+        self.overlay = overlay
+        self.engine.overlay = overlay
+
+    def detach_overlay(self) -> None:
+        self.overlay = None
+        self.engine.overlay = None
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -336,6 +390,103 @@ class SmartStore:
         )
         return self.engine.fold_normalized_vector(normalised)
 
+    def stage_mutation(
+        self, kind: str, file: FileMetadata, *, seq: int = 0
+    ) -> StageOutcome:
+        """Stage one mutation: version chain, overlay, lazy-update accounting.
+
+        This is the single write entry point shared by the classic facade
+        methods (:meth:`insert_file`, :meth:`delete_file`,
+        :meth:`modify_file`) and the durable ingest pipeline (which logs to
+        its write-ahead log first and passes the WAL sequence number in as
+        ``seq``).
+
+        Routing:
+
+        * a genuinely new file goes to the most correlated group (off-line
+          replica routing) and its least-loaded storage unit;
+        * a mutation of an *applied* file is routed to the unit that stores
+          it (the id-indexed location map knows in O(1));
+        * a mutation of a *pending* file (inserted but not yet compacted)
+          follows the staged insert's placement, so insert-then-delete nets
+          out within one group's chain;
+        * a delete/modify of an unknown file records nothing and returns
+          ``known=False`` with :data:`UNKNOWN_GROUP`.
+        """
+        if kind not in ("insert", "delete", "modify"):
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        metrics = Metrics()
+        pending_unit: Optional[int] = None
+        pending_kind: Optional[str] = None
+        if self.overlay is not None:
+            staged = self.overlay.get(file.file_id)
+            if staged is not None:
+                pending_unit, pending_kind = staged.unit_id, staged.kind
+        if pending_kind is None:
+            pending = self.versioning.pending_change_for(file.file_id)
+            if pending is not None:
+                pending_unit, pending_kind = pending[1].unit_id, pending[1].kind
+        # The pending state is the file's logical truth and takes precedence
+        # over the applied-location map: a staged delete makes the file
+        # absent for delete/modify *even if its record is still applied*,
+        # so the observable outcome does not depend on compaction timing.
+        if pending_kind is not None:
+            if kind == "insert" or pending_kind != "delete":
+                # Mutations of a pending file follow the earlier changes'
+                # placement, so one file's history stays in one chain and
+                # compaction applies it in record order (re-inserting a
+                # pending-deleted file included).
+                owner = pending_unit
+            else:
+                owner = None
+        else:
+            owner = self._file_locations.get(file.file_id)
+
+        if owner is not None:
+            # Known file: route to its owner (duplicate inserts become
+            # in-place replacements instead of second copies).
+            group = self.tree.group_of_unit(owner)
+            gid = group.node_id
+            unit_id = owner
+            metrics.record_message(2)  # forward to the owning unit + ack
+        elif kind == "insert":
+            sem = self.file_semantic_vector(file)
+            gid, _ = self.offline_router.target_group_for_vector(sem, metrics)
+            group = self.engine.node_by_id(gid)
+            target_leaf = min(group.descendant_leaves(), key=lambda l: l.file_count)
+            unit_id = target_leaf.unit_id
+            metrics.record_message(2)  # forward to the owning storage unit + ack
+        else:
+            # Deleting / modifying a file nobody has ever inserted: observable
+            # no-op (the routing probe is still charged — the request had to
+            # be looked up somewhere before it could be rejected).
+            sem = self.file_semantic_vector(file)
+            self.offline_router.target_group_for_vector(sem, metrics)
+            self.cluster.metrics.merge(metrics)
+            return StageOutcome(
+                kind=kind,
+                file=file,
+                group_id=UNKNOWN_GROUP,
+                unit_id=UNKNOWN_GROUP,
+                metrics=metrics,
+                known=False,
+            )
+
+        self.versioning.record(
+            gid, VersionedChange(kind=kind, file=file, unit_id=unit_id)
+        )
+        if self.overlay is not None:
+            self.overlay.stage(kind, file, group_id=gid, unit_id=unit_id, seq=seq)
+        self.offline_router.record_change(group, metrics, num_units=self.cluster.num_units)
+        if kind == "delete":
+            self._pending_deletions += 1
+        else:
+            self._pending_insertions += 1
+        self.cluster.metrics.merge(metrics)
+        return StageOutcome(
+            kind=kind, file=file, group_id=gid, unit_id=unit_id, metrics=metrics
+        )
+
     def insert_file(self, file: FileMetadata) -> int:
         """Insert a file's metadata into the deployment.
 
@@ -345,44 +496,71 @@ class SmartStore:
         when replicas are refreshed.  Returns the id of the group that
         accepted the file.
         """
-        metrics = Metrics()
-        sem = self.file_semantic_vector(file)
-        gid, _ = self.offline_router.target_group_for_vector(sem, metrics)
-        group = next(n for n in self.tree.nodes if n.node_id == gid)
-        leaves = group.descendant_leaves()
-        target_leaf = min(leaves, key=lambda leaf: leaf.file_count)
-        metrics.record_message(2)  # forward to the owning storage unit + ack
-
-        self.versioning.record(
-            gid, VersionedChange(kind="insert", file=file, unit_id=target_leaf.unit_id)
-        )
-        self.offline_router.record_change(group, metrics, num_units=self.cluster.num_units)
-        self._pending_insertions += 1
-        self.cluster.metrics.merge(metrics)
-        return gid
+        return self.stage_mutation("insert", file).group_id
 
     def delete_file(self, file: FileMetadata) -> int:
-        """Record the deletion of a file's metadata (applied at reconfiguration)."""
-        metrics = Metrics()
-        sem = self.file_semantic_vector(file)
-        gid, _ = self.offline_router.target_group_for_vector(sem, metrics)
-        group = next(n for n in self.tree.nodes if n.node_id == gid)
-        metrics.record_message(2)
-        # Deletions must reach the server that actually stores the record; the
-        # location map knows it (falling back to the semantic group otherwise).
-        owner = self._file_locations.get(file.file_id)
-        if owner is None:
-            owner = group.descendant_unit_ids()[0]
-        else:
-            gid = self.tree.group_of_unit(owner).node_id
-            group = self.tree.group_of_unit(owner)
-        self.versioning.record(
-            gid, VersionedChange(kind="delete", file=file, unit_id=owner)
-        )
-        self.offline_router.record_change(group, metrics, num_units=self.cluster.num_units)
-        self._pending_deletions += 1
-        self.cluster.metrics.merge(metrics)
-        return gid
+        """Record the deletion of a file's metadata (applied at compaction).
+
+        Returns the group the deletion was recorded in, or
+        :data:`UNKNOWN_GROUP` when the file was never inserted — in that
+        case nothing is recorded, so later reconfiguration/compaction cannot
+        corrupt the population or the leaf counts.
+        """
+        return self.stage_mutation("delete", file).group_id
+
+    def modify_file(self, file: FileMetadata) -> int:
+        """Record new attribute values for an existing file.
+
+        ``file`` carries the full updated record (same id/path, new
+        attribute values); unknown files return :data:`UNKNOWN_GROUP`.
+        """
+        return self.stage_mutation("modify", file).group_id
+
+    def apply_changes(self, changes: Sequence[VersionedChange]) -> int:
+        """Apply an ordered list of versioned changes to the primary structures.
+
+        Shared by full reconfiguration (all chains) and incremental
+        compaction (one group's chain).  Inserts/modifies of an
+        already-applied file replace the stored record in place (no
+        duplicate copies), deletions are O(1) against the id-indexed
+        population map and tolerate unknown files, and every touched leaf's
+        MBR / Bloom filter / file count is refreshed once at the end.
+        """
+        touched: Dict[int, List[str]] = {}
+        applied = 0
+        for change in changes:
+            fid = change.file.file_id
+            if change.kind in ("insert", "modify"):
+                prev_unit = self._file_locations.get(fid)
+                if prev_unit is not None:
+                    self.cluster.server(prev_unit).remove_file(fid)
+                    touched.setdefault(prev_unit, [])
+                self.cluster.server(change.unit_id).add_file(change.file)
+                self._file_locations[fid] = change.unit_id
+                self._files_by_id[fid] = change.file
+                touched.setdefault(change.unit_id, []).append(change.file.filename)
+                self._pending_insertions = max(0, self._pending_insertions - 1)
+            else:  # delete
+                removed = self.cluster.server(change.unit_id).remove_file(fid)
+                owner = self._file_locations.pop(fid, None)
+                if removed is None and owner is not None and owner != change.unit_id:
+                    # The record moved since the deletion was staged; chase it.
+                    self.cluster.server(owner).remove_file(fid)
+                    touched.setdefault(owner, [])
+                if removed is not None or owner is not None:
+                    touched.setdefault(change.unit_id, [])
+                self._files_by_id.pop(fid, None)
+                self._pending_deletions = max(0, self._pending_deletions - 1)
+            applied += 1
+        for unit_id, new_names in touched.items():
+            server = self.cluster.server(unit_id)
+            self.tree.refresh_leaf(
+                unit_id,
+                mbr=server.mbr(),
+                file_count=len(server),
+                new_filenames=new_names,
+            )
+        return applied
 
     def reconfigure(self) -> int:
         """Apply every pending versioned change to the primary structures.
@@ -394,24 +572,9 @@ class SmartStore:
         """
         applied = 0
         for gid, changes in self.versioning.clear_all().items():
-            for change in changes:
-                server = self.cluster.server(change.unit_id)
-                if change.kind in ("insert", "modify"):
-                    server.add_file(change.file)
-                    self._file_locations[change.file.file_id] = change.unit_id
-                    if change.kind == "insert":
-                        self.files.append(change.file)
-                elif change.kind == "delete":
-                    server.remove_file(change.file.file_id)
-                    self._file_locations.pop(change.file.file_id, None)
-                    self.files = [f for f in self.files if f.file_id != change.file.file_id]
-                applied += 1
-                self.tree.refresh_leaf(
-                    change.unit_id,
-                    mbr=server.mbr(),
-                    file_count=len(server),
-                    new_filenames=[change.file.filename] if change.kind == "insert" else (),
-                )
+            applied += self.apply_changes(changes)
+        if self.overlay is not None:
+            self.overlay.clear()
         self.offline_router.refresh_all()
         self._pending_insertions = 0
         self._pending_deletions = 0

@@ -157,6 +157,10 @@ class VersioningManager:
         # service's result cache) compare against it to detect staleness.
         self._change_clock = 0
         self._listeners: List[Callable[[], None]] = []
+        # Per-file pending history in global record order (each entry is
+        # ``(group_id, change)``); gives O(1) latest-pending lookups and
+        # keeps cross-chain ordering exact.
+        self._pending_by_file: Dict[int, List[Tuple[int, VersionedChange]]] = {}
 
     # ------------------------------------------------------------------ change notification
     @property
@@ -205,6 +209,9 @@ class VersioningManager:
 
     def record(self, group_id: int, change: VersionedChange) -> Version:
         version = self.chain_for(group_id).record(change)
+        self._pending_by_file.setdefault(change.file.file_id, []).append(
+            (group_id, change)
+        )
         self._notify()
         return version
 
@@ -214,6 +221,18 @@ class VersioningManager:
             return []
         return chain.pending_files(metrics)
 
+    def pending_change_for(self, file_id: int) -> Optional[Tuple[int, VersionedChange]]:
+        """The most recent pending change of ``file_id``, in global order.
+
+        Returns ``(group_id, change)`` or ``None`` when no chain mentions
+        the file.  O(1) via the id-indexed pending history.  Used to route
+        mutations of files whose earlier changes are still pending (they
+        have no entry in the location map yet) to the same group and
+        storage unit, so one file's history never splits across chains.
+        """
+        history = self._pending_by_file.get(file_id)
+        return history[-1] if history else None
+
     def total_changes(self) -> int:
         return sum(c.total_changes() for c in self.chains.values())
 
@@ -221,8 +240,31 @@ class VersioningManager:
         """Figure 14(a): space consumed by attached versions, per index unit."""
         return {gid: chain.size_bytes(record_bytes) for gid, chain in self.chains.items()}
 
+    def clear_group(self, group_id: int) -> List[VersionedChange]:
+        """Take one group's pending changes (used by incremental compaction).
+
+        Bumps the change clock (and so flushes subscribed caches) only when
+        the chain actually held changes — the caller is about to apply them
+        to the primary structures.
+        """
+        chain = self.chains.get(group_id)
+        if chain is None:
+            return []
+        changes = chain.clear()
+        for change in changes:
+            fid = change.file.file_id
+            history = self._pending_by_file.get(fid)
+            if history is not None:
+                history[:] = [(g, c) for g, c in history if g != group_id]
+                if not history:
+                    self._pending_by_file.pop(fid, None)
+        if changes:
+            self._notify()
+        return changes
+
     def clear_all(self) -> Dict[int, List[VersionedChange]]:
         """Apply-and-forget every chain (used by reconfiguration)."""
         applied = {gid: chain.clear() for gid, chain in self.chains.items()}
+        self._pending_by_file.clear()
         self._notify()
         return applied

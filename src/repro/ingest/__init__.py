@@ -1,0 +1,41 @@
+"""The durable write path: WAL-backed online mutations over a deployment.
+
+``repro.ingest`` turns the read-mostly reproduction into a read/write
+metadata service:
+
+``repro.ingest.wal``
+    :class:`WriteAheadLog` — append-only, checksummed JSONL log with an
+    fsync-batching knob, torn-tail-tolerant replay and checkpoint
+    truncation.
+``repro.ingest.overlay``
+    :class:`StagingOverlay` — per-group staged mutations, id- and
+    filename-indexed, giving queries read-your-writes (including staged
+    deletion masking) before compaction.
+``repro.ingest.compactor``
+    :class:`Compactor` + :class:`CompactionPolicy` — incremental, per-group
+    draining of staged mutations into the semantic R-tree with leaf
+    MBR/Bloom refresh, hot-group splitting and partial off-line replica
+    refresh.
+``repro.ingest.pipeline``
+    :class:`IngestPipeline` — log-first mutation ordering, checkpointing
+    and :func:`recover` (checkpoint + WAL replay after a crash).
+"""
+
+from repro.ingest.compactor import CompactionPolicy, CompactionStats, Compactor
+from repro.ingest.overlay import StagedMutation, StagingOverlay
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt, recover
+from repro.ingest.wal import WALRecord, WALReplay, WriteAheadLog
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionStats",
+    "Compactor",
+    "IngestPipeline",
+    "MutationReceipt",
+    "StagedMutation",
+    "StagingOverlay",
+    "WALRecord",
+    "WALReplay",
+    "WriteAheadLog",
+    "recover",
+]

@@ -1,0 +1,181 @@
+"""The write-path ablation harness shared by ``ingest-bench`` and the
+``bench_ingest_throughput`` benchmark.
+
+One loop, two consumers: the CLI subcommand (whose exit code asserts the
+correctness gates, the CI smoke job) and the pytest benchmark (which adds a
+WAL-layer microbenchmark and throughput assertions).  Keeping the
+configuration matrix, the measurement loop and the gate semantics here
+means the two cannot drift apart.
+
+The two **correctness gates**, computed on the batched-WAL configuration:
+
+``crash recovery identical``
+    A store rebuilt by :func:`~repro.ingest.pipeline.recover` from the
+    run's starting checkpoint plus the WAL answers every probe query
+    byte-identically to the live (uncrashed) store.
+``drain == fresh build``
+    After the recovered pipeline's compactor drains, the store answers
+    byte-identically to a fresh :meth:`SmartStore.build` over the mutated
+    population.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest.compactor import CompactionPolicy
+from repro.ingest.pipeline import IngestPipeline, recover
+from repro.ingest.wal import WriteAheadLog
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.workloads.generator import QueryWorkloadGenerator
+
+__all__ = [
+    "AblationRow",
+    "IngestAblationReport",
+    "standard_configurations",
+    "run_ingest_ablation",
+]
+
+PathLike = Union[str, Path]
+
+#: Index of the configuration the correctness gates run on (batched WAL
+#: with compaction — the recommended production setting).
+GATED_CONFIGURATION = 1
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One measured configuration of the write path."""
+
+    label: str
+    wall_seconds: float
+    mutations_per_second: float
+    fsyncs: Optional[int]          # None for the volatile (no-WAL) run
+    compactions: int
+    staged_left: int
+
+    def as_table_row(self) -> List[str]:
+        return [
+            self.label,
+            f"{self.wall_seconds:.3f}",
+            f"{self.mutations_per_second:.0f}",
+            "-" if self.fsyncs is None else f"{self.fsyncs}",
+            f"{self.compactions}",
+            f"{self.staged_left}",
+        ]
+
+
+@dataclass
+class IngestAblationReport:
+    """Rows for every configuration plus the correctness-gate verdicts."""
+
+    rows: List[AblationRow]
+    gates: Dict[str, bool]
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+
+def standard_configurations(fsync_batch: int) -> List[Tuple[str, Optional[int], bool]]:
+    """The ablation matrix: ``(label, fsync_every or None, compaction on)``."""
+    return [
+        ("wal fsync/record + compaction", 1, True),
+        (f"wal fsync/{fsync_batch} + compaction", fsync_batch, True),
+        (f"wal fsync/{fsync_batch}, no compaction", fsync_batch, False),
+        ("no wal (volatile) + compaction", None, True),
+    ]
+
+
+def _probe_queries(files: Sequence[FileMetadata], per_type: int, seed: int):
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=seed)
+    return (
+        generator.point_queries(per_type, existing_fraction=0.8)
+        + generator.range_queries(per_type)
+        + generator.topk_queries(per_type, k=8)
+    )
+
+
+def run_ingest_ablation(
+    files: Sequence[FileMetadata],
+    config: SmartStoreConfig,
+    stream: Sequence[Tuple[str, FileMetadata]],
+    *,
+    workdir: PathLike,
+    fsync_batch: int = 64,
+    policy: Optional[CompactionPolicy] = None,
+    probes_per_type: int = 6,
+    probe_seed: int = 1,
+) -> IngestAblationReport:
+    """Drive ``stream`` through every configuration and gate the batched one.
+
+    Policy-driven compaction runs after each mutation in the ``compaction``
+    configurations (the service's ``auto_compact`` discipline).  The WAL
+    and checkpoint artefacts land under ``workdir``.
+    """
+    # Imported here: repro.service imports repro.ingest at module load, so
+    # importing the service package from ingest module scope would cycle.
+    from repro.service.cache import result_fingerprint
+
+    workdir = Path(workdir)
+    policy = policy if policy is not None else CompactionPolicy()
+    rows: List[AblationRow] = []
+    gates: Dict[str, bool] = {}
+
+    for i, (label, fsync_every, compact_on) in enumerate(
+        standard_configurations(fsync_batch)
+    ):
+        store = SmartStore.build(files, config)
+        wal = (
+            WriteAheadLog(workdir / f"wal-{i}.jsonl", fsync_every=fsync_every)
+            if fsync_every is not None
+            else None
+        )
+        pipeline = IngestPipeline(store, wal, policy=policy)
+        ckpt_dir = workdir / f"ckpt-{i}"
+        if wal is not None:
+            pipeline.checkpoint(ckpt_dir)
+
+        started = time.perf_counter()
+        for kind, f in stream:
+            getattr(pipeline, kind)(f)
+            if compact_on:
+                pipeline.compactor.run_once()
+        wall = time.perf_counter() - started
+
+        rows.append(
+            AblationRow(
+                label=label,
+                wall_seconds=wall,
+                mutations_per_second=len(stream) / wall if wall > 0 else 0.0,
+                fsyncs=pipeline.wal.syncs if pipeline.wal is not None else None,
+                compactions=pipeline.compactor.stats.group_compactions,
+                staged_left=len(pipeline.overlay),
+            )
+        )
+
+        if i == GATED_CONFIGURATION:
+            probes = _probe_queries(
+                pipeline.materialized_files(), probes_per_type, probe_seed
+            )
+            live = [result_fingerprint(store.execute(q)) for q in probes]
+            pipeline.close()
+            recovered = recover(ckpt_dir, wal_path=workdir / f"wal-{i}.jsonl")
+            gates["crash recovery identical"] = live == [
+                result_fingerprint(recovered.store.execute(q)) for q in probes
+            ]
+            recovered.compactor.drain()
+            fresh = SmartStore.build(recovered.materialized_files(), config)
+            gates["drain == fresh build"] = [
+                result_fingerprint(recovered.store.execute(q)) for q in probes
+            ] == [result_fingerprint(fresh.execute(q)) for q in probes]
+            recovered.close()
+        else:
+            pipeline.close()
+
+    return IngestAblationReport(rows=rows, gates=gates)

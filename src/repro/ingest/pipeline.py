@@ -1,0 +1,289 @@
+"""The durable ingest pipeline: WAL → staging overlay → compaction.
+
+An :class:`IngestPipeline` turns a built :class:`~repro.core.smartstore.SmartStore`
+into an online read/write deployment:
+
+* every mutation is appended to the :class:`~repro.ingest.wal.WriteAheadLog`
+  *first* (when one is attached — a volatile pipeline skips durability but
+  keeps the same staging semantics);
+* it is then staged through :meth:`SmartStore.stage_mutation`, which records
+  it in the owning group's version chain *and* in the
+  :class:`~repro.ingest.overlay.StagingOverlay`, so every subsequent
+  point/range/top-k query reflects it immediately (read-your-writes,
+  including deletion masking);
+* a :class:`~repro.ingest.compactor.Compactor` — inline or on a background
+  thread — incrementally folds staged mutations into the semantic R-tree;
+* :meth:`checkpoint` persists the current logical population and truncates
+  the log; :func:`recover` rebuilds an equivalent pipeline from the latest
+  checkpoint plus a WAL replay after a crash.
+
+Typical use::
+
+    store = SmartStore.build(files, config)
+    pipeline = IngestPipeline(store, wal=WriteAheadLog(path, fsync_every=64))
+    pipeline.insert(new_file)          # durable + immediately queryable
+    pipeline.compactor.run_once()      # or pipeline.compactor.start()
+    pipeline.checkpoint(ckpt_dir)      # snapshot + WAL truncation
+    ...
+    recovered = recover(ckpt_dir, wal_path=path)   # after a crash
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.smartstore import SmartStore, StageOutcome, UNKNOWN_GROUP
+from repro.ingest.compactor import CompactionPolicy, Compactor
+from repro.ingest.overlay import StagingOverlay
+from repro.ingest.wal import WriteAheadLog
+from repro.metadata.file_metadata import FileMetadata
+from repro.persistence.jsonl import load_files, save_files, schema_from_dict, schema_to_dict
+from repro.persistence.snapshot import config_from_dict, config_to_dict
+
+__all__ = ["MutationReceipt", "IngestPipeline", "recover", "CHECKPOINT_FORMAT"]
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = "repro.checkpoint"
+CHECKPOINT_VERSION = 1
+
+CHECKPOINT_META = "checkpoint.meta.json"
+CHECKPOINT_FILES = "checkpoint.files.jsonl"
+
+
+@dataclass(frozen=True)
+class MutationReceipt:
+    """What the caller gets back for one accepted mutation.
+
+    ``seq`` is the WAL sequence number (a local monotone counter for
+    volatile pipelines), ``group_id`` the first-level group whose version
+    chain recorded the change (:data:`~repro.core.smartstore.UNKNOWN_GROUP`
+    for rejected deletes/modifies of unknown files), ``latency`` the
+    simulated staging cost under the deployment's cost model.
+    """
+
+    seq: int
+    kind: str
+    file_id: int
+    group_id: int
+    unit_id: int
+    known: bool
+    latency: float
+
+
+class IngestPipeline:
+    """Durable online mutations over one deployment."""
+
+    def __init__(
+        self,
+        store: SmartStore,
+        wal: Optional[WriteAheadLog] = None,
+        *,
+        policy: Optional[CompactionPolicy] = None,
+    ) -> None:
+        self.store = store
+        self.wal = wal
+        self.overlay = StagingOverlay()
+        store.attach_overlay(self.overlay)
+        # Serialises staging against compaction (and concurrent writers).
+        self.lock = threading.RLock()
+        self.compactor = Compactor(self, policy)
+        self.mutations = 0
+        self.rejected = 0
+        # Sequence source for volatile (WAL-less) pipelines.
+        self._next_local_seq = wal.last_seq + 1 if wal is not None else 1
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop background compaction and close the log (staged state stays)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.compactor.stop()
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "IngestPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ mutations
+    def _apply(self, kind: str, file: FileMetadata) -> MutationReceipt:
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        with self.lock:
+            # Log first: the mutation must be durable before any in-memory
+            # structure reflects it, or a crash could acknowledge a write
+            # that recovery cannot reproduce.
+            if self.wal is not None:
+                seq = self.wal.append(kind, file)
+            else:
+                seq = self._next_local_seq
+                self._next_local_seq += 1
+            outcome = self.store.stage_mutation(kind, file, seq=seq)
+            self.mutations += 1
+            if not outcome.known:
+                self.rejected += 1
+            return self._receipt(seq, outcome)
+
+    def _receipt(self, seq: int, outcome: StageOutcome) -> MutationReceipt:
+        return MutationReceipt(
+            seq=seq,
+            kind=outcome.kind,
+            file_id=outcome.file.file_id,
+            group_id=outcome.group_id,
+            unit_id=outcome.unit_id,
+            known=outcome.known,
+            latency=outcome.metrics.latency(self.store.config.cost_model),
+        )
+
+    def insert(self, file: FileMetadata) -> MutationReceipt:
+        """Durably insert one metadata record (immediately queryable)."""
+        return self._apply("insert", file)
+
+    def delete(self, file: FileMetadata) -> MutationReceipt:
+        """Durably delete one record (masked from queries immediately).
+
+        Deletes of unknown files are logged (the intent was accepted) but
+        staged nowhere; the receipt's ``known`` flag is False.
+        """
+        return self._apply("delete", file)
+
+    def modify(self, file: FileMetadata) -> MutationReceipt:
+        """Durably replace one record's attribute values."""
+        return self._apply("modify", file)
+
+    # ------------------------------------------------------------------ views
+    def materialized_files(self) -> List[FileMetadata]:
+        """The logical population: applied records plus staged net effect."""
+        with self.lock:
+            merged: Dict[int, FileMetadata] = dict(self.store._files_by_id)
+            live, deleted = self.overlay.snapshot()
+            merged.update(live)
+            for fid in deleted:
+                merged.pop(fid, None)
+            return list(merged.values())
+
+    def stats(self) -> Dict[str, object]:
+        d: Dict[str, object] = {
+            "mutations": self.mutations,
+            "rejected_unknown": self.rejected,
+            "overlay": self.overlay.stats(),
+            "compaction": self.compactor.stats.as_dict(),
+        }
+        if self.wal is not None:
+            d["wal"] = {
+                "path": str(self.wal.path),
+                "last_seq": self.wal.last_seq,
+                "appended": self.wal.appended,
+                "syncs": self.wal.syncs,
+                "fsync_every": self.wal.fsync_every,
+                "size_bytes": self.wal.size_bytes(),
+            }
+        return d
+
+    # ------------------------------------------------------------------ checkpointing
+    def checkpoint(self, directory: PathLike) -> Dict[str, object]:
+        """Persist the logical population and truncate the log.
+
+        The checkpoint captures everything logged so far (applied *and*
+        staged mutations — recovery rebuilds the overlay-visible state from
+        the population alone), so the WAL can drop every record at or below
+        the checkpoint sequence.  Both artefacts are written atomically
+        (temp + fsync + rename), population first, metadata second, WAL
+        truncation last; a crash at any point leaves a recoverable pair:
+        either the previous checkpoint with the untruncated log, or — when
+        only the metadata swap is outstanding — the old metadata over the
+        new population, which WAL replay reconciles because re-staging a
+        logged mutation is idempotent (inserts/modifies replace in place,
+        deletes of absent files are observable no-ops).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self.lock:
+            seq = self.wal.last_seq if self.wal is not None else self._next_local_seq - 1
+            files = self.materialized_files()
+            files_tmp = directory / (CHECKPOINT_FILES + ".tmp")
+            save_files(files, files_tmp)
+            with files_tmp.open("a", encoding="utf-8") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(files_tmp, directory / CHECKPOINT_FILES)
+            meta = {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "wal_seq": seq,
+                "num_files": len(files),
+                "config": config_to_dict(self.store.config),
+                "schema": schema_to_dict(self.store.schema),
+            }
+            tmp = directory / (CHECKPOINT_META + ".tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                json.dump(meta, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, directory / CHECKPOINT_META)
+            if self.wal is not None:
+                self.wal.truncate_through(seq)
+            return meta
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestPipeline(store={self.store!r}, "
+            f"wal={'on' if self.wal is not None else 'off'}, "
+            f"mutations={self.mutations}, staged={len(self.overlay)})"
+        )
+
+
+def recover(
+    checkpoint_dir: PathLike,
+    *,
+    wal_path: Optional[PathLike] = None,
+    fsync_every: int = 1,
+    policy: Optional[CompactionPolicy] = None,
+) -> IngestPipeline:
+    """Rebuild a pipeline from the latest checkpoint plus a WAL replay.
+
+    The store is rebuilt from the checkpointed population with the
+    checkpointed configuration, then every intact WAL record with a
+    sequence number above the checkpoint is re-staged (without re-logging).
+    A torn or corrupt log tail — the signature of a crash mid-append — ends
+    the replay at the last intact record, exactly matching what the WAL's
+    durability contract promised the writer.
+
+    The returned pipeline keeps appending to the same log, so recovery is
+    also how a cleanly shut down deployment resumes.
+    """
+    checkpoint_dir = Path(checkpoint_dir)
+    with (checkpoint_dir / CHECKPOINT_META).open("r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"{checkpoint_dir} is not a checkpoint (format={meta.get('format')!r})"
+        )
+    files = load_files(checkpoint_dir / CHECKPOINT_FILES)
+    config = config_from_dict(meta["config"])
+    schema = schema_from_dict(meta["schema"])
+    store = SmartStore.build(files, config, schema)
+
+    wal = WriteAheadLog(wal_path, fsync_every=fsync_every) if wal_path is not None else None
+    pipeline = IngestPipeline(store, wal, policy=policy)
+    if wal is not None:
+        checkpoint_seq = int(meta.get("wal_seq", 0))
+        for record in wal.replay():
+            if record.seq <= checkpoint_seq or record.kind == "checkpoint":
+                continue
+            if record.file is None:
+                continue
+            store.stage_mutation(record.kind, record.file, seq=record.seq)
+            pipeline.mutations += 1
+    return pipeline

@@ -28,6 +28,8 @@ from repro.persistence.jsonl import (
 from repro.persistence.results import ResultTable, read_csv, write_csv, write_markdown
 from repro.persistence.snapshot import (
     DeploymentSnapshot,
+    config_from_dict,
+    config_to_dict,
     load_snapshot,
     save_snapshot,
     snapshot_deployment,
@@ -44,6 +46,8 @@ __all__ = [
     "snapshot_deployment",
     "save_snapshot",
     "load_snapshot",
+    "config_to_dict",
+    "config_from_dict",
     "ResultTable",
     "write_csv",
     "read_csv",

@@ -16,10 +16,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.core.smartstore import SmartStore
+from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.persistence.jsonl import schema_from_dict, schema_to_dict
 
-__all__ = ["DeploymentSnapshot", "snapshot_deployment", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "DeploymentSnapshot",
+    "snapshot_deployment",
+    "save_snapshot",
+    "load_snapshot",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 PathLike = Union[str, Path]
 
@@ -119,23 +126,65 @@ class DeploymentSnapshot:
         return schema_from_dict(self.schema)
 
 
+def config_to_dict(config: SmartStoreConfig) -> Dict[str, object]:
+    """Serialise the JSON-safe fields of a build configuration.
+
+    Cost-model constants and explicit threshold tuples are intentionally
+    excluded (they default deterministically); everything a rebuild needs
+    to reproduce the same deployment from the same population is kept.
+    """
+    payload: Dict[str, object] = {
+        "num_units": config.num_units,
+        "lsi_rank": config.lsi_rank,
+        "max_fanout": config.max_fanout,
+        "bloom_bits": config.bloom_bits,
+        "bloom_hashes": config.bloom_hashes,
+        "mode": config.mode,
+        "versioning_enabled": config.versioning_enabled,
+        "version_ratio": config.version_ratio,
+        "lazy_update_threshold": config.lazy_update_threshold,
+        "autoconfig_threshold": config.autoconfig_threshold,
+        "admission_threshold": config.admission_threshold,
+        "search_breadth": config.search_breadth,
+        "seed": config.seed,
+    }
+    if config.thresholds is not None:
+        payload["thresholds"] = list(config.thresholds)
+    return payload
+
+
+def config_from_dict(payload: Dict[str, object]) -> SmartStoreConfig:
+    """Rebuild a :class:`SmartStoreConfig` from :func:`config_to_dict` output.
+
+    Unknown keys are ignored so older artefacts survive config growth.
+    """
+    kwargs: Dict[str, object] = {
+        key: payload[key]
+        for key in (
+            "num_units",
+            "lsi_rank",
+            "max_fanout",
+            "bloom_bits",
+            "bloom_hashes",
+            "mode",
+            "versioning_enabled",
+            "version_ratio",
+            "lazy_update_threshold",
+            "autoconfig_threshold",
+            "admission_threshold",
+            "search_breadth",
+            "seed",
+        )
+        if key in payload
+    }
+    if payload.get("thresholds") is not None:
+        kwargs["thresholds"] = tuple(payload["thresholds"])  # type: ignore[arg-type]
+    return SmartStoreConfig(**kwargs)  # type: ignore[arg-type]
+
+
 def snapshot_deployment(store: SmartStore) -> DeploymentSnapshot:
     """Capture the layout of a built deployment."""
-    config = {
-        "num_units": store.config.num_units,
-        "lsi_rank": store.config.lsi_rank,
-        "max_fanout": store.config.max_fanout,
-        "bloom_bits": store.config.bloom_bits,
-        "bloom_hashes": store.config.bloom_hashes,
-        "mode": store.config.mode,
-        "versioning_enabled": store.config.versioning_enabled,
-        "version_ratio": store.config.version_ratio,
-        "lazy_update_threshold": store.config.lazy_update_threshold,
-        "autoconfig_threshold": store.config.autoconfig_threshold,
-        "admission_threshold": store.config.admission_threshold,
-        "search_breadth": store.config.search_breadth,
-        "seed": store.config.seed,
-    }
+    config = config_to_dict(store.config)
     placement = {
         unit_id: sorted(f.file_id for f in store.cluster.server(unit_id).files)
         for unit_id in store.cluster.unit_ids()

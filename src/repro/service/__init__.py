@@ -33,12 +33,20 @@ from repro.service.loadgen import (
     replay_point_stream,
 )
 from repro.service.service import QueryService, ServiceConfig
-from repro.service.telemetry import QueryClassStats, ServiceTelemetry, kind_of
+from repro.service.telemetry import (
+    MUTATION_KINDS,
+    QUERY_KINDS,
+    QueryClassStats,
+    ServiceTelemetry,
+    kind_of,
+)
 
 __all__ = [
     "AdmissionController",
     "CacheHit",
     "CacheStats",
+    "MUTATION_KINDS",
+    "QUERY_KINDS",
     "LoadGenerator",
     "LoadReport",
     "QueryClassStats",

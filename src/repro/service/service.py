@@ -41,6 +41,8 @@ import numpy as np
 
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.metadata.file_metadata import FileMetadata
 from repro.service.batching import (
     AdmissionController,
     RequestBatcher,
@@ -52,6 +54,49 @@ from repro.service.telemetry import ServiceTelemetry
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
 __all__ = ["ServiceConfig", "QueryService"]
+
+
+class _ReadWriteLock:
+    """Many concurrent readers or one exclusive writer, writer-preferring.
+
+    Engine query execution (thread pool, closed-loop callers) takes the
+    read side; mutation application and compaction (dispatcher thread) take
+    the write side, so structural updates to the servers, the semantic
+    R-tree and the population map never interleave with a scan.  Writers
+    block new readers while waiting, bounding mutation latency under a
+    steady read load.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
 
 
 @dataclass(frozen=True)
@@ -73,6 +118,9 @@ class ServiceConfig:
     negative_bloom_bits: int = 8192
     negative_bloom_hashes: int = 5
     block_on_overload: bool = True
+    #: Run the ingest pipeline's policy-driven compaction on the dispatcher
+    #: thread after each mutation (a cheap no-op while nothing is due).
+    auto_compact: bool = True
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -90,9 +138,19 @@ class ServiceConfig:
 class QueryService:
     """Concurrent, cached, batched query execution over one deployment."""
 
-    def __init__(self, store: SmartStore, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        store: SmartStore,
+        config: Optional[ServiceConfig] = None,
+        *,
+        pipeline: Optional[IngestPipeline] = None,
+    ) -> None:
         self.store = store
         self.config = config if config is not None else ServiceConfig()
+        # The durable write path.  A caller-supplied pipeline brings its own
+        # WAL/compaction policy; otherwise a volatile one (overlay staging,
+        # no log) is created lazily on the first mutation.
+        self.pipeline = pipeline
         self.telemetry = ServiceTelemetry()
         self.admission = AdmissionController(
             self.config.max_in_flight, block=self.config.block_on_overload
@@ -124,6 +182,9 @@ class QueryService:
         self._id_lock = threading.Lock()
         self._next_request_id = 0
         self._metrics_lock = threading.Lock()
+        # Readers: engine query execution; writer: mutation + compaction.
+        self._state_lock = _ReadWriteLock()
+        self._pipeline_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ lifecycle
@@ -161,14 +222,20 @@ class QueryService:
     def _execute_on_engine(self, request: ServiceRequest) -> QueryResult:
         engine = self.store.engine
         query = request.query
-        if isinstance(query, PointQuery):
-            result = engine.point_query(query, home_unit=request.home_unit)
-        elif isinstance(query, RangeQuery):
-            result = engine.range_query(query, home_unit=request.home_unit)
-        elif isinstance(query, TopKQuery):
-            result = engine.topk_query(query, home_unit=request.home_unit)
-        else:
-            raise TypeError(f"unsupported query type {type(query)!r}")
+        # Read side of the state lock: mutations/compaction (write side)
+        # restructure the very servers and tree nodes a scan walks.
+        self._state_lock.acquire_read()
+        try:
+            if isinstance(query, PointQuery):
+                result = engine.point_query(query, home_unit=request.home_unit)
+            elif isinstance(query, RangeQuery):
+                result = engine.range_query(query, home_unit=request.home_unit)
+            elif isinstance(query, TopKQuery):
+                result = engine.topk_query(query, home_unit=request.home_unit)
+            else:
+                raise TypeError(f"unsupported query type {type(query)!r}")
+        finally:
+            self._state_lock.release_read()
         # The facade merges per-query counters into the cluster-wide
         # accounting; the service does the same, serialised.
         with self._metrics_lock:
@@ -302,6 +369,96 @@ class QueryService:
         self.drain()
         return [f.result() for f in futures]
 
+    # ------------------------------------------------------------------ mutations
+    def _ensure_pipeline(self) -> IngestPipeline:
+        # Locked: two threads racing the first mutation must not create two
+        # pipelines whose overlays would clobber each other on the store.
+        with self._pipeline_lock:
+            if self.pipeline is None:
+                self.pipeline = IngestPipeline(self.store)
+            return self.pipeline
+
+    def _submit_mutation(self, kind: str, file: FileMetadata) -> "Future[MutationReceipt]":
+        """Admit one mutation and serialise it through the dispatcher.
+
+        Mutations share the admission window with queries (backpressure
+        applies to writers too) and execute on the single dispatcher
+        thread, ordered with the *batched* submissions: the partial batch
+        buffered before the mutation is flushed first, so those queries
+        observe the pre-mutation state, while anything submitted afterwards
+        observes the mutation — read-your-writes through the service.
+        Closed-loop ``execute`` calls bypass the dispatcher but serialise
+        against mutations on the state lock, so each such read observes the
+        store atomically before or after a mutation, never mid-application.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self.telemetry.start_window()
+        if not self.admission.admit():
+            self.telemetry.record_rejection()
+            raise ServiceOverloadedError(
+                f"admission limit of {self.config.max_in_flight} requests reached"
+            )
+        pipeline = self._ensure_pipeline()
+        if self.config.batching_enabled:
+            self._dispatch_batch(self.batcher.flush())
+        future: "Future[MutationReceipt]" = Future()
+        task = self._dispatcher.submit(self._apply_mutation, pipeline, kind, file, future)
+        with self._dispatch_lock:
+            self._dispatch_futures = [f for f in self._dispatch_futures if not f.done()]
+            self._dispatch_futures.append(task)
+        return future
+
+    def _apply_mutation(
+        self,
+        pipeline: IngestPipeline,
+        kind: str,
+        file: FileMetadata,
+        future: "Future[MutationReceipt]",
+    ) -> None:
+        try:
+            self._state_lock.acquire_write()
+            try:
+                receipt: MutationReceipt = getattr(pipeline, kind)(file)
+                if self.config.auto_compact:
+                    pipeline.compactor.run_once()
+            finally:
+                self._state_lock.release_write()
+            # The mutation bumped the versioning change clock, which flushed
+            # the result cache; any in-flight batch that snapshotted an
+            # older epoch will see its store() dropped as stale.
+            self.telemetry.observe_mutation(kind, receipt.latency)
+            future.set_result(receipt)
+        except BaseException as exc:
+            future.set_exception(exc)
+        finally:
+            self.admission.release()
+
+    def submit_insert(self, file: FileMetadata) -> "Future[MutationReceipt]":
+        """Insert one record; later queries reflect it immediately.
+
+        Durability requires constructing the service with a WAL-backed
+        :class:`~repro.ingest.pipeline.IngestPipeline`; the lazily-created
+        default pipeline stages in memory only (no log).
+        """
+        return self._submit_mutation("insert", file)
+
+    def submit_delete(self, file: FileMetadata) -> "Future[MutationReceipt]":
+        """Delete one record; later queries mask it immediately.
+
+        Durable only with a caller-supplied WAL-backed pipeline (see
+        :meth:`submit_insert`).
+        """
+        return self._submit_mutation("delete", file)
+
+    def submit_modify(self, file: FileMetadata) -> "Future[MutationReceipt]":
+        """Replace one record's attribute values.
+
+        Durable only with a caller-supplied WAL-backed pipeline (see
+        :meth:`submit_insert`).
+        """
+        return self._submit_mutation("modify", file)
+
     def drain(self) -> None:
         """Flush the partial batching window and wait for in-flight work."""
         self._dispatch_batch(self.batcher.flush())
@@ -326,6 +483,8 @@ class QueryService:
         }
         if self.cache is not None:
             d["cache"] = self.cache.stats.as_dict()
+        if self.pipeline is not None:
+            d["ingest"] = self.pipeline.stats()
         return d
 
     def __repr__(self) -> str:

@@ -28,10 +28,19 @@ import numpy as np
 from repro.cluster.metrics import Metrics
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
-__all__ = ["QUERY_KINDS", "QueryClassStats", "ServiceTelemetry", "kind_of"]
+__all__ = [
+    "QUERY_KINDS",
+    "MUTATION_KINDS",
+    "QueryClassStats",
+    "ServiceTelemetry",
+    "kind_of",
+]
 
 #: Telemetry classes, in reporting order.
 QUERY_KINDS = ("point", "range", "topk")
+
+#: Mutation classes (the ingest path through the service).
+MUTATION_KINDS = ("insert", "delete", "modify")
 
 #: Percentiles reported for every query class.
 PERCENTILES = (50.0, 95.0, 99.0)
@@ -132,7 +141,7 @@ class ServiceTelemetry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._classes: Dict[str, QueryClassStats] = {
-            kind: QueryClassStats(kind) for kind in QUERY_KINDS
+            kind: QueryClassStats(kind) for kind in (*QUERY_KINDS, *MUTATION_KINDS)
         }
         self._wall_started: Optional[float] = None
         self._wall_elapsed = 0.0
@@ -174,6 +183,23 @@ class ServiceTelemetry:
         with self._lock:
             self._classes[kind_of(query)].observe(latency, metrics, source=source)
 
+    def observe_mutation(
+        self,
+        kind: str,
+        latency: float,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        """Record one mutation served by the ingest path.
+
+        Mutations always execute on the engine side (there is nothing to
+        cache or coalesce), so they land in the ``engine`` source bucket of
+        their own telemetry class.
+        """
+        if kind not in MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        with self._lock:
+            self._classes[kind].observe(latency, metrics, source="engine")
+
     def record_rejection(self) -> None:
         with self._lock:
             self.rejected += 1
@@ -206,7 +232,7 @@ class ServiceTelemetry:
         """Rows for :func:`repro.eval.reporting.format_table`."""
         rows: List[List[object]] = []
         with self._lock:
-            for kind in QUERY_KINDS:
+            for kind in (*QUERY_KINDS, *MUTATION_KINDS):
                 c = self._classes[kind]
                 if c.count == 0:
                     continue

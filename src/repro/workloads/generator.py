@@ -247,6 +247,99 @@ class QueryWorkloadGenerator:
         self.rng.shuffle(queries)  # type: ignore[arg-type]
         return queries
 
+    # ------------------------------------------------------------------ mutation workloads
+    def mutation_stream(
+        self,
+        n_inserts: int,
+        n_deletes: int,
+        n_modifies: int = 0,
+        *,
+        shuffle: bool = True,
+        prefix: str = "/ingest",
+    ) -> List[Tuple[str, FileMetadata]]:
+        """An online-mutation workload: ``(kind, file)`` pairs for the ingest path.
+
+        The stream is *bounds-preserving* by construction, which is what the
+        write-path equivalence checks need (a store that drains this stream
+        answers byte-identically to a fresh build over the mutated
+        population):
+
+        * **inserts** are synthesised by jittering popular files in index
+          space, clipped strictly inside the population's per-attribute
+          bounds (they can never extend any deployment-wide normalisation
+          bound);
+        * **deletes** and **modifies** target existing files that are not
+          the min or max of any attribute (removing them cannot shrink a
+          bound), sampled without replacement;
+        * **modifies** keep the file's path/id and jitter its attribute
+          values within bounds.
+        """
+        if min(n_inserts, n_deletes, n_modifies) < 0:
+            raise ValueError("mutation counts must be non-negative")
+        names = self.schema.names
+        lo, hi = self._lower, self._upper
+        span = np.where(hi > lo, hi - lo, 1.0)
+        inner_lo = lo + 0.001 * span
+        inner_hi = hi - 0.001 * span
+
+        def jitter_of(row: np.ndarray) -> np.ndarray:
+            sample = row + self.rng.normal(0.0, 0.02 * span)
+            return np.clip(sample, inner_lo, inner_hi)
+
+        stream: List[Tuple[str, FileMetadata]] = []
+        anchors = self.rng.choice(
+            len(self.files), size=n_inserts, p=self._popularity
+        )
+        stamp = int(self.rng.integers(1 << 30))
+        for i, anchor in enumerate(anchors):
+            values = self._from_index_space(names, jitter_of(self._index_matrix[anchor]))
+            stream.append(
+                (
+                    "insert",
+                    FileMetadata(
+                        path=f"{prefix}/new-{stamp}-{i:06d}.dat",
+                        attributes={n: float(v) for n, v in zip(names, values)},
+                    ),
+                )
+            )
+
+        extreme_rows = set(np.argmin(self._index_matrix, axis=0).tolist())
+        extreme_rows |= set(np.argmax(self._index_matrix, axis=0).tolist())
+        victims = [i for i in range(len(self.files)) if i not in extreme_rows]
+        needed = n_deletes + n_modifies
+        if needed > len(victims):
+            raise ValueError(
+                f"population has only {len(victims)} non-extreme files; "
+                f"cannot target {needed}"
+            )
+        picked = self.rng.choice(len(victims), size=needed, replace=False)
+        targets = [self.files[victims[i]] for i in picked]
+        for f in targets[:n_deletes]:
+            stream.append(("delete", f))
+        for f in targets[n_deletes:]:
+            # Re-derive the file's index-space row to jitter around it.
+            values = self._from_index_space(
+                names,
+                jitter_of(
+                    log_transform(
+                        attribute_matrix([f], self.schema), self.schema
+                    )[0]
+                ),
+            )
+            stream.append(
+                (
+                    "modify",
+                    FileMetadata(
+                        path=f.path,
+                        attributes={n: float(v) for n, v in zip(names, values)},
+                        file_id=f.file_id,
+                    ),
+                )
+            )
+        if shuffle:
+            self.rng.shuffle(stream)  # type: ignore[arg-type]
+        return stream
+
     # ------------------------------------------------------------------ defaults
     def _default_attributes(self) -> Tuple[str, ...]:
         """The 3-attribute combination the paper's examples use.

@@ -183,6 +183,33 @@ class TestServeBenchCommand:
         assert "bench_service_throughput.py" in EXPERIMENT_INDEX
 
 
+class TestIngestBenchCommand:
+    def test_ingest_bench_end_to_end_on_tiny_trace(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(100, clusters=4), pop)
+        code = main([
+            "ingest-bench", "--input", str(pop), "--units", "4",
+            "--mutations", "30", "--fsync-batch", "8",
+            "--wal-dir", str(tmp_path / "wal"),
+        ])
+        out = capsys.readouterr().out
+        # Exit code 0 is itself the assertion that both correctness gates
+        # (crash recovery + drain equivalence) passed.
+        assert code == 0
+        assert "ingest-bench" in out
+        assert "wal fsync/record + compaction" in out
+        assert "no compaction" in out
+        assert "no wal (volatile)" in out
+        assert "crash recovery identical" in out
+        assert "drain == fresh build" in out
+        assert "NO" not in out
+        # WAL artefacts landed where asked.
+        assert any((tmp_path / "wal").glob("wal-*.jsonl"))
+
+    def test_ingest_bench_registered_in_experiments(self):
+        assert "bench_ingest_throughput.py" in EXPERIMENT_INDEX
+
+
 class TestExperimentsCommand:
     def test_lists_every_bench_module(self, capsys):
         assert main(["experiments"]) == 0

@@ -136,6 +136,29 @@ class TestUpdates:
         result = tiny_store.range_query(q)
         assert any(f.file_id == new.file_id for f in result.files)
 
+    def test_modify_serves_fresh_values_with_versioning(self, tiny_store):
+        target = tiny_store.files[0]
+        old = target.get("mtime")
+        tiny_store.modify_file(target.with_updates(mtime=old + 0.25))
+        q = RangeQuery(("mtime",), (old - 1.0,), (old + 1.0,))
+        served = next(
+            f for f in tiny_store.range_query(q).files if f.file_id == target.file_id
+        )
+        # The version-chain copy is fresher than the indexed copy and wins.
+        assert served.get("mtime") == old + 0.25
+
+    def test_modify_after_pending_delete_rejected(self, tiny_store):
+        # The pending delete is the file's logical truth even though the
+        # record is still physically applied: the modify must be rejected
+        # exactly as it would be after the delete compacts.
+        victim = tiny_store.files[0]
+        tiny_store.delete_file(victim)
+        from repro.core.smartstore import UNKNOWN_GROUP
+
+        assert tiny_store.modify_file(victim.with_updates(mtime=1.0)) == UNKNOWN_GROUP
+        tiny_store.reconfigure()
+        assert tiny_store.file_by_id(victim.file_id) is None
+
     def test_delete_file_recorded(self, tiny_store):
         victim = tiny_store.files[0]
         tiny_store.delete_file(victim)

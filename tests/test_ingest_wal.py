@@ -1,0 +1,171 @@
+"""Tests for the write-ahead log: append/replay, checksums, torn tails."""
+
+import json
+
+import pytest
+
+from repro.ingest.wal import WAL_FORMAT, WALRecord, WriteAheadLog
+from repro.metadata.file_metadata import FileMetadata
+
+from helpers import make_files
+
+
+@pytest.fixture()
+def files():
+    return make_files(10)
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path, files):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            seqs = [wal.append("insert", f) for f in files[:3]]
+            seqs.append(wal.append("delete", files[0]))
+        assert seqs == [1, 2, 3, 4]
+        replay = WriteAheadLog.scan(path)
+        assert not replay.truncated
+        assert [r.seq for r in replay] == seqs
+        assert [r.kind for r in replay] == ["insert", "insert", "insert", "delete"]
+        assert replay.records[0].file.path == files[0].path
+        assert replay.records[0].file.attributes == files[0].attributes
+
+    def test_sequence_numbers_resume_across_reopen(self, tmp_path, files):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("insert", files[0])
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 1
+            assert wal.append("insert", files[1]) == 2
+        assert [r.seq for r in WriteAheadLog.scan(path)] == [1, 2]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        replay = WriteAheadLog.scan(tmp_path / "nope.jsonl")
+        assert replay.records == [] and not replay.truncated
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "not-a-wal.jsonl"
+        path.write_text('{"format": "repro.files", "version": 1}\n')
+        with pytest.raises(ValueError):
+            WriteAheadLog.scan(path)
+
+    def test_torn_header_replays_empty(self, tmp_path):
+        # Crash during the very first header write: nothing was durable.
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"format": "repro.w')
+        replay = WriteAheadLog.scan(path)
+        assert replay.truncated and replay.records == []
+        # Reopening truncates the torn header and starts a fresh log.
+        with WriteAheadLog(path) as wal:
+            assert wal.append("checkpoint") == 1
+        assert not WriteAheadLog.scan(path).truncated
+
+    def test_unknown_kind_rejected(self, tmp_path, files):
+        with WriteAheadLog(tmp_path / "wal.jsonl") as wal:
+            with pytest.raises(ValueError):
+                wal.append("truncate", files[0])
+
+    def test_invalid_fsync_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=-1)
+
+
+class TestChecksums:
+    def test_crc_detects_bit_flip(self, tmp_path, files):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("insert", files[0])
+            wal.append("insert", files[1])
+        lines = path.read_text().splitlines()
+        payload = json.loads(lines[1])
+        payload["kind"] = "delete"  # flip the op, keep the stale crc
+        lines[1] = json.dumps(payload)
+        path.write_text("\n".join(lines) + "\n")
+        replay = WriteAheadLog.scan(path)
+        # The corrupt record and everything after it are dropped.
+        assert replay.truncated
+        assert replay.records == []
+        assert replay.bad_line == 2
+
+    def test_record_payload_roundtrip(self, files):
+        record = WALRecord(seq=7, kind="modify", file=files[0])
+        assert WALRecord.from_payload(record.to_payload()) == record
+
+
+class TestTornTail:
+    def _write_then_tear(self, tmp_path, files, garbage):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append("insert", files[0])
+            wal.append("insert", files[1])
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(garbage)
+        return path
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            '{"seq": 3, "kind": "ins',          # torn mid-record
+            "garbage that is not json\n",        # not JSON at all
+            '{"seq": 3, "kind": "insert", "file": null, "crc": 1}\n',  # bad crc
+        ],
+    )
+    def test_replay_stops_at_torn_tail(self, tmp_path, files, garbage):
+        path = self._write_then_tear(tmp_path, files, garbage)
+        replay = WriteAheadLog.scan(path)
+        assert replay.truncated
+        assert [r.seq for r in replay] == [1, 2]
+
+    def test_reopen_truncates_torn_tail_and_appends(self, tmp_path, files):
+        path = self._write_then_tear(tmp_path, files, '{"torn": ')
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 2
+            wal.append("insert", files[2])
+        replay = WriteAheadLog.scan(path)
+        assert not replay.truncated
+        assert [r.seq for r in replay] == [1, 2, 3]
+
+
+class TestFsyncBatching:
+    def test_fsync_per_record(self, tmp_path, files):
+        with WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=1) as wal:
+            for f in files[:5]:
+                wal.append("insert", f)
+            assert wal.syncs == 5
+
+    def test_fsync_batched(self, tmp_path, files):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=4)
+        for f in files[:5]:
+            wal.append("insert", f)
+        assert wal.syncs == 1  # one batch of 4; the 5th is pending
+        wal.close()
+        assert wal.syncs == 2  # close drains the pending batch
+
+    def test_no_explicit_fsync(self, tmp_path, files):
+        with WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=0) as wal:
+            for f in files[:5]:
+                wal.append("insert", f)
+            assert wal.syncs == 0
+        # The contract holds through close() too: zero explicit fsyncs.
+        assert wal.syncs == 0
+
+
+class TestTruncateThrough:
+    def test_checkpoint_truncation(self, tmp_path, files):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            for f in files[:4]:
+                wal.append("insert", f)
+            kept = wal.truncate_through(2)
+            assert kept == 2
+            # Appends continue with the global sequence numbering.
+            assert wal.append("insert", files[4]) == 5
+        replay = WriteAheadLog.scan(path)
+        assert [r.seq for r in replay] == [3, 4, 5]
+
+    def test_truncate_everything(self, tmp_path, files):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            for f in files[:3]:
+                wal.append("insert", f)
+            assert wal.truncate_through(3) == 0
+        assert WriteAheadLog.scan(path).records == []
