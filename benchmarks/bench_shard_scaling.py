@@ -1,0 +1,94 @@
+"""Shard: scatter-gather equivalence and throughput scaling across shards.
+
+Not a paper figure — this benchmark covers the horizontal sharding layer
+grown on top of the reproduction (ROADMAP north star: "heavy traffic from
+millions of users").  The shared harness (:mod:`repro.shard.benchmarking`
+— the same loop the ``shard-bench`` CLI subcommand and the CI shard-path
+smoke job run) drives a point/range/top-k workload through three phases —
+before mutations, with a mutation stream *staged in flight*, and after a
+full compaction drain — against an unsharded baseline and against
+:class:`~repro.shard.router.ShardRouter` deployments of 1, 2 and 4 shards
+over the same total storage-unit budget.
+
+Two assertions:
+
+* **scatter-gather equivalence** — every query in every phase returns a
+  result fingerprint-identical to the unsharded baseline (caching,
+  partitioning, summary pruning and the shared MaxD threshold are not
+  allowed to change any answer);
+* **throughput scaling** — the 4-shard deployment sustains at least 1.5x
+  the range/top-k throughput of the single-shard deployment.  Throughput
+  is ``queries / busy-time-of-the-busiest-shard`` in the simulated cost
+  model (the currency every latency figure in this repository uses):
+  shards are independent deployments, so the busiest one bounds the
+  sustainable query rate; semantic slicing spreads the Zipf-hot region
+  across shards, which is exactly what the quantity rewards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_result
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.shard.benchmarking import run_shard_scaling
+from repro.traces.msn import msn_trace
+
+SHARD_COUNTS = (1, 2, 4)
+TOTAL_UNITS = 64
+QUERIES_PER_TYPE = 20
+N_MUTATIONS = 60
+MIN_SPEEDUP = 1.5
+
+CONFIG = SmartStoreConfig(num_units=TOTAL_UNITS, seed=7, search_breadth=TOTAL_UNITS)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return msn_trace(scale=2.0, seed=29).file_metadata()
+
+
+@pytest.fixture(scope="module")
+def report(corpus):
+    return run_shard_scaling(
+        corpus,
+        CONFIG,
+        SHARD_COUNTS,
+        queries_per_type=QUERIES_PER_TYPE,
+        n_mutations=N_MUTATIONS,
+        workload_seed=13,
+    )
+
+
+def test_scatter_gather_results_identical_to_baseline(report):
+    """Every phase of every shard count answers exactly like the baseline."""
+    assert report.gates, "harness produced no equivalence gates"
+    failing = [name for name, ok in report.gates.items() if not ok]
+    assert not failing, f"fingerprint mismatches: {failing}"
+
+
+def test_throughput_scales_with_shard_count(report):
+    """4 shards must sustain >= 1.5x the 1-shard range/top-k throughput."""
+    speedup = report.speedup_of(4)
+    assert speedup is not None
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-shard scatter throughput is only {speedup:.2f}x the single-shard "
+        f"deployment (required: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_report_table(report, benchmark, corpus):
+    """Render the scaling table (and give pytest-benchmark one timed op)."""
+    benchmark.pedantic(
+        lambda: report.speedup_of(max(SHARD_COUNTS)), rounds=1, iterations=1
+    )
+    rows = [row.as_table_row(report.speedup_of(row.shards)) for row in report.rows]
+    table = format_table(
+        ["shards", "build (s)", "mix wall (s)", "busiest shard (sim ms)",
+         "scatter q/s", "speedup", "mut/s", "pruned", "identical"],
+        rows,
+        title=f"shard scaling: {len(corpus)} files, {TOTAL_UNITS} total units, "
+        f"{QUERIES_PER_TYPE} queries/type x 3 phases, {N_MUTATIONS} mutations",
+    )
+    record_result("shard_scaling", table)

@@ -50,15 +50,21 @@ Top-level layout
     The durable write path: write-ahead logging with fsync batching, a
     read-your-writes staging overlay, incremental background compaction
     into the semantic R-tree, and checkpoint + WAL-replay crash recovery.
+``repro.shard``
+    Horizontal sharding: semantic corpus partitioning (LSI-space k-way
+    split with a hash fallback) and a scatter-gather router over N
+    independent SmartStore deployments with exact summary pruning, a
+    shared top-k MaxD threshold and per-shard ingest pipelines.
 """
 
 from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.ingest import CompactionPolicy, IngestPipeline, WriteAheadLog, recover
 from repro.service import QueryService, ServiceConfig
+from repro.shard import ShardRouter, build_shard_router
 from repro.workloads import PointQuery, RangeQuery, TopKQuery
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AttributeSchema",
@@ -67,6 +73,8 @@ __all__ = [
     "SmartStore",
     "SmartStoreConfig",
     "QueryService",
+    "ShardRouter",
+    "build_shard_router",
     "ServiceConfig",
     "IngestPipeline",
     "WriteAheadLog",

@@ -34,6 +34,15 @@ Subcommands
     (the compacted store answers identically to a fresh build over the
     mutated population).  Exits non-zero if either gate fails, so CI can
     run it as a smoke test.
+``shard-bench``
+    Split the corpus across N SmartStore shards behind the scatter-gather
+    router and drive the same point/range/top-k workload through three
+    phases (before mutations, with a mutation stream staged in flight,
+    after a full drain).  Every query's result must be
+    fingerprint-identical to an unsharded baseline of the same total size
+    (exit-code-asserted, so CI runs it as the shard-path smoke test), and
+    scatter-gather throughput per shard count is reported — optionally
+    gated with ``--min-speedup``.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -104,6 +113,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_ablation_spyglass.py": "Ablation: Spyglass-style single-server partitioned index vs SmartStore",
     "bench_service_throughput.py": "Service: query-service throughput/latency with cache and batching ablated",
     "bench_ingest_throughput.py": "Ingest: durable write-path throughput with WAL fsync batching and compaction ablated",
+    "bench_shard_scaling.py": "Shard: scatter-gather equivalence + throughput scaling across shard counts",
 }
 
 
@@ -437,6 +447,64 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    from repro.shard.benchmarking import run_shard_scaling
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gate compares deployments
+    # with different physical layouts, so bounded-breadth recall loss must
+    # not masquerade as a sharding bug (same policy as ingest-bench).
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    report = run_shard_scaling(
+        files,
+        config,
+        args.shards,
+        queries_per_type=args.queries,
+        n_mutations=args.mutations,
+        partitioner=args.partitioner,
+        workload_seed=args.seed + 1,
+    )
+
+    rows = [
+        row.as_table_row(report.speedup_of(row.shards)) for row in report.rows
+    ]
+    _print(
+        format_table(
+            ["shards", "build (s)", "mix wall (s)", "busiest shard (sim ms)",
+             "scatter q/s", "speedup", "mut/s", "pruned", "identical"],
+            rows,
+            title=f"shard-bench: {len(files)} files, {args.units} total units, "
+            f"{args.queries} queries/type x3 phases, {args.mutations} mutations, "
+            f"{args.partitioner} partitioner",
+        )
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(
+        format_table(
+            ["scatter-gather equivalence gate", "passed"],
+            gate_rows,
+            title="shard-path gates (vs unsharded baseline)",
+        )
+    )
+    passed = report.passed
+    if args.min_speedup > 0:
+        best = report.best_speedup
+        ok = best is not None and best >= args.min_speedup
+        shown = "n/a (no 1-shard row)" if best is None else f"{best:.2f}x"
+        _print(
+            f"throughput gate: {max(args.shards)} shards at "
+            f"{shown} >= {args.min_speedup:.2f}x required: "
+            f"{'yes' if ok else 'NO'}"
+        )
+        passed = passed and ok
+    return 0 if passed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -542,6 +610,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_ingest.add_argument("--wal-dir",
                           help="directory for WAL/checkpoint artefacts (default: temp)")
     p_ingest.set_defaults(func=_cmd_ingest_bench)
+
+    p_shard = sub.add_parser(
+        "shard-bench", help="benchmark the sharded scatter-gather deployment"
+    )
+    add_trace_source(p_shard)
+    p_shard.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_shard.add_argument("--units", type=int, default=16,
+                         help="total storage-unit budget (split across shards)")
+    p_shard.add_argument("--shards", type=int, nargs="+", default=[1, 4],
+                         help="shard counts to compare (default: 1 4)")
+    p_shard.add_argument("--queries", type=int, default=8,
+                         help="queries per type per phase")
+    p_shard.add_argument("--mutations", type=int, default=45,
+                         help="mutations staged between the query phases")
+    p_shard.add_argument("--partitioner", choices=("semantic", "hash"),
+                         default="semantic", help="corpus partitioner")
+    p_shard.add_argument("--min-speedup", type=float, default=0.0,
+                         help="fail unless the largest shard count reaches this "
+                         "scatter-throughput speedup over 1 shard (0 = report only)")
+    p_shard.set_defaults(func=_cmd_shard_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

@@ -64,6 +64,7 @@ class StorageServer:
         self._matrix: Optional[np.ndarray] = None        # raw attribute rows
         self._index_matrix: Optional[np.ndarray] = None  # log-transformed rows
         self._norm_matrix: Optional[np.ndarray] = None   # normalised index-space rows
+        self._file_ids: Optional[np.ndarray] = None      # row-aligned file ids
         self._norm_lower: Optional[np.ndarray] = None
         self._norm_upper: Optional[np.ndarray] = None
         self._dirty = True
@@ -123,6 +124,7 @@ class StorageServer:
         if self.files:
             self._matrix = np.vstack([f.vector(self.schema) for f in self.files])
             self._index_matrix = self._to_index_space(self._matrix)
+            self._file_ids = np.asarray([f.file_id for f in self.files], dtype=np.int64)
             if self._norm_lower is not None and self._norm_upper is not None:
                 span = self._norm_upper - self._norm_lower
                 safe = np.where(span > 0, span, 1.0)
@@ -136,6 +138,7 @@ class StorageServer:
             self._matrix = empty
             self._index_matrix = empty.copy()
             self._norm_matrix = empty.copy()
+            self._file_ids = np.empty(0, dtype=np.int64)
         self._dirty = False
 
     # ------------------------------------------------------------------ summaries
@@ -217,6 +220,15 @@ class StorageServer:
         ``query_norm`` must already be normalised with the deployment-wide
         bounds; when ``attr_indices`` is given the distance only considers
         those attributes (queries may constrain a subset of dimensions).
+
+        Candidates are ordered by ``(distance, file_id)`` and the cut at
+        ``k`` keeps every record tying the k-th smallest distance in
+        contention before that ordering truncates — so the returned set is
+        a pure function of the unit's *contents*, never of record
+        insertion order.  Placement-independent tie handling here is what
+        lets two deployments with different physical layouts (or a sharded
+        deployment and its unsharded baseline) return byte-identical top-k
+        results.
         """
         self._rebuild()
         metrics = metrics if metrics is not None else Metrics()
@@ -235,8 +247,14 @@ class StorageServer:
         deltas = data - query_norm[None, :]
         dists = np.sqrt(np.sum(deltas * deltas, axis=1))
         k = min(k, n)
-        top = np.argpartition(dists, k - 1)[:k]
-        top = top[np.argsort(dists[top])]
+        part = np.argpartition(dists, k - 1)[:k]
+        kth = dists[part].max()
+        # Tie-stable cut: identical attribute values produce bit-identical
+        # distances, so `<= kth` re-admits every record tying the k-th best
+        # before the canonical (distance, file_id) order truncates.
+        eligible = np.nonzero(dists <= kth)[0]
+        order = np.lexsort((self._file_ids[eligible], dists[eligible]))
+        top = eligible[order[:k]]
         return [(float(dists[i]), self.files[i]) for i in top]
 
     def lookup_filename(

@@ -441,7 +441,11 @@ class QueryEngine:
 
     # ------------------------------------------------------------------ top-k query
     def topk_query(
-        self, query: TopKQuery, *, home_unit: Optional[int] = None
+        self,
+        query: TopKQuery,
+        *,
+        home_unit: Optional[int] = None,
+        max_d_bound: Optional[float] = None,
     ) -> QueryResult:
         """Top-k nearest-neighbour query with MaxD refinement.
 
@@ -451,6 +455,26 @@ class QueryEngine:
         (distance of the current k-th best candidate), and sibling groups
         are then examined in MINDIST order only while they could still beat
         ``MaxD`` and the search-breadth budget allows.
+
+        Correctness invariants (the drain-equivalence and sharded
+        scatter-gather gates depend on both):
+
+        * ``MaxD`` is tightened on the *deduplicated* candidate pool — a
+          record surfacing both from its storage unit and from a version
+          chain must count once, or the k-th-best distance is understated
+          and the sibling-group scan terminates early, dropping real
+          members;
+        * results are ordered by ``(distance, file_id)`` and groups are
+          pruned only when their MINDIST *strictly exceeds* ``MaxD``, so
+          equal-distance results are returned in canonical file-id order
+          regardless of physical placement.
+
+        ``max_d_bound`` seeds ``MaxD`` with an externally-known upper bound
+        on the global k-th-best distance (a sharded deployment ships the
+        primary shard's k-th-best distance to the other shards).  With a
+        bound the scan may prune every group and return fewer than ``k``
+        files: only candidates that could still enter a global top-k under
+        the bound are guaranteed to be present.
         """
         metrics = Metrics()
         home = home_unit if home_unit is not None else self.cluster.random_home_unit()
@@ -474,8 +498,20 @@ class QueryEngine:
             others = [g for g in groups if g.hosted_on != home]
             metrics.record_message(2 * len(others))
 
-        candidates: List[Tuple[float, FileMetadata]] = []
         scanned_groups: List[SemanticNode] = []
+
+        # The candidate pool is deduplicated *as it is built*: a record can
+        # surface both from its storage unit and from a version chain, and
+        # counting such a pair twice would make ``candidates[k-1]``
+        # understate the true k-th-best distance.  ``best`` keeps the best
+        # distance per file id and is the only pool MaxD is derived from.
+        best: Dict[int, Tuple[float, FileMetadata]] = {}
+
+        def absorb(pairs) -> None:
+            for dist, file in pairs:
+                kept = best.get(file.file_id)
+                if kept is None or dist < kept[0]:
+                    best[file.file_id] = (dist, file)
 
         # Staged mutations must be resolved *before* MaxD pruning: a staged
         # delete's indexed copy would otherwise tighten MaxD with a record
@@ -489,9 +525,10 @@ class QueryEngine:
             metrics.record_index_access()
             live, deleted = self.overlay.snapshot()
             staged_ids = set(live) | deleted
-            for staged_file in live.values():
-                dist = self._pending_distance(staged_file, query.attributes, query_norm)
-                candidates.append((dist, staged_file))
+            absorb(
+                (self._pending_distance(f, query.attributes, query_norm), f)
+                for f in live.values()
+            )
         k_fetch = query.k + (len(staged_ids) if staged_ids else 0)
 
         def scan_group(group: SemanticNode) -> None:
@@ -506,44 +543,49 @@ class QueryEngine:
                 )
                 if staged_ids:
                     local = [(d, f) for d, f in local if f.file_id not in staged_ids]
-                candidates.extend(local)
+                absorb(local)
             scanned_groups.append(group)
 
         if self.versioning_enabled:
             # Version chains are replicated alongside the first-level index
             # summaries, so their (few) entries are folded into the candidate
             # pool locally before the distributed search starts.  Entries
-            # the overlay already contributed are skipped: a duplicate pair
-            # in the pool would understate the k-th-best distance (MaxD)
-            # and stop the group scan too early.
+            # the overlay already contributed are skipped (staged records
+            # carry the freshest values); chain entries duplicating an
+            # indexed record are collapsed by ``absorb``.
             for group in self.tree.first_level_groups():
                 for pending in self.versioning.pending_files(group.node_id, metrics):
                     if staged_ids and pending.file_id in staged_ids:
                         continue
                     dist = self._pending_distance(pending, query.attributes, query_norm)
-                    candidates.append((dist, pending))
+                    absorb([(dist, pending)])
 
         # The target group (smallest MINDIST) is always scanned; siblings are
         # examined in MINDIST order only while they could still contain a
-        # candidate closer than the current MaxD (§3.3.2).
-        max_d = float("inf")
+        # candidate at or below the current MaxD (§3.3.2).  Pruning is
+        # strict (``>``): a group whose MINDIST ties MaxD exactly may hold a
+        # file that ties the k-th best and wins the file-id tie-break, so it
+        # must still be scanned for placement-independent results.  With an
+        # external ``max_d_bound`` the pruning applies from the first group
+        # on — the bound already proves those groups cannot contribute.
+        max_d = float("inf") if max_d_bound is None else float(max_d_bound)
         for group in groups:
             metrics.record_index_access()
-            if scanned_groups and len(candidates) >= query.k and mindist(group) >= max_d:
+            if mindist(group) > max_d and (
+                len(best) >= query.k or max_d_bound is not None
+            ):
                 break
             scan_group(group)
-            candidates.sort(key=lambda pair: pair[0])
-            if len(candidates) >= query.k:
-                max_d = candidates[query.k - 1][0]
+            if len(best) >= query.k:
+                kth = sorted(dist for dist, _ in best.values())[query.k - 1]
+                max_d = min(max_d, kth)
 
-        # Deduplicate by file identity (a record can surface both from its
-        # storage unit and from a version chain) keeping the best distance.
-        best: Dict[int, Tuple[float, FileMetadata]] = {}
-        for dist, file in candidates:
-            kept = best.get(file.file_id)
-            if kept is None or dist < kept[0]:
-                best[file.file_id] = (dist, file)
-        top = sorted(best.values(), key=lambda pair: pair[0])[: query.k]
+        # Canonical order: ties broken by file id, matching the file-id
+        # ordering of range/point results, so equal-distance members come
+        # back identically regardless of physical placement.
+        top = sorted(best.values(), key=lambda pair: (pair[0], pair[1].file_id))[
+            : query.k
+        ]
         files = [f for _, f in top]
         distances = [d for d, _ in top]
         return self._finish(files, metrics, max(1, len(scanned_groups)), distances)

@@ -172,14 +172,21 @@ class SemanticNode:
         Normalisation bounds are per constrained attribute; because min-max
         normalisation is monotone per dimension, normalising the MBR's
         corner coordinates yields the MBR of the normalised points.
+
+        Everything is clipped to ``[0, 1]`` exactly like
+        ``normalize_index_values`` clips the coordinates actual distances
+        are computed from — MINDIST must be a lower bound in the *same*
+        geometry as the distances it prunes against, or an out-of-bounds
+        query point would overestimate MINDIST and prune groups (or, at the
+        router level, whole shards) that hold true top-k members.
         """
         if self.mbr is None:
             return float("inf")
         idx = list(attr_indices)
         span = np.where(norm_upper - norm_lower > 0, norm_upper - norm_lower, 1.0)
-        node_lo = (self.mbr.lower[idx] - norm_lower) / span
-        node_hi = (self.mbr.upper[idx] - norm_lower) / span
-        q = (np.asarray(point, dtype=np.float64) - norm_lower) / span
+        node_lo = np.clip((self.mbr.lower[idx] - norm_lower) / span, 0.0, 1.0)
+        node_hi = np.clip((self.mbr.upper[idx] - norm_lower) / span, 0.0, 1.0)
+        q = np.clip((np.asarray(point, dtype=np.float64) - norm_lower) / span, 0.0, 1.0)
         below = np.maximum(node_lo - q, 0.0)
         above = np.maximum(q - node_hi, 0.0)
         delta = np.maximum(below, above)

@@ -190,6 +190,8 @@ class SmartStore:
         files: Sequence[FileMetadata],
         config: Optional[SmartStoreConfig] = None,
         schema: AttributeSchema = DEFAULT_SCHEMA,
+        *,
+        index_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> "SmartStore":
         """Build a deployment from a file population.
 
@@ -198,6 +200,14 @@ class SmartStore:
         → iterative semantic grouping into the semantic R-tree → Bloom
         filters per node → index-unit mapping and root multi-mapping →
         off-line replicas and version chains.
+
+        ``index_bounds`` overrides the deployment-wide ``(lower, upper)``
+        index-space normalisation bounds that are otherwise derived from
+        the build-time population.  A sharded deployment injects the
+        *corpus-wide* bounds here so that top-k distances and min-max
+        normalisation agree exactly across sibling shards and with an
+        unsharded baseline over the union population — the precondition for
+        fingerprint-identical scatter-gather merges.
         """
         config = config if config is not None else SmartStoreConfig()
         files = list(files)
@@ -214,6 +224,9 @@ class SmartStore:
         # space; its bounds over the build-time population are what every
         # server normalises against.
         index_lower, index_upper = partition.norm_lower, partition.norm_upper
+        if index_bounds is not None:
+            index_lower = np.asarray(index_bounds[0], dtype=np.float64).copy()
+            index_upper = np.asarray(index_bounds[1], dtype=np.float64).copy()
 
         cluster = ClusterSimulator(
             num_units,
@@ -379,6 +392,20 @@ class SmartStore:
         from repro.service.service import QueryService
 
         return QueryService(self, service_config)
+
+    def default_pipeline(self):
+        """A volatile :class:`~repro.ingest.pipeline.IngestPipeline` over this
+        deployment (overlay staging, no write-ahead log).
+
+        The query service calls this lazily on the first mutation when no
+        pipeline was supplied; a :class:`~repro.shard.router.ShardRouter`
+        overrides the same hook to return itself, routing mutations to its
+        per-shard pipelines instead.  Imported lazily: the ingest layer
+        depends on this module.
+        """
+        from repro.ingest.pipeline import IngestPipeline
+
+        return IngestPipeline(self)
 
     # ------------------------------------------------------------------ updates
     def file_semantic_vector(self, file: FileMetadata) -> np.ndarray:

@@ -248,13 +248,19 @@ class ResultCache:
                 self.stats.evictions += 1
 
     def invalidate(self) -> None:
-        """Flush everything (called on every versioning mutation)."""
+        """Flush everything (called on every versioning mutation).
+
+        Only flushes that actually clear entries are counted: the
+        versioning manager notifies on every recorded change, and a burst
+        of mutations against an already-empty cache is a no-op that must
+        not inflate the telemetry's flush count.
+        """
         with self._lock:
             if self._lru or self._neg_filenames:
                 self._lru.clear()
                 self._neg_bloom.clear()
                 self._neg_filenames.clear()
-            self.stats.invalidations += 1
+                self.stats.invalidations += 1
 
     def detach(self) -> None:
         """Unsubscribe from the versioning manager (service shutdown)."""

@@ -28,6 +28,14 @@ Correctness contract: with caching and batching enabled the service returns
 results whose payload (files, distances, found) is byte-identical to direct
 ``store.execute`` calls over the same workload — verified by
 ``tests/test_service_cache.py`` and re-checked by ``serve-bench``.
+
+The service also runs unchanged over a sharded deployment: a
+:class:`~repro.shard.router.ShardRouter` duck-types the store surface the
+service consumes — ``engine`` (scatter-gather dispatch), ``cluster``
+(home-unit domain + aggregate metrics), ``versioning`` (a composite whose
+``change_clock`` is the tuple of per-shard clocks, so cache epochs track
+every shard) and ``default_pipeline`` (mutations routed to the per-shard
+WAL/overlay/compactor pipelines).
 """
 
 from __future__ import annotations
@@ -136,7 +144,12 @@ class ServiceConfig:
 
 
 class QueryService:
-    """Concurrent, cached, batched query execution over one deployment."""
+    """Concurrent, cached, batched query execution over one deployment.
+
+    ``store`` is a :class:`~repro.core.smartstore.SmartStore` or a
+    :class:`~repro.shard.router.ShardRouter` (see the module docstring for
+    the surface the service consumes).
+    """
 
     def __init__(
         self,
@@ -373,9 +386,12 @@ class QueryService:
     def _ensure_pipeline(self) -> IngestPipeline:
         # Locked: two threads racing the first mutation must not create two
         # pipelines whose overlays would clobber each other on the store.
+        # The store decides what its write path looks like: a SmartStore
+        # hands back a volatile IngestPipeline, a ShardRouter hands back
+        # itself (mutations are then routed to the per-shard pipelines).
         with self._pipeline_lock:
             if self.pipeline is None:
-                self.pipeline = IngestPipeline(self.store)
+                self.pipeline = self.store.default_pipeline()
             return self.pipeline
 
     def _submit_mutation(self, kind: str, file: FileMetadata) -> "Future[MutationReceipt]":

@@ -1,0 +1,42 @@
+"""Horizontal sharding: many SmartStore deployments behind one router.
+
+SmartStore decentralises metadata *within* one deployment; this package
+scales *across* deployments, the way the paper's "heavy traffic" setting
+demands:
+
+``repro.shard.partitioner``
+    :class:`SemanticShardPartitioner` (LSI-space k-way split of the corpus,
+    balanced and semantically coherent) and :class:`HashShardPartitioner`
+    (stable file-id modulo fallback), plus :func:`corpus_index_bounds`, the
+    corpus-wide normalisation bounds every shard must be built with.
+``repro.shard.router``
+    :class:`ShardRouter` — scatter-gather point/range/top-k execution over
+    the shards with exact summary-based pruning (per-shard filename Bloom
+    filters + index-space bounding boxes, a shared MaxD threshold shipped
+    between shards for top-k), per-shard ingest pipelines (one WAL, overlay
+    and compactor each) routed by ownership/partitioner, and full
+    duck-compatibility with :class:`~repro.service.service.QueryService`.
+
+The correctness contract — sharded scatter-gather answers are
+fingerprint-identical to an unsharded deployment over the union population
+— is asserted by ``repro shard-bench`` and
+``benchmarks/bench_shard_scaling.py``.
+"""
+
+from repro.shard.partitioner import (
+    HashShardPartitioner,
+    SemanticShardPartitioner,
+    corpus_index_bounds,
+    make_partitioner,
+)
+from repro.shard.router import ShardRouter, ShardSummary, build_shard_router
+
+__all__ = [
+    "HashShardPartitioner",
+    "SemanticShardPartitioner",
+    "ShardRouter",
+    "ShardSummary",
+    "build_shard_router",
+    "corpus_index_bounds",
+    "make_partitioner",
+]

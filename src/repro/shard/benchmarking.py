@@ -1,0 +1,236 @@
+"""Shared shard-scaling harness: equivalence gates + throughput ablation.
+
+Used by the ``shard-bench`` CLI subcommand, the CI shard-path smoke job and
+``benchmarks/bench_shard_scaling.py`` so all three run exactly the same
+loop:
+
+1. an **unsharded baseline** (one SmartStore with a volatile ingest
+   pipeline) answers a mixed point/range/top-k workload in three phases —
+   before any mutation, with a mutation stream *staged but uncompacted*
+   (in flight), and after a full drain — producing the reference result
+   fingerprints;
+2. for every requested shard count a :class:`~repro.shard.router.ShardRouter`
+   runs the identical workload and mutation stream through the identical
+   phases; every single query's fingerprint must match the baseline's
+   (**scatter-gather equivalence gate**);
+3. throughput of the range/top-k mix is recorded per shard count.  The
+   headline quantity is **scatter-gather throughput**: shards are
+   independent deployments, so the cluster sustains
+   ``queries / busy-time-of-the-busiest-shard`` — the same simulated-cost
+   currency every latency figure in this repository uses (a single python
+   process cannot exhibit the wall-clock parallelism of N machines, but
+   the cost model accounts each shard's work exactly).  Per-query wall
+   clock is reported alongside.  The speedup gate compares the largest
+   shard count against the single-shard deployment of the same total size.
+
+The deployments use an exhaustive ``search_breadth`` so that the bounded
+search scope of the paper's default configuration cannot masquerade as a
+sharding bug — the comparison is exact, not statistical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest.pipeline import IngestPipeline
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.service.cache import result_fingerprint
+from repro.shard.router import build_shard_router
+from repro.workloads.generator import QueryWorkloadGenerator
+
+__all__ = ["ShardScalingRow", "ShardScalingReport", "run_shard_scaling"]
+
+#: The three workload phases every deployment is probed in.
+PHASES = ("pre-mutation", "mutations in flight", "drained")
+
+
+@dataclass
+class ShardScalingRow:
+    """Measurements for one shard count."""
+
+    shards: int
+    build_seconds: float
+    complex_seconds: float      # wall clock of the range/top-k mix (3 phases)
+    busy_makespan: float        # simulated busy time of the busiest shard
+    scatter_qps: float          # complex queries / busy_makespan
+    mutations_per_second: float
+    shards_contacted: int
+    shards_pruned: int
+    identical: bool
+
+    def as_table_row(self, speedup: Optional[float] = None) -> List[str]:
+        return [
+            f"{self.shards}",
+            f"{self.build_seconds:.2f}",
+            f"{self.complex_seconds:.3f}",
+            f"{self.busy_makespan * 1e3:.2f}",
+            f"{self.scatter_qps:.0f}",
+            "-" if speedup is None else f"{speedup:.2f}x",
+            f"{self.mutations_per_second:.0f}",
+            f"{self.shards_pruned}/{self.shards_contacted + self.shards_pruned}",
+            "yes" if self.identical else "NO",
+        ]
+
+
+@dataclass
+class ShardScalingReport:
+    """Everything the CLI / benchmark needs to print and gate on."""
+
+    rows: List[ShardScalingRow]
+    gates: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """All equivalence gates hold (throughput is reported, not gated here)."""
+        return all(self.gates.values())
+
+    def speedup_of(self, shards: int) -> Optional[float]:
+        """Scatter throughput of ``shards`` relative to the single-shard row."""
+        base = next((r for r in self.rows if r.shards == 1), None)
+        row = next((r for r in self.rows if r.shards == shards), None)
+        if base is None or row is None or base.scatter_qps <= 0:
+            return None
+        return row.scatter_qps / base.scatter_qps
+
+    @property
+    def best_speedup(self) -> Optional[float]:
+        return self.speedup_of(max(r.shards for r in self.rows)) if self.rows else None
+
+
+def _workload(
+    files: Sequence[FileMetadata],
+    schema: AttributeSchema,
+    queries_per_type: int,
+    seed: int,
+) -> Tuple[list, list]:
+    """(point queries, range/top-k mix) over the corpus."""
+    generator = QueryWorkloadGenerator(files, schema, seed=seed)
+    points = generator.point_queries(queries_per_type, existing_fraction=0.8)
+    complex_mix = generator.mixed_complex_queries(
+        queries_per_type, queries_per_type, k=8, distribution="zipf"
+    )
+    return points, complex_mix
+
+
+def _run_phases(target, mutator, points, complex_mix, mutations):
+    """Drive one deployment through the three phases.
+
+    ``target`` answers ``execute(query)``; ``mutator`` quacks like an
+    ingest pipeline (``insert``/``delete``/``modify`` + ``compactor``).
+    Returns per-phase fingerprints, the range/top-k and mutation wall
+    clocks, and the per-shard simulated busy time of the range/top-k
+    segment (``[total]`` for an unsharded target).
+    """
+    fingerprints: Dict[str, List[str]] = {}
+    complex_wall = 0.0
+    mutation_wall = 0.0
+    tracks_busy = hasattr(target, "shard_busy_seconds")
+    complex_busy = [0.0] * (len(target.shards) if tracks_busy else 1)
+
+    def probe(phase: str) -> None:
+        nonlocal complex_wall
+        prints: List[str] = []
+        for query in points:
+            prints.append(result_fingerprint(target.execute(query)))
+        before = list(target.shard_busy_seconds) if tracks_busy else None
+        started = time.perf_counter()
+        for query in complex_mix:
+            result = target.execute(query)
+            prints.append(result_fingerprint(result))
+            if not tracks_busy:
+                complex_busy[0] += result.latency
+        complex_wall += time.perf_counter() - started
+        if tracks_busy:
+            for sid, busy in enumerate(target.shard_busy_seconds):
+                complex_busy[sid] += busy - before[sid]
+        fingerprints[phase] = prints
+
+    probe(PHASES[0])
+    started = time.perf_counter()
+    for kind, file in mutations:
+        getattr(mutator, kind)(file)
+    mutation_wall = time.perf_counter() - started
+    probe(PHASES[1])
+    mutator.compactor.drain()
+    probe(PHASES[2])
+    return fingerprints, complex_wall, mutation_wall, complex_busy
+
+
+def run_shard_scaling(
+    files: Sequence[FileMetadata],
+    config: SmartStoreConfig,
+    shard_counts: Sequence[int],
+    *,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    queries_per_type: int = 8,
+    n_mutations: int = 60,
+    partitioner: str = "semantic",
+    workload_seed: int = 13,
+    max_workers: Optional[int] = None,
+) -> ShardScalingReport:
+    """Run the scatter-gather equivalence + scaling ablation.
+
+    ``config.num_units`` is the total storage-unit budget; every shard
+    count splits the same budget (a 4-shard router fields 4 stores of
+    ``num_units/4`` units each), so throughput differences come from
+    routing and locality, not from extra hardware.
+    """
+    files = list(files)
+    points, complex_mix = _workload(files, schema, queries_per_type, workload_seed)
+    generator = QueryWorkloadGenerator(files, schema, seed=workload_seed + 1)
+    n_del = n_mutations // 3
+    n_mod = n_mutations // 6
+    mutations = generator.mutation_stream(n_mutations - n_del - n_mod, n_del, n_mod)
+
+    baseline = SmartStore.build(files, config, schema)
+    baseline_pipeline = IngestPipeline(baseline)
+    reference, _, _, _ = _run_phases(
+        baseline, baseline_pipeline, points, complex_mix, mutations
+    )
+
+    report = ShardScalingReport(rows=[])
+    for count in shard_counts:
+        started = time.perf_counter()
+        router = build_shard_router(
+            files,
+            count,
+            config,
+            schema,
+            partitioner=partitioner,
+            max_workers=max_workers,
+        )
+        build_seconds = time.perf_counter() - started
+        try:
+            fingerprints, complex_wall, mutation_wall, busy = _run_phases(
+                router, router, points, complex_mix, mutations
+            )
+            identical = True
+            for phase in PHASES:
+                ok = fingerprints[phase] == reference[phase]
+                report.gates[f"{count} shard(s): {phase} identical"] = ok
+                identical = identical and ok
+            stats = router.stats()
+            makespan = max(busy)
+            n_complex = len(complex_mix) * len(PHASES)
+            report.rows.append(
+                ShardScalingRow(
+                    shards=count,
+                    build_seconds=build_seconds,
+                    complex_seconds=complex_wall,
+                    busy_makespan=makespan,
+                    scatter_qps=n_complex / makespan if makespan > 0 else 0.0,
+                    mutations_per_second=len(mutations) / mutation_wall
+                    if mutation_wall > 0
+                    else 0.0,
+                    shards_contacted=int(stats["shards_contacted"]),
+                    shards_pruned=int(stats["shards_pruned"]),
+                    identical=identical,
+                )
+            )
+        finally:
+            router.close()
+    return report

@@ -1,0 +1,266 @@
+"""Corpus partitioning for horizontal sharding.
+
+A shard partitioner splits one file population into ``N`` sub-corpora, each
+of which becomes an independent SmartStore deployment, and afterwards routes
+every *new* record to a shard.  Strategies:
+
+* :class:`SemanticShardPartitioner` — the default.  The corpus is projected
+  into the LSI semantic subspace (the same §3.1 machinery the in-store
+  grouping uses) and split k-way:
+
+  - ``strategy="slice"`` (default) cuts the *principal semantic component*
+    into ``N`` contiguous quantile slices, weighted by file popularity
+    (``access_count``) when the schema records it.  Slices are disjoint
+    intervals of the dominant correlation direction, so shard bounding
+    boxes barely overlap — a narrow range window or top-k neighbourhood
+    intersects one or two shards — and popularity weighting splits the
+    *hot* region across shards, balancing query load rather than raw file
+    counts (the quantity that actually limits scatter-gather throughput).
+  - ``strategy="kmeans"`` splits with balanced K-means over the full LSI
+    subspace: file counts are near-equal and shards are round semantic
+    clusters, at the price of overlapping bounding boxes.
+
+* :class:`HashShardPartitioner` — the fallback when no semantic structure
+  is wanted (or the corpus is too degenerate to fit LSI): stable modulo
+  hashing of the (MD5-derived, process-independent) file id.  Placement is
+  uniform but carries no locality, so the router must contact every shard
+  for complex queries.
+
+All strategies are deterministic: the same corpus, shard count and seed
+always produce the same assignment, and :meth:`shard_for` is a pure
+function of the record — the scatter-gather equivalence gates depend on
+that.
+
+:func:`corpus_index_bounds` computes the corpus-wide index-space bounds
+that every shard must be built with (``SmartStore.build(...,
+index_bounds=...)``) so distances and normalisation agree across shards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lsi.kmeans import balanced_kmeans
+from repro.lsi.model import LSIModel
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.metadata.matrix import attribute_matrix, log_transform
+
+__all__ = [
+    "corpus_index_bounds",
+    "SemanticShardPartitioner",
+    "HashShardPartitioner",
+    "make_partitioner",
+]
+
+#: Attribute used to weight the slice quantiles (query load concentrates on
+#: popular files — the workload generators anchor Zipf traffic on it).
+POPULARITY_ATTRIBUTE = "access_count"
+
+
+def corpus_index_bounds(
+    files: Sequence[FileMetadata], schema: AttributeSchema = DEFAULT_SCHEMA
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Corpus-wide per-attribute bounds of the index space.
+
+    The index space is the log-transformed attribute space (wide-range
+    attributes ``log1p``-ed); these are exactly the bounds an unsharded
+    ``SmartStore.build`` over the same population would derive, which is
+    why injecting them into every shard makes per-shard distances
+    comparable with the unsharded baseline.
+    """
+    matrix = log_transform(attribute_matrix(files, schema), schema)
+    return matrix.min(axis=0), matrix.max(axis=0)
+
+
+class SemanticShardPartitioner:
+    """LSI-space k-way split of a corpus into semantically coherent shards.
+
+    Parameters
+    ----------
+    files:
+        The build-time corpus; :attr:`labels` holds its shard assignment.
+    num_shards:
+        Requested shard count (capped at the corpus size).
+    schema, rank, seed:
+        Attribute schema, LSI rank and K-means seed — mirror the
+        corresponding :class:`~repro.core.smartstore.SmartStoreConfig`
+        knobs so a sharded deployment is parameterised consistently.
+    strategy:
+        ``"slice"`` (popularity-weighted quantile slices of the principal
+        LSI component, the default) or ``"kmeans"`` (balanced K-means over
+        the full LSI subspace) — see the module docstring for the
+        trade-off.
+    """
+
+    kind = "semantic"
+
+    def __init__(
+        self,
+        files: Sequence[FileMetadata],
+        num_shards: int,
+        schema: AttributeSchema = DEFAULT_SCHEMA,
+        *,
+        rank: int = 5,
+        seed: Optional[int] = None,
+        strategy: str = "slice",
+    ) -> None:
+        files = list(files)
+        if not files:
+            raise ValueError("cannot partition an empty corpus")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if strategy not in ("slice", "kmeans"):
+            raise ValueError(f"unknown strategy {strategy!r}; expected 'slice' or 'kmeans'")
+        self.schema = schema
+        self.strategy = strategy
+        self.num_shards = min(num_shards, len(files))
+
+        matrix = log_transform(attribute_matrix(files, schema), schema)
+        self._lower = matrix.min(axis=0)
+        self._upper = matrix.max(axis=0)
+        span = self._upper - self._lower
+        self._span = np.where(span > 0, span, 1.0)
+        normalised = (matrix - self._lower) / self._span
+        self._center = normalised.mean(axis=0)
+
+        rank = max(1, min(rank, schema.dimension, len(files)))
+        self._lsi = LSIModel.fit_items(normalised - self._center, rank)
+        sem = self._lsi.item_vectors()
+        self._cuts: Optional[np.ndarray] = None
+        if self.num_shards == 1:
+            labels = np.zeros(len(files), dtype=np.intp)
+        elif strategy == "slice":
+            labels = self._slice_labels(files, sem[:, 0])
+        else:
+            labels = balanced_kmeans(sem, self.num_shards, seed=seed).labels
+        self._labels = np.asarray(labels, dtype=np.intp)
+        # Shard centroids route post-build records under the kmeans
+        # strategy (slice routing uses the cut values); an empty shard
+        # falls back to the global mean so it never attracts anything.
+        global_mean = sem.mean(axis=0)
+        centroids = []
+        for shard in range(self.num_shards):
+            members = np.nonzero(self._labels == shard)[0]
+            centroids.append(sem[members].mean(axis=0) if members.size else global_mean)
+        self._centroids = np.vstack(centroids)
+
+    def _slice_labels(self, files: Sequence[FileMetadata], c1: np.ndarray) -> np.ndarray:
+        """Popularity-weighted quantile slices of the principal component.
+
+        Cut values sit at the weighted quantiles of the component, so each
+        slice carries roughly the same expected *query load*; records tying
+        a cut value exactly always land on the lower slice (``side="left"``
+        both here and in :meth:`shard_for`, keeping build assignment and
+        post-build routing consistent).
+        """
+        n = self.num_shards
+        weights = np.asarray(
+            [float(f.attributes.get(POPULARITY_ATTRIBUTE, 1.0)) + 1.0 for f in files]
+        )
+        order = np.argsort(c1, kind="stable")
+        cumulative = np.cumsum(weights[order])
+        cumulative = cumulative / cumulative[-1]
+        cut_positions = np.searchsorted(cumulative, np.arange(1, n) / n)
+        cuts = c1[order[np.minimum(cut_positions, len(files) - 1)]]
+        labels = np.searchsorted(cuts, c1, side="left")
+        if np.unique(labels).size < n:
+            # Degenerate component (long runs of identical values): fall
+            # back to equal-count chunks so no shard is empty.  Post-build
+            # routing still uses the (re-derived) cut values; a boundary tie
+            # may then route to a neighbouring shard, which is harmless —
+            # ownership of build-time records is tracked by the router.
+            chunk = np.minimum(np.arange(len(files)) * n // len(files), n - 1)
+            labels = np.empty(len(files), dtype=np.intp)
+            labels[order] = chunk
+            boundaries = [order[(chunk == j).nonzero()[0][-1]] for j in range(n - 1)]
+            cuts = c1[boundaries]
+        self._cuts = np.asarray(cuts, dtype=np.float64)
+        return labels
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Shard label per build-time corpus file (copy)."""
+        return self._labels.copy()
+
+    def assign(self, files: Sequence[FileMetadata]) -> np.ndarray:
+        """Shard assignment of the build-time corpus.
+
+        Callers must pass the same corpus the partitioner was fitted on;
+        post-build records are routed one at a time via :meth:`shard_for`.
+        """
+        if len(files) != len(self._labels):
+            raise ValueError(
+                f"assign() expects the fitted corpus ({len(self._labels)} files), "
+                f"got {len(files)}"
+            )
+        return self.labels
+
+    def fold(self, file: FileMetadata) -> np.ndarray:
+        """One record's coordinates in the partitioner's LSI subspace.
+
+        ``scale=False`` gives the plain ``U_p^T q`` projection, which for a
+        fitted item reproduces its ``item_vectors`` row exactly — the
+        coordinates the cuts and shard centroids live in — so routing is
+        geometrically consistent with the build-time split.
+        """
+        row = log_transform(attribute_matrix([file], self.schema), self.schema)[0]
+        normalised = np.clip((row - self._lower) / self._span, 0.0, 1.0)
+        return self._lsi.fold_in(normalised - self._center, scale=False)
+
+    def shard_for(self, file: FileMetadata) -> int:
+        """The shard a new record belongs to.
+
+        Slice strategy: the slice whose component interval contains the
+        record; kmeans strategy: nearest shard centroid.  Deterministic
+        either way (ties resolve to the lowest shard id), so replaying the
+        same mutation stream always routes identically.
+        """
+        vector = self.fold(file)
+        if self._cuts is not None:
+            return int(np.searchsorted(self._cuts, vector[0], side="left"))
+        distances = np.linalg.norm(self._centroids - vector, axis=1)
+        return int(np.argmin(distances))
+
+
+class HashShardPartitioner:
+    """Stable modulo-hash placement over the (MD5-derived) file id.
+
+    No locality — the router cannot prune shards for complex queries — but
+    no fitting step either, and the assignment survives any corpus change.
+    """
+
+    kind = "hash"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def assign(self, files: Sequence[FileMetadata]) -> np.ndarray:
+        return np.asarray([self.shard_for(f) for f in files], dtype=np.intp)
+
+    def shard_for(self, file: FileMetadata) -> int:
+        return int(file.file_id % self.num_shards)
+
+
+def make_partitioner(
+    files: Sequence[FileMetadata],
+    num_shards: int,
+    *,
+    kind: str = "semantic",
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    rank: int = 5,
+    seed: Optional[int] = None,
+    strategy: str = "slice",
+):
+    """Factory over the partitioner strategies (``semantic`` / ``hash``)."""
+    if kind == "semantic":
+        return SemanticShardPartitioner(
+            files, num_shards, schema, rank=rank, seed=seed, strategy=strategy
+        )
+    if kind == "hash":
+        return HashShardPartitioner(num_shards)
+    raise ValueError(f"unknown partitioner kind {kind!r}; expected 'semantic' or 'hash'")

@@ -1,0 +1,694 @@
+"""Scatter-gather query routing across independent SmartStore shards.
+
+A :class:`ShardRouter` owns ``N`` complete SmartStore deployments (each
+with its own cluster, semantic R-tree, version chains and durable ingest
+pipeline) and presents them as one logical store:
+
+* **Queries** are executed scatter-gather on a thread pool and merged into
+  a single :class:`~repro.core.queries.QueryResult` in the same canonical
+  order a single store produces (file-id order for point/range,
+  ``(distance, file_id)`` for top-k).
+* **Shard summaries** prune the scatter set exactly: each shard advertises
+  a filename Bloom filter and an index-space bounding box, both maintained
+  across routed mutations (boxes only ever grow, Bloom filters only ever
+  gain keys, so pruning stays conservative).  A point query contacts only
+  shards whose filter may contain the filename (no false negatives ⇒ a
+  pruned shard provably has no match); a range query skips shards whose
+  box misses the window; a top-k query ranks shards by MINDIST to their
+  boxes, scans the most correlated shard first, and ships that shard's
+  k-th-best distance as a shared ``MaxD`` bound to the remaining shards —
+  which then prune their own group scans against it (or are skipped
+  outright when even their box cannot beat the bound).
+* **Mutations** are routed by ownership (a known file's mutations go to
+  the shard that holds it, so insert-then-delete nets out inside one
+  shard's chain) or, for new records, by the
+  :class:`~repro.shard.partitioner.SemanticShardPartitioner`; each shard
+  drains its own staged mutations through its own compactor.
+
+Exactness: every pruning rule only skips work that provably cannot change
+the merged payload, and every shard is built with the *corpus-wide*
+index-space bounds (``SmartStore.build(..., index_bounds=...)``), so with
+an exhaustive ``search_breadth`` the merged results are
+fingerprint-identical to an unsharded deployment over the union population
+— the gate ``shard-bench`` and ``benchmarks/bench_shard_scaling.py``
+assert.  (With the default bounded breadth each shard bounds its local
+search scope exactly like a single store does, and recall behaves the same
+way.)
+
+The router deliberately quacks like both halves of the serving stack so
+:class:`~repro.service.service.QueryService` runs over it unchanged:
+
+* like a **SmartStore facade** — ``execute`` / ``point_query`` /
+  ``range_query`` / ``topk_query``, an ``engine`` returning itself, a
+  ``cluster`` shim for home-unit draws and aggregate metrics, a
+  ``versioning`` composite whose ``change_clock`` is the *tuple of
+  per-shard clocks* (the service's cache epochs therefore track every
+  shard independently) and whose subscribers hear every shard's flushes;
+* like an **IngestPipeline** — ``insert`` / ``delete`` / ``modify``
+  returning :class:`~repro.ingest.pipeline.MutationReceipt`, a
+  ``compactor`` driving all per-shard compactors, and ``stats()``.
+
+All mutations must flow through the router: mutating a shard's store
+directly would bypass the summaries and break pruning exactness.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.bloom.bloom import BloomFilter
+from repro.cluster.metrics import Metrics
+from repro.core.queries import QueryResult
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.core.versioning import VersioningManager
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.ingest.wal import WriteAheadLog
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.metadata.matrix import attribute_matrix, log_transform
+from repro.shard.partitioner import corpus_index_bounds, make_partitioner
+from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
+
+__all__ = ["ShardSummary", "ShardRouter", "build_shard_router"]
+
+#: Geometry of the router-level per-shard filename Bloom filters.  Sized for
+#: corpora of tens of thousands of filenames per shard at a negligible
+#: false-positive rate (a false positive only costs one extra shard probe —
+#: it can never change an answer).
+SUMMARY_BLOOM_BITS = 1 << 17
+SUMMARY_BLOOM_HASHES = 5
+
+
+class ShardSummary:
+    """What the router knows about one shard without contacting it.
+
+    ``lower``/``upper`` bound every record the shard has ever held in index
+    space (they never shrink — deletions keep the box conservative), and
+    the Bloom filter covers every filename ever inserted.  Both are updated
+    by the router on every routed mutation, so staged-but-uncompacted
+    records are covered too.
+    """
+
+    def __init__(self, shard_id: int, *, bits: int, hashes: int) -> None:
+        self.shard_id = shard_id
+        self.bloom = BloomFilter(bits, hashes)
+        self.lower: Optional[np.ndarray] = None
+        self.upper: Optional[np.ndarray] = None
+
+    def observe_row(self, row: np.ndarray, filename: str) -> None:
+        """Fold one record (index-space coordinates) into the summary."""
+        self.bloom.add(filename)
+        if self.lower is None:
+            self.lower = np.array(row, dtype=np.float64)
+            self.upper = np.array(row, dtype=np.float64)
+        else:
+            np.minimum(self.lower, row, out=self.lower)
+            np.maximum(self.upper, row, out=self.upper)
+
+    def may_contain_filename(self, filename: str) -> bool:
+        return self.bloom.contains(filename)
+
+    def intersects_window(
+        self, attr_idx: Sequence[int], lower: np.ndarray, upper: np.ndarray
+    ) -> bool:
+        """Box-overlap test restricted to the constrained attributes."""
+        if self.lower is None:
+            return False
+        idx = list(attr_idx)
+        return bool(
+            np.all(self.lower[idx] <= upper) and np.all(lower <= self.upper[idx])
+        )
+
+    def mindist(
+        self,
+        attr_idx: Sequence[int],
+        point: np.ndarray,
+        norm_lower: np.ndarray,
+        norm_upper: np.ndarray,
+    ) -> float:
+        """MINDIST from a query point to the shard box, in normalised space.
+
+        Same geometry as
+        :meth:`~repro.core.semantic_rtree.SemanticNode.min_distance_subrange`
+        — including the clip to ``[0, 1]`` that actual distance
+        computations apply — so the value is directly comparable with
+        per-group MINDISTs, top-k distances and the shipped MaxD bound
+        even for query points outside the corpus bounds.
+        """
+        if self.lower is None:
+            return float("inf")
+        idx = list(attr_idx)
+        span = np.where(norm_upper - norm_lower > 0, norm_upper - norm_lower, 1.0)
+        box_lo = np.clip((self.lower[idx] - norm_lower) / span, 0.0, 1.0)
+        box_hi = np.clip((self.upper[idx] - norm_lower) / span, 0.0, 1.0)
+        q = np.clip((np.asarray(point, dtype=np.float64) - norm_lower) / span, 0.0, 1.0)
+        delta = np.maximum(np.maximum(box_lo - q, 0.0), np.maximum(q - box_hi, 0.0))
+        return float(np.sqrt(np.sum(delta**2)))
+
+
+class _CompositeVersioning:
+    """The union view of every shard's versioning manager.
+
+    ``change_clock`` is the tuple of per-shard clocks: the service snapshots
+    it as the cache epoch, so a mutation on *any* shard makes in-flight
+    results stale — per-shard cache epochs without teaching the cache about
+    shards.  Subscribers are registered on every shard, so each shard's
+    mutations flush the service cache exactly as a single store's would.
+    """
+
+    def __init__(self, managers: Sequence[VersioningManager]) -> None:
+        self._managers = list(managers)
+
+    @property
+    def change_clock(self) -> Tuple[int, ...]:
+        return tuple(m.change_clock for m in self._managers)
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        for manager in self._managers:
+            manager.subscribe(listener)
+
+    def unsubscribe(self, listener: Callable[[], None]) -> None:
+        for manager in self._managers:
+            manager.unsubscribe(listener)
+
+
+class _RouterCluster:
+    """Cluster shim: home-unit domain and aggregate metrics for the service.
+
+    The service draws per-request home units from ``unit_ids()`` (the
+    router maps them onto each shard's own unit range) and merges every
+    result's counters into ``metrics``; per-shard clusters keep their own
+    accounting for work their servers actually did.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+        self.metrics = Metrics()
+
+    @property
+    def num_units(self) -> int:
+        return max(s.cluster.num_units for s in self._router.shards)
+
+    def unit_ids(self) -> List[int]:
+        return list(range(self.num_units))
+
+    def random_home_unit(self) -> int:
+        return self._router.shards[0].cluster.random_home_unit() % self.num_units
+
+
+class _RouterCompactor:
+    """Drives every shard's compactor (the service's ``auto_compact`` hook)."""
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def run_once(self) -> int:
+        return sum(p.compactor.run_once() for p in self._router.pipelines)
+
+    def drain(self) -> int:
+        return sum(p.compactor.drain() for p in self._router.pipelines)
+
+
+class ShardRouter:
+    """Scatter-gather execution over independent SmartStore shards.
+
+    Use :func:`build_shard_router` to construct one from a corpus; direct
+    instantiation takes already-built shards (all sharing one schema and
+    identical corpus-wide index bounds) plus the partitioner that routes
+    new records.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[SmartStore],
+        partitioner,
+        *,
+        pipelines: Optional[Sequence[IngestPipeline]] = None,
+        max_workers: Optional[int] = None,
+        summary_bloom_bits: int = SUMMARY_BLOOM_BITS,
+        summary_bloom_hashes: int = SUMMARY_BLOOM_HASHES,
+    ) -> None:
+        self.shards = list(shards)
+        if not self.shards:
+            raise ValueError("a ShardRouter needs at least one shard")
+        self.partitioner = partitioner
+        self.schema: AttributeSchema = self.shards[0].schema
+        base = self.shards[0]
+        for shard in self.shards[1:]:
+            if shard.schema is not base.schema and shard.schema.names != base.schema.names:
+                raise ValueError("all shards must share one attribute schema")
+            if not (
+                np.allclose(shard.index_lower, base.index_lower)
+                and np.allclose(shard.index_upper, base.index_upper)
+            ):
+                raise ValueError(
+                    "shards disagree on index-space bounds; build every shard "
+                    "with index_bounds=corpus_index_bounds(corpus) or merged "
+                    "top-k distances will not be comparable"
+                )
+        self.pipelines = (
+            list(pipelines)
+            if pipelines is not None
+            else [IngestPipeline(s) for s in self.shards]
+        )
+        if len(self.pipelines) != len(self.shards):
+            raise ValueError("one ingest pipeline per shard is required")
+
+        self.versioning = _CompositeVersioning([s.versioning for s in self.shards])
+        self.cluster = _RouterCluster(self)
+        self.compactor = _RouterCompactor(self)
+        self.config: SmartStoreConfig = base.config
+        workers = max_workers if max_workers is not None else min(8, len(self.shards))
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-shard"
+        )
+        # file_id -> shard id, for ownership routing of deletes/modifies.
+        # A delete keeps the entry: a later re-insert must land on the shard
+        # whose chain stages the delete, so the pair nets out in order.
+        self._owner: Dict[int, int] = {}
+        self._summaries: List[ShardSummary] = []
+        for sid, shard in enumerate(self.shards):
+            summary = ShardSummary(
+                sid, bits=summary_bloom_bits, hashes=summary_bloom_hashes
+            )
+            rows = log_transform(
+                attribute_matrix(shard.files, self.schema), self.schema
+            )
+            for row, file in zip(rows, shard.files):
+                summary.observe_row(row, file.filename)
+                self._owner[file.file_id] = sid
+            self._summaries.append(summary)
+        self._mutation_lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in self.shards]
+        self._stats_lock = threading.Lock()
+        self.queries: Dict[str, int] = {"point": 0, "range": 0, "topk": 0}
+        self.shards_contacted = 0
+        self.shards_pruned = 0
+        self.mutations_routed = 0
+        # Simulated busy time each shard has accumulated answering its part
+        # of the scatter-gather work.  Shards are independent deployments,
+        # so the *busiest* shard bounds the cluster's sustainable query
+        # rate: throughput = queries / max(shard_busy_seconds) — the
+        # quantity the scaling benchmark gates on.
+        self.shard_busy_seconds: List[float] = [0.0] * len(self.shards)
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut the scatter pool down and close every shard pipeline."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for pipeline in self.pipelines:
+            pipeline.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def engine(self) -> "ShardRouter":
+        """The router is its own engine (duck-typed for the query service)."""
+        return self
+
+    def default_pipeline(self) -> "ShardRouter":
+        """The router is its own write path (see :class:`SmartStore` hook)."""
+        return self
+
+    # ------------------------------------------------------------------ helpers
+    def _index_row(self, file: FileMetadata) -> np.ndarray:
+        return log_transform(attribute_matrix([file], self.schema), self.schema)[0]
+
+    def _shard_home(self, shard_id: int, home_unit: Optional[int]) -> Optional[int]:
+        if home_unit is None:
+            return None
+        units = self.shards[shard_id].cluster.unit_ids()
+        return units[home_unit % len(units)]
+
+    def _count(self, kind: str, contacted: int) -> None:
+        with self._stats_lock:
+            self.queries[kind] += 1
+            self.shards_contacted += contacted
+            self.shards_pruned += len(self.shards) - contacted
+
+    def _shard_call(
+        self, shard_id: int, method: str, query: Query, home_unit: Optional[int], **kwargs
+    ) -> QueryResult:
+        """One shard's part of a scatter: execute and account its busy time."""
+        result: QueryResult = getattr(self.shards[shard_id].engine, method)(
+            query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
+        )
+        with self._stats_lock:
+            self.shard_busy_seconds[shard_id] += result.latency
+        return result
+
+    def busy_makespan(self) -> float:
+        """Simulated busy time of the busiest shard (the capacity bound)."""
+        with self._stats_lock:
+            return max(self.shard_busy_seconds)
+
+    def reset_busy(self) -> None:
+        with self._stats_lock:
+            self.shard_busy_seconds = [0.0] * len(self.shards)
+
+    def _scatter(
+        self, shard_ids: Sequence[int], call: Callable[[int], QueryResult]
+    ) -> List[QueryResult]:
+        """Run ``call`` for every shard id, in parallel when it pays off.
+
+        Results come back in ``shard_ids`` order so every merge below is
+        deterministic regardless of thread scheduling.
+        """
+        if len(shard_ids) <= 1:
+            return [call(sid) for sid in shard_ids]
+        futures = [(sid, self._pool.submit(call, sid)) for sid in shard_ids]
+        return [future.result() for _, future in futures]
+
+    def _merge_by_id(
+        self,
+        results: Sequence[QueryResult],
+        router_metrics: Metrics,
+        *,
+        groups_floor: int = 0,
+    ) -> QueryResult:
+        """Merge point/range scatter results into canonical file-id order.
+
+        Shards hold disjoint id sets by construction, so the union *is* the
+        answer; the dict-merge is defensive.  Latency models the parallel
+        fan-out: the router's own probe cost plus the slowest shard.
+        """
+        overhead = router_metrics.latency(self.config.cost_model)
+        merged: Dict[int, FileMetadata] = {}
+        groups_visited = groups_floor
+        shard_latency = 0.0
+        for result in results:
+            for file in result.files:
+                merged.setdefault(file.file_id, file)
+            router_metrics.merge(result.metrics)
+            groups_visited += result.groups_visited
+            shard_latency = max(shard_latency, result.latency)
+        files = sorted(merged.values(), key=lambda f: f.file_id)
+        groups_visited = max(1, groups_visited)
+        return QueryResult(
+            files=files,
+            metrics=router_metrics,
+            # Parallel fan-out: the router's own probe cost plus the slowest
+            # contacted shard (the merged metrics still account all work).
+            latency=overhead + shard_latency,
+            groups_visited=groups_visited,
+            hops=max(0, groups_visited - 1),
+            found=bool(files),
+            distances=[],
+        )
+
+    # ------------------------------------------------------------------ queries
+    def point_query(
+        self, query: PointQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
+        """Filename point query over the shards the Bloom summaries admit."""
+        metrics = Metrics()
+        metrics.record_bloom_probe(len(self.shards))
+        targets = [
+            s.shard_id
+            for s in self._summaries
+            if s.may_contain_filename(query.filename)
+        ]
+        self._count("point", len(targets))
+        results = self._scatter(
+            targets,
+            lambda sid: self._shard_call(sid, "point_query", query, home_unit),
+        )
+        return self._merge_by_id(results, metrics)
+
+    def range_query(
+        self, query: RangeQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
+        """Range query over the shards whose boxes intersect the window."""
+        metrics = Metrics()
+        metrics.record_index_access(len(self.shards))
+        engine = self.shards[0].engine
+        attr_idx = list(self.schema.indices(query.attributes))
+        lower = engine.to_index_space(attr_idx, query.lower)
+        upper = engine.to_index_space(attr_idx, query.upper)
+        targets = [
+            s.shard_id
+            for s in self._summaries
+            if s.intersects_window(attr_idx, lower, upper)
+        ]
+        self._count("range", len(targets))
+        results = self._scatter(
+            targets,
+            lambda sid: self._shard_call(sid, "range_query", query, home_unit),
+        )
+        return self._merge_by_id(results, metrics)
+
+    def topk_query(
+        self, query: TopKQuery, *, home_unit: Optional[int] = None
+    ) -> QueryResult:
+        """Global top-k: primary shard first, MaxD shipped to the rest.
+
+        Shards are ranked by MINDIST to their boxes; the closest (primary)
+        shard is searched unbounded and, when it returns a full ``k``, its
+        k-th-best distance becomes the shared ``MaxD`` bound: shards whose
+        boxes cannot beat it are skipped outright, the rest prune their own
+        group scans against it.  The k-way merge orders the pooled
+        candidates by ``(distance, file_id)`` — the same canonical order a
+        single store produces — and truncates to ``k``.
+        """
+        metrics = Metrics()
+        metrics.record_index_access(len(self.shards))
+        engine = self.shards[0].engine
+        attr_idx = list(self.schema.indices(query.attributes))
+        index_point = engine.to_index_space(attr_idx, query.values)
+        norm_lo = engine.index_lower[attr_idx]
+        norm_hi = engine.index_upper[attr_idx]
+
+        mindists = [
+            summary.mindist(attr_idx, index_point, norm_lo, norm_hi)
+            for summary in self._summaries
+        ]
+        order = sorted(range(len(self.shards)), key=lambda sid: (mindists[sid], sid))
+        primary = order[0]
+        primary_result = self._shard_call(primary, "topk_query", query, home_unit)
+        bound: Optional[float] = None
+        if len(primary_result.distances) >= query.k:
+            bound = primary_result.distances[query.k - 1]
+        rest = [
+            sid
+            for sid in order[1:]
+            if bound is None or mindists[sid] <= bound
+        ]
+        self._count("topk", 1 + len(rest))
+        rest_results = self._scatter(
+            rest,
+            lambda sid: self._shard_call(
+                sid, "topk_query", query, home_unit, max_d_bound=bound
+            ),
+        )
+
+        overhead = metrics.latency(self.config.cost_model)
+        best: Dict[int, Tuple[float, FileMetadata]] = {}
+        groups_visited = 0
+        rest_latency = 0.0
+        for result in [primary_result, *rest_results]:
+            for dist, file in zip(result.distances, result.files):
+                kept = best.get(file.file_id)
+                if kept is None or dist < kept[0]:
+                    best[file.file_id] = (dist, file)
+            metrics.merge(result.metrics)
+            groups_visited += result.groups_visited
+            if result is not primary_result:
+                rest_latency = max(rest_latency, result.latency)
+        top = sorted(best.values(), key=lambda pair: (pair[0], pair[1].file_id))[
+            : query.k
+        ]
+        files = [f for _, f in top]
+        distances = [d for d, _ in top]
+        groups_visited = max(1, groups_visited)
+        return QueryResult(
+            files=files,
+            metrics=metrics,
+            # Two-phase schedule: the primary scan completes before the
+            # bounded fan-out starts, so the phases add; the fan-out itself
+            # is parallel, so only its slowest shard counts.
+            latency=overhead + primary_result.latency + rest_latency,
+            groups_visited=groups_visited,
+            hops=max(0, groups_visited - 1),
+            found=bool(files),
+            distances=distances,
+        )
+
+    def execute(self, query: Query) -> QueryResult:
+        """Facade-style dispatch; merges counters into the router aggregate."""
+        if isinstance(query, PointQuery):
+            result = self.point_query(query)
+        elif isinstance(query, RangeQuery):
+            result = self.range_query(query)
+        elif isinstance(query, TopKQuery):
+            result = self.topk_query(query)
+        else:
+            raise TypeError(f"unsupported query type {type(query)!r}")
+        self.cluster.metrics.merge(result.metrics)
+        return result
+
+    # ------------------------------------------------------------------ mutations
+    def _route_mutation(self, kind: str, file: FileMetadata) -> MutationReceipt:
+        # Routing (owner map lookup) holds the router-wide lock only
+        # briefly; the pipeline call — which may fsync a WAL — holds just
+        # its shard's lock, so writers to different shards proceed in
+        # parallel.  Mutations of one file always resolve to one shard
+        # (ownership, or the deterministic partitioner), so per-file
+        # ordering degenerates to per-shard ordering.
+        with self._mutation_lock:
+            shard_id = self._owner.get(file.file_id)
+            if shard_id is None:
+                shard_id = int(self.partitioner.shard_for(file)) % len(self.shards)
+        with self._shard_locks[shard_id]:
+            receipt: MutationReceipt = getattr(self.pipelines[shard_id], kind)(file)
+            if receipt.known and kind != "delete":
+                # The summary box/filter must cover the staged record
+                # *before* any later query could miss it (deletes never
+                # shrink either structure — conservative by design).
+                self._summaries[shard_id].observe_row(
+                    self._index_row(file), file.filename
+                )
+        with self._mutation_lock:
+            self.mutations_routed += 1
+            if receipt.known:
+                self._owner[file.file_id] = shard_id
+        return receipt
+
+    def insert(self, file: FileMetadata) -> MutationReceipt:
+        """Insert one record on its semantic shard (immediately queryable)."""
+        return self._route_mutation("insert", file)
+
+    def delete(self, file: FileMetadata) -> MutationReceipt:
+        """Delete one record on the shard that owns it."""
+        return self._route_mutation("delete", file)
+
+    def modify(self, file: FileMetadata) -> MutationReceipt:
+        """Replace one record's attribute values on the shard that owns it."""
+        return self._route_mutation("modify", file)
+
+    def owner_of(self, file_id: int) -> Optional[int]:
+        """The shard currently responsible for ``file_id`` (None = unknown)."""
+        with self._mutation_lock:
+            return self._owner.get(file_id)
+
+    # ------------------------------------------------------------------ introspection
+    def stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            routed = dict(self.queries)
+            contacted, pruned = self.shards_contacted, self.shards_pruned
+        return {
+            "shards": len(self.shards),
+            "partitioner": getattr(self.partitioner, "kind", "custom"),
+            "files_per_shard": [len(s.files) for s in self.shards],
+            "queries_routed": routed,
+            "shards_contacted": contacted,
+            "shards_pruned": pruned,
+            "mutations_routed": self.mutations_routed,
+            "shard_busy_seconds": list(self.shard_busy_seconds),
+            "staged_per_shard": [len(p.overlay) for p in self.pipelines],
+            "compactions": sum(
+                p.compactor.stats.group_compactions for p in self.pipelines
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(shards={len(self.shards)}, "
+            f"files={sum(len(s.files) for s in self.shards)}, "
+            f"partitioner={getattr(self.partitioner, 'kind', 'custom')!r})"
+        )
+
+
+def build_shard_router(
+    files: Sequence[FileMetadata],
+    num_shards: int,
+    config: Optional[SmartStoreConfig] = None,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    *,
+    partitioner: str = "semantic",
+    strategy: str = "slice",
+    units_per_shard: Optional[int] = None,
+    wal_dir: Optional[Union[str, Path]] = None,
+    fsync_every: int = 1,
+    policy=None,
+    max_workers: Optional[int] = None,
+) -> ShardRouter:
+    """Split a corpus into ``num_shards`` SmartStore deployments + a router.
+
+    ``config.num_units`` is interpreted as the *total* storage-unit budget:
+    each shard receives ``num_units // num_shards`` units (at least one)
+    unless ``units_per_shard`` overrides it, so a 4-shard deployment is
+    compared against a single store of the same total size.
+
+    ``partitioner`` picks the corpus split (``"semantic"`` / ``"hash"``);
+    ``strategy`` refines the semantic split (``"slice"`` / ``"kmeans"``,
+    see :class:`~repro.shard.partitioner.SemanticShardPartitioner`).
+
+    ``wal_dir`` makes every shard's ingest pipeline durable with its own
+    write-ahead log (``shard-<i>.wal``); omitted, shards stage in memory
+    only.  ``policy`` is the per-shard
+    :class:`~repro.ingest.compactor.CompactionPolicy`.
+    """
+    config = config if config is not None else SmartStoreConfig()
+    files = list(files)
+    if not files:
+        raise ValueError("cannot shard an empty corpus")
+    part = make_partitioner(
+        files,
+        num_shards,
+        kind=partitioner,
+        schema=schema,
+        rank=config.lsi_rank,
+        seed=config.seed,
+        strategy=strategy,
+    )
+    labels = part.assign(files)
+    effective = getattr(part, "num_shards", num_shards)
+    shard_files: List[List[FileMetadata]] = [[] for _ in range(effective)]
+    for file, label in zip(files, labels):
+        shard_files[int(label)].append(file)
+    for sid, members in enumerate(shard_files):
+        if not members:
+            raise ValueError(
+                f"shard {sid} received no files ({len(files)} files over "
+                f"{effective} shards); lower num_shards or use the semantic "
+                f"partitioner, which balances shard sizes"
+            )
+
+    bounds = corpus_index_bounds(files, schema)
+    units = (
+        units_per_shard
+        if units_per_shard is not None
+        else max(1, config.num_units // effective)
+    )
+    shard_config = replace(config, num_units=units)
+    stores = [
+        SmartStore.build(members, shard_config, schema, index_bounds=bounds)
+        for members in shard_files
+    ]
+    pipelines = []
+    for sid, store in enumerate(stores):
+        wal = None
+        if wal_dir is not None:
+            wal_path = Path(wal_dir)
+            wal_path.mkdir(parents=True, exist_ok=True)
+            wal = WriteAheadLog(wal_path / f"shard-{sid}.wal", fsync_every=fsync_every)
+        pipelines.append(IngestPipeline(store, wal, policy=policy))
+    return ShardRouter(stores, part, pipelines=pipelines, max_workers=max_workers)

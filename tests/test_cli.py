@@ -209,6 +209,54 @@ class TestIngestBenchCommand:
     def test_ingest_bench_registered_in_experiments(self):
         assert "bench_ingest_throughput.py" in EXPERIMENT_INDEX
 
+    def test_shard_bench_end_to_end_on_tiny_trace(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(120, clusters=4), pop)
+        code = main([
+            "shard-bench", "--input", str(pop), "--units", "6",
+            "--shards", "1", "3", "--queries", "4", "--mutations", "24",
+        ])
+        out = capsys.readouterr().out
+        # Exit code 0 is itself the assertion that every phase of every
+        # shard count answered fingerprint-identically to the baseline.
+        assert code == 0
+        assert "shard-bench" in out
+        assert "pre-mutation identical" in out
+        assert "mutations in flight identical" in out
+        assert "drained identical" in out
+        assert "NO" not in out
+
+    def test_shard_bench_min_speedup_gate_can_fail(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(80, clusters=4), pop)
+        # An absurd requirement must flip the exit code even though the
+        # equivalence gates pass.
+        code = main([
+            "shard-bench", "--input", str(pop), "--units", "4",
+            "--shards", "1", "2", "--queries", "2", "--mutations", "12",
+            "--min-speedup", "1000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "throughput gate" in out
+
+    def test_shard_bench_min_speedup_without_single_shard_row(self, capsys, tmp_path):
+        # Regression: no 1-shard row means no speedup base; the gate must
+        # report "n/a" and fail cleanly instead of raising a TypeError.
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(80, clusters=4), pop)
+        code = main([
+            "shard-bench", "--input", str(pop), "--units", "4",
+            "--shards", "2", "4", "--queries", "2", "--mutations", "12",
+            "--min-speedup", "1.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "n/a" in out
+
+    def test_shard_bench_registered_in_experiments(self):
+        assert "bench_shard_scaling.py" in EXPERIMENT_INDEX
+
 
 class TestExperimentsCommand:
     def test_lists_every_bench_module(self, capsys):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.eval.recall import ground_truth_range, ground_truth_topk, recall
+from repro.metadata.file_metadata import FileMetadata
 from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
 
 from helpers import make_files
@@ -139,6 +140,116 @@ class TestTopKQuery:
         result = store.topk_query(("size",), (4096.0,), k=20)
         ids = [f.file_id for f in result.files]
         assert len(ids) == len(set(ids))
+
+
+class TestTopKCorrectness:
+    """Regressions for the MaxD pruning and tie-ordering bugs.
+
+    Historical failure modes: (1) MaxD was tightened on the pre-dedup
+    candidate pool, so a record surfacing both from its storage unit and
+    from a version chain counted twice, understated the k-th-best distance
+    and terminated the sibling-group scan early, dropping real top-k
+    members; (2) equal-distance results came back in scan order, which
+    depends on physical placement.
+    """
+
+    def test_duplicate_chain_entries_do_not_prune(self, files):
+        # No-op modifies put the nearest neighbours into the version chains
+        # *as well as* their storage units; with exhaustive search breadth
+        # the reported top-k must still match the brute-force ground truth
+        # for every anchor (the duplicate pair must not understate MaxD).
+        from repro.eval.recall import ground_truth_topk
+
+        store = SmartStore.build(
+            files, SmartStoreConfig(num_units=8, seed=0, search_breadth=64)
+        )
+        for anchor in files:
+            q = TopKQuery(
+                ("size", "mtime"),
+                (anchor.attributes["size"], anchor.attributes["mtime"]),
+                k=8,
+            )
+            ideal = ground_truth_topk(
+                files, q, raw_lower=store.index_lower, raw_upper=store.index_upper
+            )
+            for f in ideal[:3]:
+                store.modify_file(f)
+            result = store.topk_query(q)
+            assert {f.file_id for f in result.files} == {f.file_id for f in ideal}
+            # Clear the chains so the next anchor starts from applied state.
+            store.reconfigure()
+
+    def test_tie_ordering_is_placement_independent(self):
+        # Twelve records with *identical* attribute values: every distance
+        # ties exactly, so the result order is pure tie-breaking.  Two
+        # deployments with different physical layouts must answer with the
+        # same files in the same canonical (distance, file_id) order.
+        attrs = {
+            "size": 4096.0,
+            "ctime": 1000.0,
+            "mtime": 1100.0,
+            "atime": 1200.0,
+            "read_bytes": 2048.0,
+            "write_bytes": 512.0,
+            "access_count": 5.0,
+            "owner": 1.0,
+        }
+        population = make_files(60, clusters=4) + [
+            FileMetadata(path=f"/ties/twin{i:02d}.dat", attributes=dict(attrs))
+            for i in range(12)
+        ]
+        q = TopKQuery(("size", "mtime"), (attrs["size"], attrs["mtime"]), k=6)
+        layouts = [
+            SmartStoreConfig(num_units=10, seed=0, search_breadth=64),
+            SmartStoreConfig(num_units=7, seed=3, search_breadth=64),
+        ]
+        outcomes = []
+        for config in layouts:
+            store = SmartStore.build(population, config)
+            result = store.topk_query(q)
+            ids = [f.file_id for f in result.files]
+            assert ids == sorted(ids)  # equal distances => file-id order
+            outcomes.append((ids, result.distances))
+        assert outcomes[0] == outcomes[1]
+
+    def test_max_d_bound_reproduces_unbounded_answer(self, store, files):
+        # Seeding MaxD with the unbounded k-th-best distance must not change
+        # the answer (the sharded scatter-gather ships exactly this bound).
+        anchor = files[9]
+        q = TopKQuery(
+            ("size", "mtime"),
+            (anchor.attributes["size"], anchor.attributes["mtime"]),
+            k=5,
+        )
+        unbounded = store.engine.topk_query(q)
+        bounded = store.engine.topk_query(
+            q, max_d_bound=unbounded.distances[q.k - 1]
+        )
+        assert [f.file_id for f in bounded.files] == [
+            f.file_id for f in unbounded.files
+        ]
+        assert bounded.distances == unbounded.distances
+
+    def test_max_d_bound_prunes_groups(self, store, files):
+        # A hopeless bound lets the engine skip every group whose MINDIST
+        # exceeds it — a remote shard that cannot beat the primary shard's
+        # k-th-best distance does (next to) no work.  Candidates at or
+        # below the bound are still guaranteed back (here: the anchor
+        # itself at distance 0); anything extra the scanned groups yield
+        # is harmless — the scatter-gather merge truncates it.
+        anchor = files[9]
+        q = TopKQuery(
+            ("size", "mtime"),
+            (anchor.attributes["size"], anchor.attributes["mtime"]),
+            k=3,
+        )
+        bounded = store.engine.topk_query(q, max_d_bound=0.0)
+        unbounded = store.engine.topk_query(q)
+        assert (
+            bounded.metrics.memory_records_scanned
+            < unbounded.metrics.memory_records_scanned
+        )
+        assert bounded.distances and bounded.distances[0] == 0.0
 
 
 class TestOnlineVsOffline:

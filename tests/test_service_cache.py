@@ -142,6 +142,21 @@ class TestResultCacheUnit:
         assert cache.lookup(PointQuery("miss")) is None
         assert cache.stats.invalidations == 1
 
+    def test_invalidate_on_empty_cache_is_not_counted(self):
+        # Regression: the flush counter used to increment even when both
+        # the LRU and the negative cache were already empty, inflating the
+        # no-op flush count in telemetry.
+        cache = ResultCache(capacity=4)
+        cache.invalidate()
+        assert cache.stats.invalidations == 0
+        cache.store(PointQuery("hit"), _result([_file()]))
+        cache.invalidate()
+        cache.invalidate()  # already empty again: must not count
+        assert cache.stats.invalidations == 1
+        cache.store(PointQuery("miss"), _result([], found=False))
+        cache.invalidate()  # negative side alone also counts as a real flush
+        assert cache.stats.invalidations == 2
+
     def test_stats_accounting(self):
         cache = ResultCache(capacity=4)
         query = PointQuery("a")
