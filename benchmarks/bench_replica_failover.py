@@ -1,0 +1,98 @@
+"""Replication: kill-the-primary equivalence and failover availability.
+
+Not a paper figure — this benchmark covers the availability layer grown on
+top of the reproduction (ROADMAP north star: production-scale serving; the
+paper's §4.3 reliability argument for root multi-mapping, promoted to whole
+deployments).  The shared harness (:mod:`repro.replication.benchmarking` —
+the same loop the ``replica-bench`` CLI subcommand and the CI
+fault-injection smoke job run) drives a point/range/top-k workload plus a
+mutation stream against:
+
+* an unsharded, unfailed baseline, and
+* a 2-shard deployment whose shards are replica groups (1 primary + 2
+  replicas each) in which **every primary is crashed mid-stream** via the
+  live fault injector,
+
+in both replication modes.  The assertions:
+
+* **failover equivalence** — all three phases (pre-failure, failed over
+  with mutations in flight, caught up after a drain) answer
+  fingerprint-identical to the unfailed baseline;
+* **availability** — zero failed client requests: promotion + catch-up +
+  internal read retries absorb every crash;
+* **bounded lag** — async mode never lets a healthy replica fall more
+  than ``MAX_LAG`` shipped records behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import record_result
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.replication.benchmarking import run_replica_failover
+from repro.traces.msn import msn_trace
+
+SHARDS = 2
+REPLICAS = 2
+MAX_LAG = 24
+QUERIES_PER_TYPE = 8
+N_MUTATIONS = 60
+TOTAL_UNITS = 16
+
+CONFIG = SmartStoreConfig(num_units=TOTAL_UNITS, seed=7, search_breadth=TOTAL_UNITS * 4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return msn_trace(scale=0.8, seed=29).file_metadata()
+
+
+@pytest.fixture(scope="module")
+def report(corpus):
+    return run_replica_failover(
+        corpus,
+        CONFIG,
+        shards=SHARDS,
+        replicas=REPLICAS,
+        modes=("async", "sync"),
+        max_lag=MAX_LAG,
+        queries_per_type=QUERIES_PER_TYPE,
+        n_mutations=N_MUTATIONS,
+        workload_seed=13,
+    )
+
+
+def test_failover_is_invisible(report):
+    """Every phase in every mode answers exactly like the unfailed baseline."""
+    assert report.gates, "harness produced no gates"
+    failing = [name for name, ok in report.gates.items() if not ok]
+    assert not failing, f"failover gates failed: {failing}"
+
+
+def test_zero_failed_requests_and_real_failovers(report):
+    """Killing every primary loses no request and every group promoted."""
+    for row in report.rows:
+        assert row.failed_requests == 0
+        assert row.failovers >= SHARDS
+
+
+def test_async_lag_stays_inside_window(report):
+    row = next(r for r in report.rows if r.mode == "async")
+    assert row.max_observed_lag <= MAX_LAG
+
+
+def test_report_table(report, capsys):
+    rows = [row.as_table_row() for row in report.rows]
+    table = format_table(
+        ["mode", "shards x copies", "build (s)", "mut wall (s)",
+         "query wall (s)", "failovers", "degraded reads", "failed reqs",
+         "max lag", "identical"],
+        rows,
+        title=f"replica failover: {SHARDS} shards x {REPLICAS + 1} copies, "
+        f"every primary killed mid-workload",
+    )
+    print(table)
+    record_result("replica_failover", table)
+    assert report.passed

@@ -55,16 +55,28 @@ Top-level layout
     split with a hash fallback) and a scatter-gather router over N
     independent SmartStore deployments with exact summary pruning, a
     shared top-k MaxD threshold and per-shard ingest pipelines.
+``repro.replication``
+    The availability layer: replica groups (1 primary + N replicas per
+    shard) with WAL-segment shipping, bounded-lag async or sync modes,
+    circuit-breaker health tracking, live primary failover with catch-up
+    replay, anti-entropy reconciliation and real-deployment fault
+    injection (crash / pause / slow).
 """
 
 from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.ingest import CompactionPolicy, IngestPipeline, WriteAheadLog, recover
+from repro.replication import (
+    FaultInjector,
+    ReplicaGroup,
+    ReplicationConfig,
+    build_replica_group,
+)
 from repro.service import QueryService, ServiceConfig
 from repro.shard import ShardRouter, build_shard_router
 from repro.workloads import PointQuery, RangeQuery, TopKQuery
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AttributeSchema",
@@ -75,6 +87,10 @@ __all__ = [
     "QueryService",
     "ShardRouter",
     "build_shard_router",
+    "FaultInjector",
+    "ReplicaGroup",
+    "ReplicationConfig",
+    "build_replica_group",
     "ServiceConfig",
     "IngestPipeline",
     "WriteAheadLog",

@@ -43,6 +43,14 @@ Subcommands
     (exit-code-asserted, so CI runs it as the shard-path smoke test), and
     scatter-gather throughput per shard count is reported — optionally
     gated with ``--min-speedup``.
+``replica-bench``
+    Run every shard as a replica group (1 primary + N replicas) and kill
+    **every primary mid-workload** with the live fault injector.  The exit
+    code asserts the failover gates: all three query phases byte-identical
+    to an unfailed baseline after catch-up, zero failed client requests,
+    every group actually promoted, and — in async mode — replication lag
+    inside the bounded window.  CI runs this as the fault-injection smoke
+    test.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -114,6 +122,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_service_throughput.py": "Service: query-service throughput/latency with cache and batching ablated",
     "bench_ingest_throughput.py": "Ingest: durable write-path throughput with WAL fsync batching and compaction ablated",
     "bench_shard_scaling.py": "Shard: scatter-gather equivalence + throughput scaling across shard counts",
+    "bench_replica_failover.py": "Replication: kill-the-primary equivalence + failover availability",
 }
 
 
@@ -505,6 +514,55 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def _cmd_replica_bench(args: argparse.Namespace) -> int:
+    from repro.replication.benchmarking import run_replica_failover
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gate compares deployments
+    # with different physical layouts, so bounded-breadth recall loss must
+    # not masquerade as a replication bug (same policy as shard-bench).
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    report = run_replica_failover(
+        files,
+        config,
+        shards=args.shards,
+        replicas=args.replicas,
+        modes=tuple(args.modes),
+        max_lag=args.max_lag,
+        queries_per_type=args.queries,
+        n_mutations=args.mutations,
+        partitioner=args.partitioner,
+        workload_seed=args.seed + 1,
+    )
+
+    _print(
+        format_table(
+            ["mode", "shards x copies", "build (s)", "mut wall (s)",
+             "query wall (s)", "failovers", "degraded reads", "failed reqs",
+             "max lag", "identical"],
+            [row.as_table_row() for row in report.rows],
+            title=f"replica-bench: {len(files)} files, {args.shards} shards x "
+            f"{args.replicas + 1} copies, {args.units} total units/copy set, "
+            f"{args.queries} queries/type x3 phases, {args.mutations} mutations, "
+            f"every primary killed mid-stream",
+        )
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(
+        format_table(
+            ["failover gate", "passed"],
+            gate_rows,
+            title="replication gates (vs unfailed baseline)",
+        )
+    )
+    return 0 if report.passed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -630,6 +688,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail unless the largest shard count reaches this "
                          "scatter-throughput speedup over 1 shard (0 = report only)")
     p_shard.set_defaults(func=_cmd_shard_bench)
+
+    p_rep = sub.add_parser(
+        "replica-bench",
+        help="benchmark replicated shards under a kill-the-primary storm",
+    )
+    add_trace_source(p_rep)
+    p_rep.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_rep.add_argument("--units", type=int, default=8,
+                       help="total storage-unit budget per copy set")
+    p_rep.add_argument("--shards", type=int, default=2,
+                       help="shard count (each shard becomes a replica group)")
+    p_rep.add_argument("--replicas", type=int, default=2,
+                       help="replicas per shard in addition to the primary")
+    p_rep.add_argument("--modes", nargs="+", choices=("async", "sync"),
+                       default=["async", "sync"],
+                       help="replication modes to drive (default: both)")
+    p_rep.add_argument("--max-lag", type=int, default=32,
+                       help="async mode: bounded shipped-but-unapplied window")
+    p_rep.add_argument("--queries", type=int, default=6,
+                       help="queries per type per phase")
+    p_rep.add_argument("--mutations", type=int, default=48,
+                       help="mutations in the stream (primaries die halfway)")
+    p_rep.add_argument("--partitioner", choices=("semantic", "hash"),
+                       default="semantic", help="corpus partitioner")
+    p_rep.set_defaults(func=_cmd_replica_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

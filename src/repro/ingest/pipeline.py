@@ -35,12 +35,12 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.smartstore import SmartStore, StageOutcome, UNKNOWN_GROUP
 from repro.ingest.compactor import CompactionPolicy, Compactor
 from repro.ingest.overlay import StagingOverlay
-from repro.ingest.wal import WriteAheadLog
+from repro.ingest.wal import WALRecord, WriteAheadLog
 from repro.metadata.file_metadata import FileMetadata
 from repro.persistence.jsonl import load_files, save_files, schema_from_dict, schema_to_dict
 from repro.persistence.snapshot import config_from_dict, config_to_dict
@@ -95,8 +95,23 @@ class IngestPipeline:
         self.compactor = Compactor(self, policy)
         self.mutations = 0
         self.rejected = 0
-        # Sequence source for volatile (WAL-less) pipelines.
+        # The pipeline is the sequence authority for both durable and
+        # volatile deployments; an attached WAL follows it (explicit-seq
+        # appends), so the numbering survives a WAL swap at resync.
         self._next_local_seq = wal.last_seq + 1 if wal is not None else 1
+        # Watermark: the highest sequence number staged into the store.  A
+        # replica's freshness (and therefore its failover priority) is
+        # exactly this number.
+        self.applied_seq = wal.last_seq if wal is not None else 0
+        # Mutation feed: every staged mutation is handed to subscribers as
+        # a WAL-style record — the replication layer ships these to the
+        # replica group.  Durable pipelines forward the WAL's own shipping
+        # hook (fired on append, i.e. before staging under the mutation
+        # lock); volatile ones emit after staging.  Either way subscribers
+        # see records in exactly the order the store applies them.
+        self._mutation_listeners: List[Callable[[WALRecord], None]] = []
+        if wal is not None:
+            wal.subscribe(self._forward_record)
         self._closed = False
 
     # ------------------------------------------------------------------ lifecycle
@@ -122,16 +137,21 @@ class IngestPipeline:
         with self.lock:
             # Log first: the mutation must be durable before any in-memory
             # structure reflects it, or a crash could acknowledge a write
-            # that recovery cannot reproduce.
+            # that recovery cannot reproduce.  The WAL's shipping hook
+            # forwards the record to the mutation feed right here.
+            seq = self._next_local_seq
+            self._next_local_seq += 1
             if self.wal is not None:
-                seq = self.wal.append(kind, file)
-            else:
-                seq = self._next_local_seq
-                self._next_local_seq += 1
+                self.wal.append(kind, file, seq=seq)
             outcome = self.store.stage_mutation(kind, file, seq=seq)
             self.mutations += 1
             if not outcome.known:
                 self.rejected += 1
+            self.applied_seq = seq
+            if self.wal is None and self._mutation_listeners:
+                record = WALRecord(seq=seq, kind=kind, file=file)
+                for listener in self._mutation_listeners:
+                    listener(record)
             return self._receipt(seq, outcome)
 
     def _receipt(self, seq: int, outcome: StageOutcome) -> MutationReceipt:
@@ -161,6 +181,60 @@ class IngestPipeline:
         """Durably replace one record's attribute values."""
         return self._apply("modify", file)
 
+    # ------------------------------------------------------------------ replication
+    def _forward_record(self, record: WALRecord) -> None:
+        """WAL shipping hook → the pipeline's mutation feed (durable path)."""
+        for listener in self._mutation_listeners:
+            listener(record)
+
+    def subscribe_mutations(self, listener: Callable[[WALRecord], None]) -> None:
+        """Register a shipping hook, called with every locally originated
+        mutation (durable pipelines forward their WAL's append hook;
+        volatile ones emit directly).
+
+        The hook fires inside the mutation lock, so subscribers observe
+        records in exactly the order the store applies them.  Records
+        applied via :meth:`apply_replicated` are *not* emitted — a replica
+        must never re-ship what was shipped to it.
+        """
+        self._mutation_listeners.append(listener)
+
+    def unsubscribe_mutations(self, listener: Callable[[WALRecord], None]) -> None:
+        if listener in self._mutation_listeners:
+            self._mutation_listeners.remove(listener)
+
+    def apply_replicated(self, record: WALRecord) -> Optional[MutationReceipt]:
+        """Apply one shipped WAL record on the replica side.
+
+        A durable replica archives the segment in its *own* log first
+        (under the primary's sequence number, without firing the shipping
+        hooks — a replica must never re-ship), so a later promotion keeps
+        writing WAL-first on the new primary's local disk.  Then the
+        record is staged, the applied-seq watermark advances, and the
+        sequence counter follows the primary's numbering.  Records at or
+        below the watermark are duplicates from a catch-up overlap and are
+        skipped (returns ``None``) — re-shipping is idempotent by
+        construction.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        if record.file is None:  # checkpoint markers carry no mutation
+            return None
+        with self.lock:
+            if record.seq <= self.applied_seq:
+                return None
+            if self.wal is not None:
+                self.wal.append(
+                    record.kind, record.file, seq=record.seq, notify=False
+                )
+            outcome = self.store.stage_mutation(record.kind, record.file, seq=record.seq)
+            self.mutations += 1
+            if not outcome.known:
+                self.rejected += 1
+            self.applied_seq = record.seq
+            self._next_local_seq = record.seq + 1
+            return self._receipt(record.seq, outcome)
+
     # ------------------------------------------------------------------ views
     def materialized_files(self) -> List[FileMetadata]:
         """The logical population: applied records plus staged net effect."""
@@ -176,6 +250,7 @@ class IngestPipeline:
         d: Dict[str, object] = {
             "mutations": self.mutations,
             "rejected_unknown": self.rejected,
+            "applied_seq": self.applied_seq,
             "overlay": self.overlay.stats(),
             "compaction": self.compactor.stats.as_dict(),
         }
@@ -286,4 +361,5 @@ def recover(
                 continue
             store.stage_mutation(record.kind, record.file, seq=record.seq)
             pipeline.mutations += 1
+            pipeline.applied_seq = record.seq
     return pipeline

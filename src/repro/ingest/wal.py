@@ -34,7 +34,7 @@ import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.metadata.file_metadata import FileMetadata
 from repro.persistence.jsonl import file_from_dict, file_to_dict
@@ -131,6 +131,9 @@ class WriteAheadLog:
         self.appended = 0
         self.syncs = 0
         self._unsynced = 0
+        # Segment-shipping hooks: every appended record is handed to each
+        # subscriber (the replication layer forwards them to replicas).
+        self._listeners: List[Callable[[WALRecord], None]] = []
         self.path.parent.mkdir(parents=True, exist_ok=True)
         replay = self.scan(self.path) if self.path.exists() else WALReplay()
         self._next_seq = replay.last_seq + 1
@@ -153,23 +156,59 @@ class WriteAheadLog:
         """Sequence number of the most recently appended record (0 = none)."""
         return self._next_seq - 1
 
-    def append(self, kind: str, file: Optional[FileMetadata] = None) -> int:
+    def append(
+        self,
+        kind: str,
+        file: Optional[FileMetadata] = None,
+        *,
+        seq: Optional[int] = None,
+        notify: bool = True,
+    ) -> int:
         """Log one mutation; returns its sequence number.
 
         The record is written and flushed to the OS immediately; whether it
         is fsynced now or with a later batch is governed by ``fsync_every``.
+
+        ``seq`` logs the record under an explicit sequence number (a
+        replica archiving a shipped segment keeps the primary's numbering)
+        and advances the counter past it; it must not regress below the
+        log's own next sequence.  ``notify=False`` skips the shipping
+        hooks — archival appends must not echo back into the ship queues.
         """
         if kind not in WAL_KINDS:
             raise ValueError(f"unknown WAL record kind {kind!r}")
-        record = WALRecord(seq=self._next_seq, kind=kind, file=file)
+        if seq is None:
+            seq = self._next_seq
+        elif seq < self._next_seq:
+            raise ValueError(
+                f"explicit seq {seq} would regress the log (next is {self._next_seq})"
+            )
+        record = WALRecord(seq=seq, kind=kind, file=file)
         self._fh.write(json.dumps(record.to_payload()) + "\n")
         self._fh.flush()
-        self._next_seq += 1
+        self._next_seq = seq + 1
         self.appended += 1
         self._unsynced += 1
         if self.fsync_every and self._unsynced >= self.fsync_every:
             self.sync()
+        if notify:
+            for listener in self._listeners:
+                listener(record)
         return record.seq
+
+    def subscribe(self, listener: Callable[["WALRecord"], None]) -> None:
+        """Register a segment-shipping hook, called with every appended record.
+
+        Hooks run *after* the record is durable under the log's
+        ``fsync_every`` contract (the append itself), so a subscriber never
+        observes a record the log could disown after a crash — the ordering
+        replication relies on to ship only logged mutations.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[["WALRecord"], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""

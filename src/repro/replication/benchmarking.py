@@ -1,0 +1,241 @@
+"""Kill-the-primary equivalence harness behind ``repro replica-bench``.
+
+The availability claim of the replication layer is only worth something if
+failover is *invisible* to clients.  This harness makes that claim
+exit-code-checkable, the same way ``ingest-bench`` and ``shard-bench``
+gate their layers:
+
+1. an **unfailed baseline** — one unsharded SmartStore with a volatile
+   pipeline — answers a mixed point/range/top-k workload in three phases
+   (before any mutation, with the full mutation stream staged, after a
+   drain), producing the reference fingerprints;
+2. a **replicated, sharded deployment** (every shard a
+   :class:`~repro.replication.group.ReplicaGroup`) runs the identical
+   workload — except that *every primary is crashed* between the two
+   halves of the mutation stream, via the real
+   :class:`~repro.replication.fault.FaultInjector`;
+3. the gates: every phase's fingerprints byte-identical to the baseline,
+   **zero failed client requests** (failover retries absorb every crash),
+   every group actually failed over, and — in async mode — the observed
+   replication lag stayed inside the bounded window.
+
+Both deployments use an exhaustive ``search_breadth`` (callers pass it in
+the config) so bounded-search recall differences cannot masquerade as a
+replication bug.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest.pipeline import IngestPipeline
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.replication.fault import FaultInjector
+from repro.replication.group import ReplicationConfig
+from repro.service.cache import result_fingerprint
+from repro.shard.router import build_shard_router
+from repro.workloads.generator import QueryWorkloadGenerator
+
+__all__ = ["ReplicaFailoverRow", "ReplicaFailoverReport", "run_replica_failover"]
+
+#: The three probe phases; primaries are killed between the two mutation
+#: halves, i.e. before the second phase.
+PHASES = ("pre-failure", "failed over (in flight)", "caught up (drained)")
+
+
+@dataclass
+class ReplicaFailoverRow:
+    """Measurements for one replication mode."""
+
+    mode: str
+    shards: int
+    replicas: int
+    build_seconds: float
+    mutation_wall: float
+    complex_wall: float
+    failovers: int
+    degraded_reads: int
+    read_retries: int
+    failed_requests: int
+    max_observed_lag: int
+    anti_entropy_repaired: int
+    identical: bool
+
+    def as_table_row(self) -> List[str]:
+        return [
+            self.mode,
+            f"{self.shards}x{self.replicas + 1}",
+            f"{self.build_seconds:.2f}",
+            f"{self.mutation_wall:.3f}",
+            f"{self.complex_wall:.3f}",
+            f"{self.failovers}",
+            f"{self.degraded_reads}",
+            f"{self.failed_requests}",
+            f"{self.max_observed_lag}",
+            "yes" if self.identical else "NO",
+        ]
+
+
+@dataclass
+class ReplicaFailoverReport:
+    """Everything the CLI and the CI smoke job need to print and gate on."""
+
+    rows: List[ReplicaFailoverRow]
+    gates: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+
+def _workload(files, schema, queries_per_type, seed):
+    generator = QueryWorkloadGenerator(files, schema, seed=seed)
+    points = generator.point_queries(queries_per_type, existing_fraction=0.8)
+    complex_mix = generator.mixed_complex_queries(
+        queries_per_type, queries_per_type, k=8, distribution="zipf"
+    )
+    return points, complex_mix
+
+
+def _run_phases(target, mutator, points, complex_mix, halves, *, on_kill=None):
+    """Drive one deployment through the three phases.
+
+    ``halves`` is the mutation stream split in two; ``on_kill`` (replicated
+    run only) fires between them.  Returns per-phase fingerprints, wall
+    clocks and the number of failed client requests — every query and
+    mutation is attempted, failures recorded rather than raised, because
+    "zero failed requests" is itself a gate.
+    """
+    fingerprints: Dict[str, List[str]] = {}
+    failed = 0
+    complex_wall = 0.0
+    mutation_wall = 0.0
+
+    def probe(phase: str) -> None:
+        nonlocal failed, complex_wall
+        prints: List[str] = []
+        started = time.perf_counter()
+        for query in [*points, *complex_mix]:
+            try:
+                prints.append(result_fingerprint(target.execute(query)))
+            except Exception:
+                prints.append("FAILED")
+                failed += 1
+        complex_wall += time.perf_counter() - started
+        fingerprints[phase] = prints
+
+    probe(PHASES[0])
+    for half_idx, half in enumerate(halves):
+        started = time.perf_counter()
+        for kind, file in half:
+            try:
+                getattr(mutator, kind)(file)
+            except Exception:
+                failed += 1
+        mutation_wall += time.perf_counter() - started
+        if half_idx == 0 and on_kill is not None:
+            on_kill()
+    probe(PHASES[1])
+    mutator.compactor.drain()
+    probe(PHASES[2])
+    return fingerprints, complex_wall, mutation_wall, failed
+
+
+def run_replica_failover(
+    files: Sequence[FileMetadata],
+    config: SmartStoreConfig,
+    *,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    shards: int = 2,
+    replicas: int = 2,
+    modes: Sequence[str] = ("async", "sync"),
+    max_lag: int = 32,
+    queries_per_type: int = 6,
+    n_mutations: int = 48,
+    partitioner: str = "semantic",
+    workload_seed: int = 13,
+) -> ReplicaFailoverReport:
+    """Run the kill-every-primary equivalence + availability ablation."""
+    files = list(files)
+    points, complex_mix = _workload(files, schema, queries_per_type, workload_seed)
+    generator = QueryWorkloadGenerator(files, schema, seed=workload_seed + 1)
+    n_del = n_mutations // 3
+    n_mod = n_mutations // 6
+    mutations = generator.mutation_stream(n_mutations - n_del - n_mod, n_del, n_mod)
+    halves = [mutations[: len(mutations) // 2], mutations[len(mutations) // 2 :]]
+
+    baseline = SmartStore.build(files, config, schema)
+    baseline_pipeline = IngestPipeline(baseline)
+    reference, _, _, baseline_failed = _run_phases(
+        baseline, baseline_pipeline, points, complex_mix, halves
+    )
+    if baseline_failed:
+        raise RuntimeError("the unfailed baseline itself failed requests")
+
+    report = ReplicaFailoverReport(rows=[])
+    for mode in modes:
+        started = time.perf_counter()
+        router = build_shard_router(
+            files,
+            shards,
+            config,
+            schema,
+            partitioner=partitioner,
+            replication=ReplicationConfig(
+                replicas=replicas, mode=mode, max_lag=max_lag
+            ),
+        )
+        build_seconds = time.perf_counter() - started
+        try:
+            injector = FaultInjector(router)
+            fingerprints, complex_wall, mutation_wall, failed = _run_phases(
+                router,
+                router,
+                points,
+                complex_mix,
+                halves,
+                on_kill=injector.crash_primary,
+            )
+            router.anti_entropy()
+            groups = router.replica_groups()
+
+            identical = True
+            for phase in PHASES:
+                ok = fingerprints[phase] == reference[phase]
+                report.gates[f"{mode}: {phase} identical"] = ok
+                identical = identical and ok
+            report.gates[f"{mode}: zero failed requests"] = failed == 0
+            report.gates[f"{mode}: every primary failed over"] = all(
+                g.failovers >= 1 for g in groups
+            )
+            max_lag_seen = max(g.max_observed_lag for g in groups)
+            if mode == "async":
+                report.gates["async: lag within bounded window"] = (
+                    max_lag_seen <= max_lag
+                )
+            report.rows.append(
+                ReplicaFailoverRow(
+                    mode=mode,
+                    shards=shards,
+                    replicas=replicas,
+                    build_seconds=build_seconds,
+                    mutation_wall=mutation_wall,
+                    complex_wall=complex_wall,
+                    failovers=sum(g.failovers for g in groups),
+                    degraded_reads=sum(g.degraded_reads for g in groups),
+                    read_retries=sum(g.read_retries for g in groups),
+                    failed_requests=failed,
+                    max_observed_lag=max_lag_seen,
+                    anti_entropy_repaired=sum(
+                        g.anti_entropy_repairs for g in groups
+                    ),
+                    identical=identical,
+                )
+            )
+        finally:
+            router.close()
+    return report

@@ -1,0 +1,132 @@
+"""Per-replica health tracking: a deterministic circuit breaker.
+
+Every replica of a :class:`~repro.replication.group.ReplicaGroup` carries a
+:class:`HealthTracker`.  The read path asks ``available()`` before routing
+to a replica and reports the outcome back with ``record_success`` /
+``record_failure``; the tracker turns those signals into the classic
+breaker state machine:
+
+* **closed** — healthy; every selection is admitted.
+* **open** — entered after ``failure_threshold`` *consecutive* failures (or
+  a single failure while half-open).  Selections are refused, so a crashed
+  replica stops eating a failed probe out of every read.
+* **half-open** — after ``probe_after`` refused selections the breaker
+  admits exactly one probe.  A success closes the breaker (the replica
+  rejoins the rotation); a failure re-opens it and the wait starts over.
+
+Transitions are counted in *selections*, not wall-clock seconds, so tests
+and benchmarks are deterministic: the breaker behaves identically no matter
+how fast the host runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["BreakerPolicy", "HealthTracker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a replica's circuit opens and how eagerly it is re-probed.
+
+    ``failure_threshold``
+        Consecutive failures that trip the breaker open.
+    ``probe_after``
+        Refused selections an open breaker waits before admitting one
+        half-open probe.
+    """
+
+    failure_threshold: int = 3
+    probe_after: int = 8
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.probe_after < 1:
+            raise ValueError("probe_after must be >= 1")
+
+
+class HealthTracker:
+    """Consecutive-failure circuit breaker for one replica."""
+
+    def __init__(self, policy: BreakerPolicy = BreakerPolicy()) -> None:
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._skips = 0
+        self.successes = 0
+        self.failures = 0
+        self.opens = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def available(self) -> bool:
+        """May the read path route to this replica right now?
+
+        Counts refused selections while open; the ``probe_after``-th
+        selection flips the breaker half-open and is admitted as the probe.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                return True
+            self._skips += 1
+            if self._skips >= self.policy.probe_after:
+                self._state = HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            self._skips = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.policy.failure_threshold
+            )
+            if tripped:
+                if self._state != OPEN:
+                    self.opens += 1
+                self._state = OPEN
+                # Every failure while tripping resets the wait, pushing
+                # the next half-open probe back.
+                self._skips = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "successes": self.successes,
+                "failures": self.failures,
+                "opens": self.opens,
+                "probes": self.probes,
+            }
+
+    def __repr__(self) -> str:
+        d = self.as_dict()
+        return (
+            f"HealthTracker(state={d['state']!r}, failures={d['failures']}, "
+            f"opens={d['opens']}, probes={d['probes']})"
+        )

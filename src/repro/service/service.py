@@ -253,6 +253,14 @@ class QueryService:
         # accounting; the service does the same, serialised.
         with self._metrics_lock:
             self.store.cluster.metrics.merge(result.metrics)
+        # A replicated store (ShardRouter over replica groups, or a bare
+        # ReplicaGroup) surfaces failover/degraded-read events; fold any
+        # new ones into the service telemetry.
+        drain = getattr(self.store, "drain_replication_events", None)
+        if drain is not None:
+            events = drain()
+            if events:
+                self.telemetry.record_replication_events(events)
         return result
 
     # ------------------------------------------------------------------ batch execution
@@ -501,6 +509,12 @@ class QueryService:
             d["cache"] = self.cache.stats.as_dict()
         if self.pipeline is not None:
             d["ingest"] = self.pipeline.stats()
+        if hasattr(self.store, "replica_groups"):  # replicated ShardRouter
+            replication = self.store.stats().get("replication")
+            if replication is not None:
+                d["replication"] = replication
+        elif hasattr(self.store, "members"):  # bare ReplicaGroup
+            d["replication"] = self.store.stats()
         return d
 
     def __repr__(self) -> str:

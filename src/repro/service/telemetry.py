@@ -146,6 +146,13 @@ class ServiceTelemetry:
         self._wall_started: Optional[float] = None
         self._wall_elapsed = 0.0
         self.rejected = 0
+        # Replication events observed through the store (see
+        # ShardRouter.drain_replication_events): primary promotions, reads
+        # served while part of a replica group was unhealthy, and internal
+        # read retries that kept those requests from failing.
+        self.failovers = 0
+        self.degraded_reads = 0
+        self.replica_retries = 0
 
     # ------------------------------------------------------------------ wall clock
     def start_window(self) -> None:
@@ -204,6 +211,13 @@ class ServiceTelemetry:
         with self._lock:
             self.rejected += 1
 
+    def record_replication_events(self, events: Dict[str, int]) -> None:
+        """Fold replication-event deltas into the service-level counters."""
+        with self._lock:
+            self.failovers += int(events.get("failovers", 0))
+            self.degraded_reads += int(events.get("degraded_reads", 0))
+            self.replica_retries += int(events.get("replica_retries", 0))
+
     # ------------------------------------------------------------------ reading
     def query_class(self, kind: str) -> QueryClassStats:
         return self._classes[kind]
@@ -225,6 +239,9 @@ class ServiceTelemetry:
                 "total_requests": sum(c.count for c in self._classes.values()),
                 "wall_seconds": self._wall_elapsed,
                 "rejected": self.rejected,
+                "failovers": self.failovers,
+                "degraded_reads": self.degraded_reads,
+                "replica_retries": self.replica_retries,
                 "classes": {k: c.as_dict() for k, c in self._classes.items()},
             }
 

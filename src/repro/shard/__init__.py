@@ -21,6 +21,12 @@ The correctness contract — sharded scatter-gather answers are
 fingerprint-identical to an unsharded deployment over the union population
 — is asserted by ``repro shard-bench`` and
 ``benchmarks/bench_shard_scaling.py``.
+
+For availability, ``build_shard_router(...,
+replication=ReplicationConfig(...))`` runs every shard as a
+:class:`~repro.replication.group.ReplicaGroup` (1 primary + N replicas
+with WAL-segment shipping and live failover); ``repro replica-bench``
+asserts the same fingerprints survive killing every primary mid-workload.
 """
 
 from repro.shard.partitioner import (

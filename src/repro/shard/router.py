@@ -50,6 +50,14 @@ The router deliberately quacks like both halves of the serving stack so
 
 All mutations must flow through the router: mutating a shard's store
 directly would bypass the summaries and break pruning exactness.
+
+With ``build_shard_router(..., replication=ReplicationConfig(...))`` every
+shard is a :class:`~repro.replication.group.ReplicaGroup` instead of a bare
+store: scatter-gather calls land on whichever healthy replica the group
+picks (catch-up-on-read keeps answers identical), a primary crash promotes
+the freshest replica mid-scatter without failing the client request, and
+the router aggregates per-group failover/degraded-read counters for the
+service telemetry (:meth:`ShardRouter.drain_replication_events`).
 """
 
 from __future__ import annotations
@@ -72,6 +80,7 @@ from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
+from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
 from repro.shard.partitioner import corpus_index_bounds, make_partitioner
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
@@ -255,7 +264,10 @@ class ShardRouter:
         self.pipelines = (
             list(pipelines)
             if pipelines is not None
-            else [IngestPipeline(s) for s in self.shards]
+            else [
+                s if isinstance(s, ReplicaGroup) else IngestPipeline(s)
+                for s in self.shards
+            ]
         )
         if len(self.pipelines) != len(self.shards):
             raise ValueError("one ingest pipeline per shard is required")
@@ -297,6 +309,7 @@ class ShardRouter:
         # rate: throughput = queries / max(shard_busy_seconds) — the
         # quantity the scaling benchmark gates on.
         self.shard_busy_seconds: List[float] = [0.0] * len(self.shards)
+        self._replication_events_seen: Dict[str, int] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ lifecycle
@@ -588,12 +601,52 @@ class ShardRouter:
         with self._mutation_lock:
             return self._owner.get(file_id)
 
+    # ------------------------------------------------------------------ replication
+    def replica_groups(self) -> List[ReplicaGroup]:
+        """The shards that are replica groups (empty for an unreplicated router)."""
+        return [s for s in self.shards if isinstance(s, ReplicaGroup)]
+
+    @property
+    def replicated(self) -> bool:
+        return bool(self.replica_groups())
+
+    def anti_entropy(self) -> Dict[str, int]:
+        """Run one anti-entropy pass over every replica group."""
+        checked = repaired = 0
+        for group in self.replica_groups():
+            outcome = group.anti_entropy()
+            checked += outcome["checked"]
+            repaired += outcome["repaired"]
+        return {"checked": checked, "repaired": repaired}
+
+    def drain_replication_events(self) -> Dict[str, int]:
+        """Failover/degraded-read/retry counts since the last drain.
+
+        The query service polls this after engine executions so its
+        telemetry accounts replication events without the router having to
+        know about the service.  Returns an empty dict for an unreplicated
+        router.
+        """
+        groups = self.replica_groups()
+        if not groups:
+            return {}
+        totals = {
+            "failovers": sum(g.failovers for g in groups),
+            "degraded_reads": sum(g.degraded_reads for g in groups),
+            "replica_retries": sum(g.read_retries for g in groups),
+        }
+        with self._stats_lock:
+            seen = self._replication_events_seen
+            delta = {k: v - seen.get(k, 0) for k, v in totals.items()}
+            self._replication_events_seen = totals
+        return delta
+
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, object]:
         with self._stats_lock:
             routed = dict(self.queries)
             contacted, pruned = self.shards_contacted, self.shards_pruned
-        return {
+        d: Dict[str, object] = {
             "shards": len(self.shards),
             "partitioner": getattr(self.partitioner, "kind", "custom"),
             "files_per_shard": [len(s.files) for s in self.shards],
@@ -607,6 +660,19 @@ class ShardRouter:
                 p.compactor.stats.group_compactions for p in self.pipelines
             ),
         }
+        groups = self.replica_groups()
+        if groups:
+            d["replication"] = {
+                "mode": groups[0].mode,
+                "replicas_per_shard": groups[0].num_replicas,
+                "failovers": sum(g.failovers for g in groups),
+                "degraded_reads": sum(g.degraded_reads for g in groups),
+                "read_retries": sum(g.read_retries for g in groups),
+                "resyncs": sum(g.resyncs for g in groups),
+                "max_observed_lag": max(g.max_observed_lag for g in groups),
+                "groups": [g.stats() for g in groups],
+            }
+        return d
 
     def __repr__(self) -> str:
         return (
@@ -629,6 +695,7 @@ def build_shard_router(
     fsync_every: int = 1,
     policy=None,
     max_workers: Optional[int] = None,
+    replication: Optional[ReplicationConfig] = None,
 ) -> ShardRouter:
     """Split a corpus into ``num_shards`` SmartStore deployments + a router.
 
@@ -645,6 +712,13 @@ def build_shard_router(
     write-ahead log (``shard-<i>.wal``); omitted, shards stage in memory
     only.  ``policy`` is the per-shard
     :class:`~repro.ingest.compactor.CompactionPolicy`.
+
+    ``replication`` turns every shard into a
+    :class:`~repro.replication.group.ReplicaGroup` of
+    ``replication.replicas + 1`` identically-built deployments: writes go
+    WAL-first to each group's primary and ship to its replicas, reads
+    scatter across healthy replicas, and a primary crash promotes the
+    freshest replica without failing client requests.
     """
     config = config if config is not None else SmartStoreConfig()
     files = list(files)
@@ -679,16 +753,50 @@ def build_shard_router(
         else max(1, config.num_units // effective)
     )
     shard_config = replace(config, num_units=units)
+
+    def shard_wal(name: str) -> Optional[WriteAheadLog]:
+        if wal_dir is None:
+            return None
+        wal_path = Path(wal_dir)
+        wal_path.mkdir(parents=True, exist_ok=True)
+        return WriteAheadLog(wal_path / name, fsync_every=fsync_every)
+
+    if replication is not None:
+        # Every shard becomes a replica group: replication.replicas + 1
+        # identical builds over the shard's members.  When durable, the
+        # primary logs to shard-<i>.wal and each replica archives the
+        # shipped segments in its own shard-<i>.wal.r<j> — so a promoted
+        # primary keeps writing WAL-first on its own "disk".
+        groups: List[ReplicaGroup] = []
+        for sid, members in enumerate(shard_files):
+            replicas = []
+            for replica_id in range(replication.replicas + 1):
+                store = SmartStore.build(
+                    members, shard_config, schema, index_bounds=bounds
+                )
+                suffix = f".r{replica_id}" if replica_id else ""
+                wal = shard_wal(f"shard-{sid}.wal{suffix}")
+                replicas.append(
+                    Replica(
+                        replica_id,
+                        store,
+                        IngestPipeline(store, wal, policy=policy),
+                        breaker=replication.breaker,
+                    )
+                )
+            groups.append(
+                ReplicaGroup(
+                    replicas, mode=replication.mode, max_lag=replication.max_lag
+                )
+            )
+        return ShardRouter(groups, part, pipelines=groups, max_workers=max_workers)
+
     stores = [
         SmartStore.build(members, shard_config, schema, index_bounds=bounds)
         for members in shard_files
     ]
-    pipelines = []
-    for sid, store in enumerate(stores):
-        wal = None
-        if wal_dir is not None:
-            wal_path = Path(wal_dir)
-            wal_path.mkdir(parents=True, exist_ok=True)
-            wal = WriteAheadLog(wal_path / f"shard-{sid}.wal", fsync_every=fsync_every)
-        pipelines.append(IngestPipeline(store, wal, policy=policy))
+    pipelines = [
+        IngestPipeline(store, shard_wal(f"shard-{sid}.wal"), policy=policy)
+        for sid, store in enumerate(stores)
+    ]
     return ShardRouter(stores, part, pipelines=pipelines, max_workers=max_workers)

@@ -258,6 +258,36 @@ class TestIngestBenchCommand:
         assert "bench_shard_scaling.py" in EXPERIMENT_INDEX
 
 
+class TestReplicaBenchCommand:
+    def test_replica_bench_end_to_end_on_tiny_trace(self, capsys, tmp_path):
+        pop = tmp_path / "pop.jsonl"
+        save_files(make_files(100, clusters=4), pop)
+        code = main([
+            "replica-bench", "--input", str(pop), "--units", "6",
+            "--shards", "2", "--replicas", "1", "--queries", "3",
+            "--mutations", "18", "--modes", "async",
+        ])
+        out = capsys.readouterr().out
+        # Exit code 0 is itself the assertion: every primary was killed
+        # mid-stream and every phase still answered identically with zero
+        # failed requests and bounded lag.
+        assert code == 0
+        assert "replica-bench" in out
+        assert "async: failed over (in flight) identical" in out
+        assert "async: zero failed requests" in out
+        assert "async: lag within bounded window" in out
+        assert "NO" not in out
+
+    def test_replica_bench_help_documents_the_storm(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replica-bench", "--help"])
+        out = capsys.readouterr().out
+        assert "--replicas" in out and "--max-lag" in out
+
+    def test_replica_bench_registered_in_experiments(self):
+        assert "bench_replica_failover.py" in EXPERIMENT_INDEX
+
+
 class TestExperimentsCommand:
     def test_lists_every_bench_module(self, capsys):
         assert main(["experiments"]) == 0

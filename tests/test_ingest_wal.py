@@ -1,8 +1,12 @@
 """Tests for the write-ahead log: append/replay, checksums, torn tails."""
 
 import json
+import tempfile
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ingest.wal import WAL_FORMAT, WALRecord, WriteAheadLog
 from repro.metadata.file_metadata import FileMetadata
@@ -123,6 +127,105 @@ class TestTornTail:
         replay = WriteAheadLog.scan(path)
         assert not replay.truncated
         assert [r.seq for r in replay] == [1, 2, 3]
+
+
+def _wal_bytes_and_tail():
+    """A 3-record log's raw bytes plus the byte range of its tail record.
+
+    Built once (module level): the population and the log are fully
+    deterministic, so every property example can slice the same bytes.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            for f in make_files(3, seed=5):
+                wal.append("insert", f)
+        raw = path.read_bytes()
+    lines = raw.splitlines(keepends=True)
+    tail_start = len(raw) - len(lines[-1])
+    return raw, tail_start
+
+
+_RAW, _TAIL_START = _wal_bytes_and_tail()
+#: Tail-record bytes excluding the trailing newline: cutting inside this
+#: span tears the record; cutting at/after its end leaves it intact.
+_TAIL_BODY = len(_RAW) - _TAIL_START - 1
+
+
+def _scan_bytes(raw: bytes):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wal.jsonl"
+        path.write_bytes(raw)
+        return path, WriteAheadLog.scan(path)
+
+
+class TestTornTailProperties:
+    """Recovery must yield *exactly* the intact prefix, byte for byte.
+
+    The satellite property: whatever a crash does to the tail record —
+    truncation at any byte offset, or corruption of any byte — replay
+    recovers precisely records 1..2, never a phantom and never less.
+    """
+
+    def test_every_truncation_offset_recovers_exact_prefix(self):
+        # Exhaustive, not sampled: every byte offset of the tail record.
+        for cut in range(_TAIL_BODY):
+            _, replay = _scan_bytes(_RAW[: _TAIL_START + cut])
+            assert [r.seq for r in replay] == [1, 2], f"cut at tail byte {cut}"
+            # A clean cut at the record boundary is not a torn tail.
+            assert replay.truncated == (cut > 0), f"cut at tail byte {cut}"
+            assert replay.good_bytes == _TAIL_START
+
+    def test_losing_only_the_trailing_newline_keeps_the_record(self):
+        # The one offset that does NOT tear the record: the tail's JSON is
+        # complete, only the newline is gone — the record must survive.
+        _, replay = _scan_bytes(_RAW[: _TAIL_START + _TAIL_BODY])
+        assert [r.seq for r in replay] == [1, 2, 3]
+        assert not replay.truncated
+
+    @given(
+        offset=st.integers(min_value=0, max_value=_TAIL_BODY - 1),
+        replacement=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_single_byte_corruption_recovers_exact_prefix(
+        self, offset, replacement
+    ):
+        position = _TAIL_START + offset
+        if _RAW[position] == replacement:
+            replacement = (replacement + 1) % 256
+        raw = _RAW[:position] + bytes([replacement]) + _RAW[position + 1 :]
+        _, replay = _scan_bytes(raw)
+        # The CRC (or the JSON parser) rejects the record; everything
+        # before it survives untouched.
+        assert replay.truncated
+        assert [r.seq for r in replay] == [1, 2]
+        assert replay.good_bytes == _TAIL_START
+
+    @given(
+        cut=st.integers(min_value=1, max_value=_TAIL_BODY),
+        garbage=st.binary(min_size=0, max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_plus_garbage_then_reopen_appends_cleanly(
+        self, cut, garbage
+    ):
+        # Crash mid-write often leaves a torn prefix plus junk from an
+        # earlier file generation; reopening must truncate back to the
+        # last intact record and resume the sequence numbering there.
+        garbage = garbage.replace(b"\n", b" ")
+        raw = _RAW[: _TAIL_START + cut] + garbage
+        path, replay = _scan_bytes(raw)
+        assert [r.seq for r in replay] == [1, 2]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "wal.jsonl"
+            path.write_bytes(raw)
+            with WriteAheadLog(path) as wal:
+                assert wal.last_seq == 2
+                assert wal.append("insert", make_files(4, seed=5)[3]) == 3
+            final = WriteAheadLog.scan(path)
+            assert not final.truncated
+            assert [r.seq for r in final] == [1, 2, 3]
 
 
 class TestFsyncBatching:
