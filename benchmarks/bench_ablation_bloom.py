@@ -64,7 +64,7 @@ def test_ablation_bloom_effect_on_point_queries(benchmark, msn_files):
                 msn_files,
                 SmartStoreConfig(num_units=NUM_UNITS, seed=3, bloom_bits=bits, bloom_hashes=hashes),
             )
-            visited = [len(store.point_query(q).metrics.units_visited) for q in queries]
+            visited = [len(store.execute(q).metrics.units_visited) for q in queries]
             results[(bits, hashes)] = float(np.mean(visited))
         return results
 

@@ -1,0 +1,159 @@
+"""Client API: the unified front door over every deployment topology.
+
+Not a paper figure — this benchmark covers the client layer grown on top
+of the reproduction (ROADMAP north star: one stable surface for "as many
+scenarios as you can imagine").  It builds all five topology shapes from
+declarative :class:`~repro.api.spec.DeploymentSpec` documents, drives the
+same mixed workload through each shape's
+:class:`~repro.api.client.Client`, and asserts the acceptance properties
+of the API redesign:
+
+* **facade equivalence** — every topology's client answers
+  fingerprint-identically to the legacy plain facade over the same
+  logical population;
+* **pagination equivalence** — cursor-paginated page concatenation equals
+  the unpaginated payload on every topology;
+* **overhead** — the envelope layer costs little: the client's wall time
+  per request through a plain topology stays within a small factor of the
+  bare facade's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _bench_utils import record_result
+from repro.api import DeploymentSpec, RequestOptions, connect
+from repro.api.spec import TOPOLOGIES
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.service.cache import result_fingerprint
+from repro.traces.msn import msn_trace
+from repro.workloads.generator import QueryWorkloadGenerator
+
+NUM_UNITS = 16
+QUERIES_PER_TYPE = 12
+PAGE_SIZE = 16
+
+CONFIG = SmartStoreConfig(num_units=NUM_UNITS, seed=7, search_breadth=NUM_UNITS * 4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return msn_trace(scale=0.8, seed=29).file_metadata()
+
+
+@pytest.fixture(scope="module")
+def workload(corpus):
+    generator = QueryWorkloadGenerator(corpus, seed=13)
+    return (
+        generator.point_queries(QUERIES_PER_TYPE, existing_fraction=0.8)
+        + generator.range_queries(QUERIES_PER_TYPE, distribution="zipf")
+        + generator.topk_queries(QUERIES_PER_TYPE, k=8, distribution="zipf")
+    )
+
+
+def spec_for(topology: str, tmp_path) -> DeploymentSpec:
+    kwargs = {"topology": topology, "store": CONFIG, "shards": 2, "replicas": 1}
+    if topology == "durable":
+        kwargs["wal_dir"] = str(tmp_path / "wal")
+    return DeploymentSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def report(corpus, workload, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("client-api")
+    baseline = SmartStore.build(corpus, CONFIG)
+    started = time.perf_counter()
+    reference = [result_fingerprint(baseline.execute(q)) for q in workload]
+    facade_wall = time.perf_counter() - started
+
+    rows = []
+    outcomes = {}
+    for topology in TOPOLOGIES:
+        build_started = time.perf_counter()
+        client = connect(spec_for(topology, tmp_path), corpus)
+        build_wall = time.perf_counter() - build_started
+        try:
+            query_started = time.perf_counter()
+            fingerprints = [
+                result_fingerprint(client.execute(q).result) for q in workload
+            ]
+            query_wall = time.perf_counter() - query_started
+
+            paged_ok = True
+            for probe in workload[QUERIES_PER_TYPE:]:  # range + topk
+                full = client.execute(probe)
+                pages = list(client.pages(probe, PAGE_SIZE))
+                files = [f.file_id for p in pages for f in p.files]
+                dists = [d for p in pages for d in p.distances]
+                paged_ok = (
+                    paged_ok
+                    and files == [f.file_id for f in full.files]
+                    and dists == full.distances
+                )
+            client.execute(workload[0], RequestOptions(deadline_s=0.0))
+            expired = client.service.telemetry.deadline_expired
+        finally:
+            client.close()
+        identical = fingerprints == reference
+        outcomes[topology] = {
+            "identical": identical,
+            "paged_ok": paged_ok,
+            "expired": expired,
+            "query_wall": query_wall,
+        }
+        rows.append(
+            [
+                topology,
+                f"{build_wall:.3f}",
+                f"{query_wall:.3f}",
+                f"{query_wall / facade_wall:.2f}x",
+                "yes" if identical else "NO",
+                "yes" if paged_ok else "NO",
+                expired,
+            ]
+        )
+    return {
+        "rows": rows,
+        "outcomes": outcomes,
+        "facade_wall": facade_wall,
+    }
+
+
+def test_every_topology_matches_the_legacy_facade(report):
+    failing = [t for t, o in report["outcomes"].items() if not o["identical"]]
+    assert not failing, f"client/facade fingerprint mismatches: {failing}"
+
+
+def test_pagination_equals_unpaginated_everywhere(report):
+    failing = [t for t, o in report["outcomes"].items() if not o["paged_ok"]]
+    assert not failing, f"page-concatenation mismatches: {failing}"
+
+
+def test_deadline_expiry_is_visible_everywhere(report):
+    failing = [t for t, o in report["outcomes"].items() if o["expired"] < 1]
+    assert not failing, f"no expiry telemetry on: {failing}"
+
+
+def test_plain_client_overhead_is_bounded(report):
+    """The envelope layer must not dominate: plain-topology wall time stays
+    within 5x the bare facade loop (admission + telemetry + envelope)."""
+    ratio = report["outcomes"]["plain"]["query_wall"] / report["facade_wall"]
+    assert ratio < 5.0, f"client overhead {ratio:.2f}x exceeds the 5x budget"
+
+
+def test_report_table(report, benchmark, corpus):
+    """Render the per-topology table (one timed op for pytest-benchmark)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        ["topology", "build (s)", "mix wall (s)", "vs facade", "identical",
+         "pages == full", "deadline expiries"],
+        report["rows"],
+        title=f"client API: {len(corpus)} files, {QUERIES_PER_TYPE} queries/type "
+        f"through one Client per topology (facade loop: "
+        f"{report['facade_wall']:.3f}s)",
+    )
+    record_result("client_api", table)

@@ -51,7 +51,7 @@ def test_fig9_hit_rate_with_recent_insertions(benchmark, msn_files):
 
     def measure() -> float:
         existing = {f.filename for f in msn_files}
-        hits = sum(1 for q in queries if store.point_query(q).found and q.filename in existing)
+        hits = sum(1 for q in queries if store.execute(q).found and q.filename in existing)
         return hits / len(queries)
 
     hit_rate = benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -85,19 +85,19 @@ def test_table4_query_latency(benchmark, trace_name, request):
 def test_table4_single_range_query_wallclock(benchmark, msn_store, msn_generator):
     """Wall-clock cost of one SmartStore range query (pytest-benchmark timing)."""
     query = msn_generator.range_queries(1, distribution="zipf", ensure_nonempty=True)[0]
-    result = benchmark(msn_store.range_query, query)
+    result = benchmark(msn_store.execute, query)
     assert result.groups_visited >= 1
 
 
 def test_table4_single_topk_query_wallclock(benchmark, msn_store, msn_generator):
     """Wall-clock cost of one SmartStore top-k query."""
     query = msn_generator.topk_queries(1, k=8, distribution="zipf")[0]
-    result = benchmark(msn_store.topk_query, query)
+    result = benchmark(msn_store.execute, query)
     assert len(result.files) == 8
 
 
 def test_table4_single_point_query_wallclock(benchmark, msn_store, msn_generator):
     """Wall-clock cost of one SmartStore filename point query."""
     query = msn_generator.point_queries(1, existing_fraction=1.0)[0]
-    result = benchmark(msn_store.point_query, query)
+    result = benchmark(msn_store.execute, query)
     assert result.found

@@ -97,7 +97,7 @@ def main() -> None:
             title="Tracking the files changed by a software update",
         )
     )
-    smart_result = store.range_query(query)
+    smart_result = store.execute(query)
     print(
         f"\nSmartStore bounded the search to {smart_result.groups_visited} semantic group(s) "
         f"out of {len(store.tree.first_level_groups())} "

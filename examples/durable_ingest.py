@@ -26,6 +26,7 @@ from repro import IngestPipeline, SmartStore, SmartStoreConfig, WriteAheadLog, r
 from repro.service.cache import result_fingerprint
 from repro.traces import msn_trace
 from repro.workloads.generator import QueryWorkloadGenerator
+from repro.workloads.types import PointQuery
 
 
 def probe(store, queries):
@@ -55,8 +56,8 @@ def main() -> None:
     inserted = next(f for kind, f in stream if kind == "insert")
     deleted = next(f for kind, f in stream if kind == "delete")
     print(f"\nApplied {len(stream)} mutations (staged: {len(pipeline.overlay)})")
-    print(f"  staged insert visible : {store.point_query(inserted.filename).found}")
-    print(f"  staged delete masked  : {not store.point_query(deleted.filename).found}")
+    print(f"  staged insert visible : {store.execute(PointQuery(inserted.filename)).found}")
+    print(f"  staged delete masked  : {not store.execute(PointQuery(deleted.filename)).found}")
 
     # ---- 2. compaction changes no answer ---------------------------------
     queries = QueryWorkloadGenerator(
@@ -94,7 +95,7 @@ def main() -> None:
     print(f"  recovered answers match the uncrashed reference: "
           f"{probe(recovered.store, queries) == probe(ref.store, queries)}")
     print(f"  recovered store keeps serving: "
-          f"{recovered.store.point_query(inserted.filename).found}")
+          f"{recovered.store.execute(PointQuery(inserted.filename)).found}")
     ref.close()
     recovered.close()
 

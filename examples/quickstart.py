@@ -15,7 +15,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import SmartStore, SmartStoreConfig
+from repro import SmartStore, SmartStoreConfig, PointQuery, RangeQuery, TopKQuery
 from repro.eval.reporting import format_bytes, format_seconds
 from repro.traces import msn_trace
 from repro.metadata.file_metadata import FileMetadata
@@ -51,21 +51,23 @@ def main() -> None:
 
     # 1. Filename point query — routed over the Bloom-filter hierarchy.
     target = files[0]
-    describe(store.point_query(target.filename), f"point query for {target.filename!r}")
+    describe(store.execute(PointQuery(target.filename)), f"point query for {target.filename!r}")
 
     # 2. Range query — "files modified in the first hour that read 100KB-10MB".
     describe(
-        store.range_query(
-            ("mtime", "read_bytes"),
-            lower=(0.0, 100 * 1024),
-            upper=(3600.0, 10 * 1024 * 1024),
+        store.execute(
+            RangeQuery(
+                ("mtime", "read_bytes"),
+                (0.0, 100 * 1024),
+                (3600.0, 10 * 1024 * 1024),
+            )
         ),
         "range query (mtime in first hour, read volume 100KB-10MB)",
     )
 
     # 3. Top-k query — "8 files closest to this size / modification time".
     describe(
-        store.topk_query(("size", "mtime"), (256 * 1024, 2 * 3600.0), k=8),
+        store.execute(TopKQuery(("size", "mtime"), (256 * 1024, 2 * 3600.0), 8)),
         "top-8 query (size ~256KB, mtime ~2h)",
     )
 
@@ -78,7 +80,7 @@ def main() -> None:
         },
     )
     group = store.insert_file(new_file)
-    found = store.point_query(new_file.filename).found
+    found = store.execute(PointQuery(new_file.filename)).found
     print(f"\nInserted {new_file.path!r} into group {group}; "
           f"visible to versioned queries: {found}")
     applied = store.reconfigure()

@@ -25,9 +25,9 @@ from __future__ import annotations
 
 from repro import SmartStore, SmartStoreConfig
 from repro.ingest.pipeline import IngestPipeline
-from repro.replication import FaultInjector, ReplicationConfig
+from repro.replication import FaultInjector
 from repro.service.cache import result_fingerprint
-from repro.shard import build_shard_router
+from repro.api import DeploymentSpec, connect
 from repro.traces import msn_trace
 from repro.workloads.generator import QueryWorkloadGenerator
 
@@ -52,12 +52,18 @@ def main() -> None:
     baseline = SmartStore.build(files, config)
     baseline_pipeline = IngestPipeline(baseline)
 
-    router = build_shard_router(
+    client = connect(
+        DeploymentSpec(
+            topology="sharded_replicated",
+            store=config,
+            shards=2,
+            replicas=2,
+            replication_mode="async",
+            max_lag=16,
+        ),
         files,
-        2,
-        config,
-        replication=ReplicationConfig(replicas=2, mode="async", max_lag=16),
     )
+    router = client.store  # the replicated ShardRouter behind the client
     injector = FaultInjector(router)
     try:
         assert probe(router, queries) == probe(baseline, queries)
@@ -102,7 +108,7 @@ def main() -> None:
             ]
             print(f"  group primary=r{group.primary_id}  " + "  ".join(states))
     finally:
-        router.close()
+        client.close()
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ from pathlib import Path
 from repro import QueryService, ServiceConfig, SmartStore, SmartStoreConfig
 from repro.ingest.pipeline import IngestPipeline
 from repro.service.cache import result_fingerprint
-from repro.shard import build_shard_router
+from repro.api import DeploymentSpec, connect
 from repro.traces import msn_trace
 from repro.workloads.generator import QueryWorkloadGenerator
 
@@ -47,7 +47,13 @@ def main() -> None:
     print(f"Corpus: {len(files)} files; building 1 baseline + 4 shards ...")
     baseline = SmartStore.build(files, config)
     baseline_pipeline = IngestPipeline(baseline)
-    router = build_shard_router(files, 4, config, wal_dir=workdir)
+    client = connect(
+        DeploymentSpec(
+            topology="sharded", store=config, shards=4, wal_dir=str(workdir)
+        ),
+        files,
+    )
+    router = client.store  # the ShardRouter behind the unified client
     print(f"  {router!r}")
     print(f"  files per shard: {router.stats()['files_per_shard']}")
 
@@ -91,7 +97,7 @@ def main() -> None:
         results = service.execute_many(queries * 3)
         assert [result_fingerprint(r) for r in results] == probe(baseline, queries) * 3
         print(f"  cache: {service.cache!r}")
-    router.close()
+    client.close()
     print(f"Shard WALs under {workdir} (one per shard): "
           f"{sorted(p.name for p in workdir.glob('shard-*.wal'))}")
 

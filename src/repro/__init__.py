@@ -61,6 +61,14 @@ Top-level layout
     circuit-breaker health tracking, live primary failover with catch-up
     replay, anti-entropy reconciliation and real-deployment fault
     injection (crash / pause / slow).
+``repro.api``
+    The unified client front door: a declarative
+    :class:`~repro.api.spec.DeploymentSpec` from which one
+    :func:`~repro.api.client.connect` builds any topology, per-request
+    options (deadline / consistency / pagination), opaque resumable
+    cursors and a uniform response envelope.  New code should program
+    against this layer; the per-layer entry points above remain for
+    library use.
 """
 
 from repro.metadata import AttributeSchema, FileMetadata, DEFAULT_SCHEMA
@@ -75,11 +83,23 @@ from repro.replication import (
 from repro.service import QueryService, ServiceConfig
 from repro.shard import ShardRouter, build_shard_router
 from repro.workloads import PointQuery, RangeQuery, TopKQuery
+from repro.api import (
+    Client,
+    DeploymentSpec,
+    RequestOptions,
+    Response,
+    connect,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AttributeSchema",
+    "Client",
+    "DeploymentSpec",
+    "RequestOptions",
+    "Response",
+    "connect",
     "FileMetadata",
     "DEFAULT_SCHEMA",
     "SmartStore",

@@ -1,0 +1,427 @@
+"""The unified client: one front door for every deployment shape.
+
+``connect(spec)`` builds whatever topology the
+:class:`~repro.api.spec.DeploymentSpec` declares — plain, durable,
+sharded, replicated, or sharded+replicated — wires a
+:class:`~repro.service.service.QueryService` over it, and returns a
+:class:`Client` whose surface is identical across all five shapes:
+
+* :meth:`Client.execute` / :meth:`Client.submit` — queries, each
+  optionally carrying :class:`~repro.api.options.RequestOptions`
+  (deadline, consistency preference, pagination);
+* :meth:`Client.insert` / :meth:`Client.delete` / :meth:`Client.modify`
+  — mutations through the deployment's write path (WAL-first when the
+  spec is durable, shard-routed, replica-shipped — whatever the shape
+  provides);
+* every call returns the same :class:`~repro.api.response.Response`
+  envelope, with attribution describing which topology (and which
+  shards/replicas) served it;
+* :meth:`Client.stats`, :meth:`Client.close`, context-manager support.
+
+Pagination: a request with ``page_size`` returns a
+:class:`~repro.api.response.ResultPage` whose cursor fetches the next
+page.  The first page pins the full result (at the version-clock epoch of
+its execution) in a bounded client-side snapshot store, so the
+concatenation of all pages is byte-identical to the unpaginated result
+even while mutations land concurrently.  A cursor that outlives its
+pinned snapshot (client restart, eviction) still resumes: the query is
+re-executed and the stream continues strictly after the cursor's last
+served key in the canonical, placement-independent result order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.api.cursor import Cursor, CursorKey, InvalidCursorError, query_fingerprint
+from repro.api.options import DeadlineExceededError, RequestOptions
+from repro.api.response import Response, ResultPage
+from repro.api.spec import DeploymentSpec
+from repro.core.queries import QueryResult
+from repro.core.smartstore import SmartStore
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.ingest.wal import WriteAheadLog
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.persistence.jsonl import load_files
+from repro.replication.group import ReplicaGroup, _build_replica_group
+from repro.service.service import QueryService
+from repro.shard.router import ShardRouter, _build_shard_router
+from repro.workloads.types import Query, TopKQuery
+
+__all__ = ["Client", "connect"]
+
+#: How many pinned page-stream snapshots one client retains (LRU).
+SNAPSHOT_LIMIT = 128
+
+#: A pinned full result: (files, distances, epoch, complete, latency).
+_Snapshot = Tuple[List[FileMetadata], List[float], str, bool, float]
+
+
+def connect(
+    spec: DeploymentSpec,
+    files: Optional[Sequence[FileMetadata]] = None,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+) -> "Client":
+    """Build the deployment a spec declares and return its client.
+
+    ``files`` is the population to index; when omitted the spec's
+    ``population`` path (a JSON-Lines artefact) is loaded instead.
+    """
+    if files is None:
+        if spec.population is None:
+            raise ValueError(
+                "connect() needs a file population: pass files=... or set "
+                "DeploymentSpec.population to a JSON-Lines path"
+            )
+        files = load_files(spec.population)
+    files = list(files)
+
+    pipeline: Optional[IngestPipeline] = None
+    if spec.topology == "plain":
+        store: object = SmartStore.build(files, spec.store, schema)
+    elif spec.topology == "durable":
+        plain = SmartStore.build(files, spec.store, schema)
+        wal_dir = Path(spec.wal_dir)  # type: ignore[arg-type]  # validated by the spec
+        wal_dir.mkdir(parents=True, exist_ok=True)
+        wal = WriteAheadLog(wal_dir / "store.wal", fsync_every=spec.fsync_every)
+        pipeline = IngestPipeline(plain, wal)
+        store = plain
+    elif spec.sharded:
+        store = _build_shard_router(
+            files,
+            spec.shards,
+            spec.store,
+            schema,
+            partitioner=spec.partitioner,
+            strategy=spec.partition_strategy,
+            units_per_shard=spec.units_per_shard,
+            wal_dir=spec.wal_dir,
+            fsync_every=spec.fsync_every,
+            replication=spec.replication_config() if spec.replicated else None,
+        )
+    else:  # replicated
+        wal_path = None
+        if spec.wal_dir is not None:
+            wal_dir = Path(spec.wal_dir)
+            wal_dir.mkdir(parents=True, exist_ok=True)
+            wal_path = wal_dir / "group.wal"
+        store = _build_replica_group(
+            files,
+            spec.store,
+            schema,
+            replication=spec.replication_config(),
+            wal_path=wal_path,
+            fsync_every=spec.fsync_every,
+        )
+    service = QueryService(store, spec.service, pipeline=pipeline)
+    return Client(spec, store, service)
+
+
+class Client:
+    """A connected deployment, whatever its shape (use :func:`connect`).
+
+    ``store`` duck-types the store surface (``SmartStore``,
+    ``ShardRouter`` or ``ReplicaGroup``); the client never assumes more
+    than the uniform facade the service layer already consumes.
+    """
+
+    def __init__(self, spec: DeploymentSpec, store: Any, service: QueryService) -> None:
+        self.spec = spec
+        self.store = store
+        self.service = service
+        self._snapshots: "OrderedDict[str, _Snapshot]" = OrderedDict()
+        self._snapshot_lock = threading.Lock()
+        self._cursor_counter = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Drain the service and release every owned resource."""
+        if self._closed:
+            return
+        self._closed = True
+        self.service.close()
+        pipeline = self.service.pipeline
+        if pipeline is not None and hasattr(pipeline, "close"):
+            pipeline.close()
+        if hasattr(self.store, "close"):
+            self.store.close()
+        with self._snapshot_lock:
+            self._snapshots.clear()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, query: Query, options: Optional[RequestOptions] = None) -> Response:
+        """Serve one query; returns the uniform :class:`Response` envelope.
+
+        With ``options.page_size`` / ``options.cursor`` set the response
+        carries a :class:`~repro.api.response.ResultPage`; otherwise a
+        full :class:`~repro.core.queries.QueryResult`.  A deadline partial
+        either comes back with ``complete=False`` (policy ``"partial"``)
+        or raises :class:`~repro.api.options.DeadlineExceededError`
+        (policy ``"fail"``) — the expiry is counted in the service
+        telemetry either way.
+        """
+        options = options if options is not None else RequestOptions()
+        started = time.perf_counter()
+        if options.paginated:
+            return self._execute_page(query, options, started)
+        result = self.service.execute(query, options if options.constrained else None)
+        return self._wrap_result(result, options, started)
+
+    def submit(self, query: Query, options: Optional[RequestOptions] = None) -> "Future[Response]":
+        """Admit one query asynchronously; resolves to a :class:`Response`.
+
+        Paginated options are not accepted here — a page stream is an
+        interactive, cursor-driven protocol; use :meth:`execute`.
+        """
+        options = options if options is not None else RequestOptions()
+        if options.paginated:
+            raise ValueError("paginated requests must go through execute()")
+        started = time.perf_counter()
+        inner = self.service.submit(query, options if options.constrained else None)
+        outer: "Future[Response]" = Future()
+
+        def _done(f: "Future[QueryResult]") -> None:
+            try:
+                outer.set_result(self._wrap_result(f.result(), options, started))
+            except BaseException as exc:
+                outer.set_exception(exc)
+
+        inner.add_done_callback(_done)
+        return outer
+
+    def execute_many(
+        self, queries: Sequence[Query], options: Optional[RequestOptions] = None
+    ) -> List[Response]:
+        """Serve a whole workload, preserving input order."""
+        futures = [self.submit(q, options) for q in queries]
+        self.service.drain()
+        return [f.result() for f in futures]
+
+    def pages(
+        self, query: Query, page_size: int, options: Optional[RequestOptions] = None
+    ) -> Iterator[Response]:
+        """Iterate every page of a paginated result (convenience)."""
+        options = options if options is not None else RequestOptions()
+        response = self.execute(
+            query, replace(options, page_size=page_size, cursor=None)
+        )
+        yield response
+        while response.cursor is not None:
+            response = self.execute(
+                query, replace(options, page_size=None, cursor=response.cursor)
+            )
+            yield response
+
+    # ------------------------------------------------------------------ mutations
+    def insert(self, file: FileMetadata) -> Response:
+        """Insert one record through the deployment's write path."""
+        return self._mutate("insert", file)
+
+    def delete(self, file: FileMetadata) -> Response:
+        """Delete one record (masked from queries immediately)."""
+        return self._mutate("delete", file)
+
+    def modify(self, file: FileMetadata) -> Response:
+        """Replace one record's attribute values."""
+        return self._mutate("modify", file)
+
+    def _mutate(self, kind: str, file: FileMetadata) -> Response:
+        started = time.perf_counter()
+        future: "Future[MutationReceipt]" = getattr(self.service, f"submit_{kind}")(file)
+        receipt = future.result()
+        return Response(
+            kind="mutation",
+            latency_s=receipt.latency,
+            wall_s=time.perf_counter() - started,
+            receipt=receipt,
+            attribution=self._attribution(),
+        )
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def topology(self) -> str:
+        return self.spec.topology
+
+    def epoch(self) -> str:
+        """The deployment's current version-clock snapshot, as a string.
+
+        Comparable across reads of the same client; any mutation anywhere
+        in the deployment changes it.  Cursors record it so a resume can
+        tell whether it continued the pinned snapshot or a fresher result.
+        """
+        return repr(self.service.store.versioning.change_clock)
+
+    def stats(self) -> Dict[str, object]:
+        """One uniform statistics document for every topology."""
+        return {
+            "topology": self.topology,
+            "spec": self.spec.to_dict(),
+            "service": self.service.stats(),
+            "store": self.store.stats(),
+        }
+
+    def _attribution(self) -> Dict[str, object]:
+        d: Dict[str, object] = {"topology": self.topology}
+        store = self.store
+        if isinstance(store, ShardRouter):
+            d["shards"] = store.num_shards
+            groups = store.replica_groups()
+            if groups:
+                d["replicas_per_shard"] = groups[0].num_replicas
+                d["primaries"] = [g.primary_id for g in groups]
+        elif isinstance(store, ReplicaGroup):
+            d["replicas"] = store.num_replicas
+            d["primary"] = store.primary_id
+        return d
+
+    # ------------------------------------------------------------------ envelope plumbing
+    def _wrap_result(
+        self, result: QueryResult, options: RequestOptions, started: float
+    ) -> Response:
+        expired = options.deadline_s is not None and not result.complete
+        if expired and options.on_deadline == "fail":
+            raise DeadlineExceededError(
+                f"deadline of {options.deadline_s}s expired before the query completed"
+            )
+        return Response(
+            kind="query",
+            latency_s=result.latency,
+            wall_s=time.perf_counter() - started,
+            complete=result.complete,
+            deadline_expired=expired,
+            result=result,
+            attribution=self._attribution(),
+        )
+
+    # ------------------------------------------------------------------ pagination
+    def _run_full(self, query: Query, options: RequestOptions) -> QueryResult:
+        stripped = replace(options, page_size=None, cursor=None)
+        return self.service.execute(query, stripped if stripped.constrained else None)
+
+    def _pin(self, snapshot: _Snapshot) -> str:
+        with self._snapshot_lock:
+            self._cursor_counter += 1
+            sid = f"s{self._cursor_counter}"
+            self._snapshots[sid] = snapshot
+            while len(self._snapshots) > SNAPSHOT_LIMIT:
+                self._snapshots.popitem(last=False)
+        return sid
+
+    def _pinned(self, sid: str) -> Optional[_Snapshot]:
+        with self._snapshot_lock:
+            snapshot = self._snapshots.get(sid)
+            if snapshot is not None:
+                self._snapshots.move_to_end(sid)
+            return snapshot
+
+    @staticmethod
+    def _keys(
+        query: Query, files: List[FileMetadata], distances: List[float]
+    ) -> List[CursorKey]:
+        """Canonical resume keys, matching the engine's result order."""
+        if isinstance(query, TopKQuery):
+            return [(d, f.file_id) for d, f in zip(distances, files)]
+        return [f.file_id for f in files]
+
+    def _execute_page(
+        self, query: Query, options: RequestOptions, started: float
+    ) -> Response:
+        if options.cursor is not None:
+            cursor = Cursor.decode(options.cursor)
+            if not cursor.matches(query):
+                raise InvalidCursorError(
+                    "cursor belongs to a different query; present it with the "
+                    "query that created it"
+                )
+            page_size = cursor.page_size
+            snapshot = self._pinned(cursor.snapshot_id)
+            sid: Optional[str]
+            if snapshot is not None:
+                files, distances, epoch, complete, _ = snapshot
+                offset, pinned, sid, latency = cursor.offset, True, cursor.snapshot_id, 0.0
+            else:
+                # The pinned snapshot is gone (restart / LRU eviction):
+                # re-execute at the current epoch and continue strictly
+                # after the last served key.  Both canonical orders are
+                # placement-independent, so this works on any topology —
+                # including one that failed over or resharded meanwhile.
+                result = self._run_full(query, options)
+                keys = self._keys(query, result.files, result.distances)
+                skip = 0
+                if cursor.last_key is not None:
+                    while skip < len(keys) and keys[skip] <= cursor.last_key:
+                        skip += 1
+                files = result.files[skip:]
+                distances = result.distances[skip:] if result.distances else []
+                epoch, complete, latency = self.epoch(), result.complete, result.latency
+                sid = None  # pinned below only if the stream continues
+                offset, pinned = 0, False
+            page_index = cursor.page_index
+        else:
+            page_size = options.page_size or 0
+            result = self._run_full(query, options)
+            files, distances = result.files, result.distances
+            epoch, complete, latency = self.epoch(), result.complete, result.latency
+            sid = None  # pinned below only if the stream continues
+            offset, pinned, page_index = 0, True, 0
+
+        expired = options.deadline_s is not None and not complete
+        if expired and options.on_deadline == "fail":
+            raise DeadlineExceededError(
+                f"deadline of {options.deadline_s}s expired before the query completed"
+            )
+
+        end = offset + page_size
+        page_files = files[offset:end]
+        page_distances = distances[offset:end] if distances else []
+        next_cursor: Optional[str] = None
+        if end < len(files):
+            # More pages remain: pin the result now (single-page streams
+            # never enter the snapshot store at all).
+            if sid is None:
+                sid = self._pin((files, distances, epoch, complete, latency))
+            keys = self._keys(query, page_files, page_distances)
+            next_cursor = Cursor(
+                query_fp=query_fingerprint(query),
+                snapshot_id=sid,
+                offset=end,
+                last_key=keys[-1] if keys else None,
+                epoch=epoch,
+                page_size=page_size,
+                page_index=page_index + 1,
+            ).encode()
+        elif sid is not None:
+            # Final page served from a pinned snapshot: release it —
+            # the cursor stream is exhausted and can never present it.
+            with self._snapshot_lock:
+                self._snapshots.pop(sid, None)
+        page = ResultPage(
+            files=list(page_files),
+            distances=list(page_distances),
+            index=page_index,
+            cursor=next_cursor,
+            pinned=pinned,
+        )
+        return Response(
+            kind="page",
+            latency_s=latency,
+            wall_s=time.perf_counter() - started,
+            complete=complete,
+            deadline_expired=expired,
+            page=page,
+            attribution=self._attribution(),
+        )

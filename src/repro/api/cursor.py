@@ -1,0 +1,143 @@
+"""Opaque, resumable result cursors for paginated range / top-k / point reads.
+
+A cursor token is what a :class:`~repro.api.response.ResultPage` hands the
+caller to fetch the next page.  It is **opaque** (clients must not parse
+it) but **self-describing** (the server side can always act on it):
+a base64url-encoded JSON envelope carrying
+
+* the query fingerprint — a resumed cursor must belong to the query it is
+  presented with;
+* the snapshot id — the client pins the full result of the first page
+  under this id, so later pages are byte-stable slices *even while
+  mutations land concurrently* (the cursor pins the version-clock epoch
+  of its first execution);
+* the position — the absolute offset plus the last served key in the
+  canonical result order (``(distance, file_id)`` for top-k, ``file_id``
+  for range/point).  Both orders are placement-independent, which is what
+  makes a cursor resumable on a *different* deployment shape: when the
+  pinned snapshot is gone (client restart, snapshot LRU eviction), the
+  query is re-executed at the current epoch and the stream continues
+  strictly after the last served key;
+* the epoch — the deployment's version-clock snapshot at first execution,
+  so a resume can report whether it is continuing the pinned snapshot or
+  a recomputed (fresher) result.
+
+Tampered or truncated tokens raise :class:`InvalidCursorError` rather
+than silently returning the wrong page.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
+
+__all__ = ["Cursor", "InvalidCursorError", "query_fingerprint"]
+
+_CURSOR_VERSION = 1
+
+#: Last-served key: ``file_id`` for point/range, ``(distance, file_id)``
+#: for top-k (distance serialised with full precision via ``repr``).
+CursorKey = Union[int, Tuple[float, int]]
+
+
+class InvalidCursorError(ValueError):
+    """The presented cursor token is malformed, tampered with, or belongs
+    to a different query."""
+
+
+def query_fingerprint(query: Query) -> str:
+    """Stable digest identifying one query value.
+
+    Two equal query objects produce the same fingerprint; a cursor is only
+    honoured alongside the query that created it.
+    """
+    h = hashlib.sha256()
+    if isinstance(query, PointQuery):
+        h.update(b"point\x1f" + query.filename.encode("utf-8"))
+    elif isinstance(query, RangeQuery):
+        h.update(b"range\x1f")
+        for name, lo, hi in zip(query.attributes, query.lower, query.upper):
+            h.update(f"{name}={lo!r}:{hi!r}\x1f".encode("utf-8"))
+    elif isinstance(query, TopKQuery):
+        h.update(f"topk\x1fk={query.k}\x1f".encode("ascii"))
+        for name, value in zip(query.attributes, query.values):
+            h.update(f"{name}={value!r}\x1f".encode("utf-8"))
+    else:
+        raise TypeError(f"unsupported query type {type(query)!r}")
+    return h.hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class Cursor:
+    """The decoded contents of a cursor token (internal to the API layer)."""
+
+    query_fp: str
+    snapshot_id: str
+    offset: int
+    last_key: Optional[CursorKey]
+    epoch: str
+    page_size: int
+    page_index: int = 1
+
+    # ------------------------------------------------------------------ encoding
+    def encode(self) -> str:
+        key: Optional[Union[int, List[object]]]
+        if isinstance(self.last_key, tuple):
+            # The distance travels as repr() so the float round-trips
+            # bit-exactly through JSON text.
+            key = [repr(float(self.last_key[0])), int(self.last_key[1])]
+        else:
+            key = self.last_key
+        payload = {
+            "v": _CURSOR_VERSION,
+            "qf": self.query_fp,
+            "sid": self.snapshot_id,
+            "off": self.offset,
+            "key": key,
+            "epoch": self.epoch,
+            "ps": self.page_size,
+            "pi": self.page_index,
+        }
+        raw = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return base64.urlsafe_b64encode(raw).decode("ascii")
+
+    @classmethod
+    def decode(cls, token: str) -> "Cursor":
+        try:
+            raw = base64.urlsafe_b64decode(token.encode("ascii"))
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, binascii.Error, UnicodeDecodeError) as exc:
+            raise InvalidCursorError(f"malformed cursor token: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("v") != _CURSOR_VERSION:
+            raise InvalidCursorError(
+                f"unsupported cursor version {payload.get('v') if isinstance(payload, dict) else None!r}"
+            )
+        try:
+            key = payload["key"]
+            last_key: Optional[CursorKey]
+            if key is None:
+                last_key = None
+            elif isinstance(key, list):
+                last_key = (float(key[0]), int(key[1]))
+            else:
+                last_key = int(key)
+            return cls(
+                query_fp=str(payload["qf"]),
+                snapshot_id=str(payload["sid"]),
+                offset=int(payload["off"]),
+                last_key=last_key,
+                epoch=str(payload["epoch"]),
+                page_size=int(payload["ps"]),
+                page_index=int(payload.get("pi", 1)),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise InvalidCursorError(f"malformed cursor payload: {exc}") from exc
+
+    def matches(self, query: Query) -> bool:
+        return self.query_fp == query_fingerprint(query)

@@ -1,0 +1,120 @@
+"""The uniform response envelope shared by queries and mutations.
+
+Every :class:`~repro.api.client.Client` call returns a :class:`Response`,
+whatever the deployment shape behind it: the payload (a full
+:class:`~repro.core.queries.QueryResult`, a :class:`ResultPage`, or a
+:class:`~repro.ingest.pipeline.MutationReceipt`), timing (simulated
+latency under the cost model plus measured wall time), completeness under
+a deadline, and attribution — which topology served the request and, for
+sharded / replicated deployments, what the routing layer did.  Telemetry
+and the benches consume this one envelope instead of special-casing
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.queries import QueryResult
+from repro.ingest.pipeline import MutationReceipt
+from repro.metadata.file_metadata import FileMetadata
+
+__all__ = ["ResultPage", "Response"]
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of a paginated range / top-k / point result.
+
+    ``cursor`` is the opaque token for the next page (``None`` once the
+    stream is exhausted).  Concatenating the ``files`` (and, for top-k,
+    ``distances``) of every page of one stream reproduces the unpaginated
+    result byte-for-byte: the first page pins the full result under the
+    cursor's snapshot id, so later pages are stable slices even while
+    mutations land concurrently.  ``pinned`` tells whether this page was
+    served from that pinned snapshot or recomputed at the current epoch
+    (which happens when a cursor outlives its snapshot — client restart or
+    snapshot eviction).
+    """
+
+    files: List[FileMetadata]
+    distances: List[float]
+    index: int
+    cursor: Optional[str]
+    pinned: bool = True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor is None
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+@dataclass(frozen=True)
+class Response:
+    """What every client call returns.
+
+    Exactly one of ``result`` (query), ``page`` (paginated query) or
+    ``receipt`` (mutation) is set; the convenience accessors below
+    delegate so callers rarely need to branch on the kind.
+    """
+
+    kind: str  # "query" | "page" | "mutation"
+    latency_s: float
+    wall_s: float
+    complete: bool = True
+    deadline_expired: bool = False
+    result: Optional[QueryResult] = None
+    page: Optional[ResultPage] = None
+    receipt: Optional[MutationReceipt] = None
+    attribution: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ payload accessors
+    @property
+    def files(self) -> List[FileMetadata]:
+        if self.page is not None:
+            return self.page.files
+        if self.result is not None:
+            return self.result.files
+        return []
+
+    @property
+    def distances(self) -> List[float]:
+        if self.page is not None:
+            return self.page.distances
+        if self.result is not None:
+            return self.result.distances
+        return []
+
+    @property
+    def found(self) -> bool:
+        return bool(self.files)
+
+    @property
+    def cursor(self) -> Optional[str]:
+        return self.page.cursor if self.page is not None else None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Summary view (payload sizes, not payloads) for logs and tables."""
+        d: Dict[str, object] = {
+            "kind": self.kind,
+            "latency_s": self.latency_s,
+            "wall_s": self.wall_s,
+            "complete": self.complete,
+            "deadline_expired": self.deadline_expired,
+            "files": len(self.files),
+            "attribution": dict(self.attribution),
+        }
+        if self.receipt is not None:
+            d["receipt"] = {
+                "seq": self.receipt.seq,
+                "kind": self.receipt.kind,
+                "file_id": self.receipt.file_id,
+                "known": self.receipt.known,
+            }
+        if self.page is not None:
+            d["page_index"] = self.page.index
+            d["exhausted"] = self.page.exhausted
+        return d

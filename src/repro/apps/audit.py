@@ -28,7 +28,13 @@ from repro.metadata.file_metadata import FileMetadata
 from repro.namespace.baseline import DirectoryTreeBaseline
 from repro.workloads.types import RangeQuery
 
-__all__ = ["AuditReport", "ChangeAuditor"]
+__all__ = ["AuditReport", "ChangeAuditor", "OPEN_UPPER_BOUND"]
+
+#: Finite stand-in for an unbounded upper range limit.  Query bounds must
+#: be finite (NaN/inf are rejected by :class:`RangeQuery`); the float64
+#: maximum compares correctly against every attribute value, so "at least
+#: X" constraints use it as their open upper end.
+OPEN_UPPER_BOUND = float(np.finfo(np.float64).max)
 
 
 @dataclass
@@ -126,7 +132,7 @@ class ChangeAuditor:
         if min_write_bytes is not None:
             attributes.append("write_bytes")
             lower.append(float(min_write_bytes))
-            upper.append(float(np.inf))
+            upper.append(OPEN_UPPER_BOUND)
         if owner is not None:
             attributes.append("owner")
             lower.append(float(owner))
@@ -146,7 +152,7 @@ class ChangeAuditor:
         query = self.window_query(
             mtime_start, mtime_end, min_write_bytes=min_write_bytes, owner=owner
         )
-        result = self.store.range_query(query)
+        result = self.store.execute(query)
         ideal = ground_truth_range(self.store.files, query)
 
         by_directory: Dict[str, int] = {}
@@ -192,7 +198,7 @@ class ChangeAuditor:
         *can* answer the audit, it just has to walk everything to do it.
         """
         query = self.window_query(mtime_start, mtime_end, min_write_bytes=min_write_bytes)
-        smart = self.store.range_query(query)
+        smart = self.store.execute(query)
         walker = DirectoryTreeBaseline(self.store.files, self.schema)
         walked = walker.range_query(query)
 

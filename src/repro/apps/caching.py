@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.smartstore import SmartStore
 from repro.metadata.file_metadata import FileMetadata
+from repro.workloads.types import TopKQuery
 
 __all__ = ["CacheStats", "LRUCache", "SemanticPrefetchCache"]
 
@@ -154,7 +155,9 @@ class SemanticPrefetchCache:
 
     def _prefetch_correlated(self, file: FileMetadata) -> None:
         values = tuple(file.attributes.get(a, 0.0) for a in self.attributes)
-        result = self.store.topk_query(self.attributes, values, k=self.prefetch_k + 1)
+        result = self.store.execute(
+            TopKQuery(tuple(self.attributes), values, self.prefetch_k + 1)
+        )
         self.query_latency += result.latency
         for candidate in result.files:
             if candidate.file_id == file.file_id:

@@ -51,6 +51,16 @@ Subcommands
     every group actually promoted, and — in async mode — replication lag
     inside the bounded window.  CI runs this as the fault-injection smoke
     test.
+``client-bench``
+    Drive the unified client API (``repro.api``): build any of the five
+    deployment topologies from a declarative spec — either loaded from a
+    JSON file (``--spec``) or assembled from flags (``--topology``,
+    ``--shards``, ``--replicas``, ``--wal-dir``, ...) — and run a mixed
+    workload through one ``Client``.  Gates (exit-code-asserted): the
+    client's payloads are fingerprint-identical to a legacy plain-facade
+    baseline, and cursor-paginated page concatenation equals the
+    unpaginated result.  Deadline-bearing probes demonstrate the expiry
+    telemetry; ``--save-spec`` writes the resolved spec JSON for reuse.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -123,6 +133,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_ingest_throughput.py": "Ingest: durable write-path throughput with WAL fsync batching and compaction ablated",
     "bench_shard_scaling.py": "Shard: scatter-gather equivalence + throughput scaling across shard counts",
     "bench_replica_failover.py": "Replication: kill-the-primary equivalence + failover availability",
+    "bench_client_api.py": "Client API: unified front door equivalence + pagination across all topologies",
 }
 
 
@@ -563,6 +574,120 @@ def _cmd_replica_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_client_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from dataclasses import replace as dc_replace
+
+    from repro.api import DeploymentSpec, RequestOptions, connect, load_spec, save_spec
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gate compares deployments
+    # with different physical layouts, so bounded-breadth recall loss must
+    # not masquerade as a client-API bug (same policy as shard-bench).
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    if args.spec:
+        spec = dc_replace(load_spec(args.spec), store=config)
+    else:
+        kwargs = dict(
+            topology=args.topology,
+            store=config,
+            shards=args.shards,
+            replicas=args.replicas,
+            replication_mode=args.replication_mode,
+        )
+        if args.wal_dir:
+            kwargs["wal_dir"] = args.wal_dir
+        spec = DeploymentSpec(**kwargs)
+    if args.save_spec:
+        save_spec(spec, args.save_spec)
+        _print(f"deployment spec written to {args.save_spec}")
+
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=args.seed + 1)
+    workload = (
+        generator.point_queries(args.queries, existing_fraction=0.8)
+        + generator.range_queries(args.queries, distribution="zipf")
+        + generator.topk_queries(args.queries, k=8, distribution="zipf")
+    )
+
+    # Legacy baseline: the plain library facade over the same population.
+    baseline = SmartStore.build(files, config)
+    reference = [result_fingerprint(baseline.execute(q)) for q in workload]
+
+    built = time.perf_counter()
+    with connect(spec, files) as client:
+        build_wall = time.perf_counter() - built
+        started = time.perf_counter()
+        responses = [client.execute(q) for q in workload]
+        query_wall = time.perf_counter() - started
+        identical = [
+            result_fingerprint(r.result) == ref
+            for r, ref in zip(responses, reference)
+        ]
+
+        # Pagination gate: page concatenation == unpaginated payload.
+        pagination_ok = True
+        for probe in (
+            generator.range_queries(2, distribution="zipf")
+            + generator.topk_queries(2, k=16, distribution="zipf")
+        ):
+            full = client.execute(probe)
+            pages = list(client.pages(probe, args.page_size))
+            paged_files = [f.file_id for p in pages for f in p.files]
+            paged_dists = [d for p in pages for d in p.distances]
+            pagination_ok = pagination_ok and paged_files == [
+                f.file_id for f in full.files
+            ] and paged_dists == full.distances
+
+        # Deadline probes: an immediately-expiring budget must come back
+        # partial (policy default) and show up in the expiry telemetry.
+        for probe in generator.range_queries(3, distribution="zipf"):
+            client.execute(probe, RequestOptions(deadline_s=0.0))
+        expired = client.service.telemetry.deadline_expired
+
+        telemetry_rows = client.service.telemetry.report_rows()
+        attribution = responses[0].attribution
+
+    rows = [
+        ["topology", spec.topology],
+        ["attribution", ", ".join(f"{k}={v}" for k, v in attribution.items())],
+        ["build wall (s)", f"{build_wall:.3f}"],
+        ["query wall (s)", f"{query_wall:.3f}"],
+        ["requests", len(workload)],
+        ["deadline probes expired", expired],
+    ]
+    _print(
+        format_table(
+            ["statistic", "value"],
+            rows,
+            title=f"client-bench: {len(files)} files through one Client "
+            f"({spec.topology}), {args.queries} queries/type",
+        )
+    )
+    if telemetry_rows:
+        _print(
+            format_table(
+                ["query type", "requests", "engine", "cache", "coalesced",
+                 "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+                telemetry_rows,
+                title="service telemetry through the client",
+            )
+        )
+    gates = {
+        "client payloads identical to legacy facade": all(identical),
+        "page concatenation equals unpaginated result": pagination_ok,
+        "deadline expiries visible in telemetry": expired >= 3,
+    }
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in gates.items()]
+    _print(format_table(["client-API gate", "passed"], gate_rows, title="gates"))
+    return 0 if all(gates.values()) else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -713,6 +838,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--partitioner", choices=("semantic", "hash"),
                        default="semantic", help="corpus partitioner")
     p_rep.set_defaults(func=_cmd_replica_bench)
+
+    p_client = sub.add_parser(
+        "client-bench",
+        help="drive the unified client API over any topology from a spec",
+    )
+    add_trace_source(p_client)
+    p_client.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_client.add_argument("--spec",
+                          help="deployment spec JSON to load (overrides topology flags; "
+                          "its store config is replaced by --units/--seed)")
+    p_client.add_argument("--topology",
+                          choices=("plain", "durable", "sharded", "replicated",
+                                   "sharded_replicated"),
+                          default="sharded_replicated",
+                          help="deployment shape when no --spec is given")
+    p_client.add_argument("--units", type=int, default=8,
+                          help="storage units (total budget for sharded shapes)")
+    p_client.add_argument("--shards", type=int, default=2,
+                          help="shard count for sharded topologies")
+    p_client.add_argument("--replicas", type=int, default=1,
+                          help="replicas per shard/group for replicated topologies")
+    p_client.add_argument("--replication-mode", choices=("async", "sync"),
+                          default="async")
+    p_client.add_argument("--wal-dir",
+                          help="WAL directory (required for topology 'durable')")
+    p_client.add_argument("--queries", type=int, default=6,
+                          help="queries per type in the mixed workload")
+    p_client.add_argument("--page-size", type=int, default=7,
+                          help="page size for the cursor-pagination gate")
+    p_client.add_argument("--save-spec",
+                          help="write the resolved deployment spec JSON here")
+    p_client.set_defaults(func=_cmd_client_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

@@ -69,6 +69,11 @@ class QueryResult:
         Convenience flag: non-empty result set.
     distances:
         For top-k queries, the distance of each returned file (same order).
+    complete:
+        False when a cooperative deadline expired before every relevant
+        group could be visited: the payload is then a correct *subset* of
+        the full answer (every file returned does match), but files from
+        unvisited groups may be missing.
     """
 
     files: List[FileMetadata]
@@ -78,6 +83,7 @@ class QueryResult:
     hops: int
     found: bool
     distances: List[float] = field(default_factory=list)
+    complete: bool = True
 
 
 class QueryEngine:
@@ -237,6 +243,8 @@ class QueryEngine:
         metrics: Metrics,
         groups_visited: int,
         distances: Optional[List[float]] = None,
+        *,
+        complete: bool = True,
     ) -> QueryResult:
         return QueryResult(
             files=files,
@@ -246,11 +254,16 @@ class QueryEngine:
             hops=max(0, groups_visited - 1),
             found=bool(files),
             distances=distances or [],
+            complete=complete,
         )
 
     # ------------------------------------------------------------------ point query
     def point_query(
-        self, query: PointQuery, *, home_unit: Optional[int] = None
+        self,
+        query: PointQuery,
+        *,
+        home_unit: Optional[int] = None,
+        deadline=None,
     ) -> QueryResult:
         """Filename point query routed over the Bloom-filter hierarchy.
 
@@ -258,6 +271,11 @@ class QueryEngine:
         when omitted it is drawn from the cluster's shared RNG.  The query
         service passes a per-request deterministic home so that concurrent
         execution keeps the cost accounting reproducible.
+
+        ``deadline`` is an optional cooperative budget (any object with an
+        ``expired()`` method, see :class:`repro.api.options.Deadline`):
+        once expired, no further storage unit is contacted and the result
+        comes back with ``complete=False``.
         """
         metrics = Metrics()
         home = home_unit if home_unit is not None else self.cluster.random_home_unit()
@@ -280,14 +298,18 @@ class QueryEngine:
             if leaf not in candidates:
                 candidates.append(leaf)
 
+        complete = True
         results: List[FileMetadata] = []
         for leaf in candidates:
+            if deadline is not None and deadline.expired():
+                complete = False
+                break
             if leaf.unit_id != home:
                 metrics.record_message(2)  # request + response
             matches = self.cluster.server(leaf.unit_id).lookup_filename(query.filename, metrics)
             results.extend(matches)
 
-        if self.versioning_enabled and not results:
+        if self.versioning_enabled and not results and complete:
             # Recent insertions are not yet reflected in any Bloom filter;
             # the version chains (small, memory resident) are checked next.
             for group in self.tree.first_level_groups():
@@ -313,13 +335,22 @@ class QueryEngine:
         groups_visited = max(1, len(groups))
         # Same canonical order as range results (placement-independent).
         results.sort(key=lambda f: f.file_id)
-        return self._finish(results, metrics, groups_visited)
+        return self._finish(results, metrics, groups_visited, complete=complete)
 
     # ------------------------------------------------------------------ range query
     def range_query(
-        self, query: RangeQuery, *, home_unit: Optional[int] = None
+        self,
+        query: RangeQuery,
+        *,
+        home_unit: Optional[int] = None,
+        deadline=None,
     ) -> QueryResult:
-        """Multi-dimensional range query."""
+        """Multi-dimensional range query.
+
+        ``deadline``: cooperative budget checked between per-group scans;
+        on expiry the remaining groups are skipped and the result is
+        marked ``complete=False`` (every returned file still matches).
+        """
         metrics = Metrics()
         home = home_unit if home_unit is not None else self.cluster.random_home_unit()
         metrics.record_unit_visit(home)
@@ -331,9 +362,17 @@ class QueryEngine:
 
         target_groups = self._locate_groups_for_range(home, attr_idx, lower, upper, metrics)
 
+        complete = True
         results: List[FileMetadata] = []
         for group in target_groups:
+            if not complete:
+                break
             for leaf in group.descendant_leaves():
+                # Per-leaf deadline granularity: the expiry overshoot is
+                # bounded by one storage unit's scan, not a whole group's.
+                if deadline is not None and deadline.expired():
+                    complete = False
+                    break
                 metrics.record_index_access()
                 if not leaf.intersects_subrange(attr_idx, lower, upper):
                     continue
@@ -378,7 +417,7 @@ class QueryEngine:
         # file id makes payloads independent of physical placement (two
         # deployments over the same logical population answer identically).
         files = sorted(unique.values(), key=lambda f: f.file_id)
-        return self._finish(files, metrics, groups_visited)
+        return self._finish(files, metrics, groups_visited, complete=complete)
 
     def _limit_range_groups(
         self,
@@ -446,6 +485,7 @@ class QueryEngine:
         *,
         home_unit: Optional[int] = None,
         max_d_bound: Optional[float] = None,
+        deadline=None,
     ) -> QueryResult:
         """Top-k nearest-neighbour query with MaxD refinement.
 
@@ -475,6 +515,10 @@ class QueryEngine:
         bound the scan may prune every group and return fewer than ``k``
         files: only candidates that could still enter a global top-k under
         the bound are guaranteed to be present.
+
+        ``deadline``: cooperative budget checked before each group scan;
+        on expiry the MINDIST walk stops and the best candidates gathered
+        so far are returned with ``complete=False``.
         """
         metrics = Metrics()
         home = home_unit if home_unit is not None else self.cluster.random_home_unit()
@@ -531,10 +575,17 @@ class QueryEngine:
             )
         k_fetch = query.k + (len(staged_ids) if staged_ids else 0)
 
+        complete = True
+
         def scan_group(group: SemanticNode) -> None:
+            nonlocal complete
             if group.hosted_on is not None and group.hosted_on != home:
                 metrics.record_message(2)
             for leaf in group.descendant_leaves():
+                # Per-leaf deadline granularity (see range_query).
+                if deadline is not None and deadline.expired():
+                    complete = False
+                    break
                 metrics.record_index_access()
                 if leaf.unit_id != home:
                     metrics.record_message(2)
@@ -570,6 +621,10 @@ class QueryEngine:
         # on — the bound already proves those groups cannot contribute.
         max_d = float("inf") if max_d_bound is None else float(max_d_bound)
         for group in groups:
+            if deadline is not None and deadline.expired():
+                complete = False
+            if not complete:
+                break
             metrics.record_index_access()
             if mindist(group) > max_d and (
                 len(best) >= query.k or max_d_bound is not None
@@ -588,7 +643,9 @@ class QueryEngine:
         ]
         files = [f for _, f in top]
         distances = [d for d, _ in top]
-        return self._finish(files, metrics, max(1, len(scanned_groups)), distances)
+        return self._finish(
+            files, metrics, max(1, len(scanned_groups)), distances, complete=complete
+        )
 
     def locate_group_for_vector(
         self,

@@ -4,22 +4,25 @@ A :class:`SmartStore` instance owns the whole deployment: the cluster of
 storage units, the semantic R-tree(s), the off-line routing replicas, the
 version chains and the query engine.  Typical use::
 
-    from repro import SmartStore, SmartStoreConfig
+    from repro import PointQuery, RangeQuery, SmartStore, SmartStoreConfig, TopKQuery
     from repro.traces import msn_trace
 
     trace = msn_trace()
     store = SmartStore.build(trace.file_metadata(), SmartStoreConfig(num_units=60))
 
-    result = store.range_query(("mtime", "read_bytes"), (0.0, 1e6), (3600.0, 5e7))
-    top = store.topk_query(("size", "mtime"), (300e6, 7200.0), k=10)
-    hit = store.point_query("file0000042.dat")
+    result = store.execute(RangeQuery(("mtime", "read_bytes"), (0.0, 1e6), (3600.0, 5e7)))
+    top = store.execute(TopKQuery(("size", "mtime"), (300e6, 7200.0), 10))
+    hit = store.execute(PointQuery("file0000042.dat"))
 
 Every query returns a :class:`~repro.core.queries.QueryResult` carrying the
 matching metadata, the per-query event counters and the simulated latency.
+(The per-type convenience methods remain as deprecated shims; the unified
+client front door in :mod:`repro.api` is the surface new code should use.)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -332,13 +335,20 @@ class SmartStore:
         return [max(0.0, base - 0.1 * level) for level in range(6)]
 
     # ------------------------------------------------------------------ query API
+    def _deprecated_facade(self, name: str) -> None:
+        warnings.warn(
+            f"SmartStore.{name} is deprecated; use SmartStore.execute with a "
+            "query object, or the unified client API (repro.api.connect)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def point_query(self, query: Union[str, PointQuery]) -> QueryResult:
-        """Filename point query (§3.3.3)."""
+        """Filename point query (§3.3.3).  Deprecated: use :meth:`execute`."""
+        self._deprecated_facade("point_query")
         if isinstance(query, str):
             query = PointQuery(query)
-        result = self.engine.point_query(query)
-        self.cluster.metrics.merge(result.metrics)
-        return result
+        return self.execute(query)
 
     def range_query(
         self,
@@ -346,16 +356,15 @@ class SmartStore:
         lower: Optional[Sequence[float]] = None,
         upper: Optional[Sequence[float]] = None,
     ) -> QueryResult:
-        """Multi-dimensional range query (§3.3.1)."""
+        """Multi-dimensional range query (§3.3.1).  Deprecated: use :meth:`execute`."""
+        self._deprecated_facade("range_query")
         if isinstance(attributes, RangeQuery):
             query = attributes
         else:
             if lower is None or upper is None:
                 raise ValueError("lower and upper bounds are required")
             query = RangeQuery(tuple(attributes), tuple(lower), tuple(upper))
-        result = self.engine.range_query(query)
-        self.cluster.metrics.merge(result.metrics)
-        return result
+        return self.execute(query)
 
     def topk_query(
         self,
@@ -363,32 +372,48 @@ class SmartStore:
         values: Optional[Sequence[float]] = None,
         k: int = 8,
     ) -> QueryResult:
-        """Top-k nearest-neighbour query (§3.3.2)."""
+        """Top-k nearest-neighbour query (§3.3.2).  Deprecated: use :meth:`execute`."""
+        self._deprecated_facade("topk_query")
         if isinstance(attributes, TopKQuery):
             query = attributes
         else:
             if values is None:
                 raise ValueError("query values are required")
             query = TopKQuery(tuple(attributes), tuple(values), k)
-        result = self.engine.topk_query(query)
-        self.cluster.metrics.merge(result.metrics)
-        return result
+        return self.execute(query)
 
     def execute(self, query: Union[PointQuery, RangeQuery, TopKQuery]) -> QueryResult:
-        """Dispatch any query object to the right interface."""
+        """Execute any query object against the deployment.
+
+        The one non-deprecated query entry point of the library facade
+        (the unified client API in :mod:`repro.api` is layered on top of
+        it); merges the per-query counters into the cluster accounting.
+        """
         if isinstance(query, PointQuery):
-            return self.point_query(query)
-        if isinstance(query, RangeQuery):
-            return self.range_query(query)
-        if isinstance(query, TopKQuery):
-            return self.topk_query(query)
-        raise TypeError(f"unsupported query type {type(query)!r}")
+            result = self.engine.point_query(query)
+        elif isinstance(query, RangeQuery):
+            result = self.engine.range_query(query)
+        elif isinstance(query, TopKQuery):
+            result = self.engine.topk_query(query)
+        else:
+            raise TypeError(f"unsupported query type {type(query)!r}")
+        self.cluster.metrics.merge(result.metrics)
+        return result
 
     def serve(self, service_config=None):
         """A :class:`~repro.service.service.QueryService` over this deployment.
 
-        Imported lazily: the service layer depends on this module.
+        Deprecated: connect through the unified client API instead —
+        ``repro.api.connect(DeploymentSpec())`` builds the service and
+        wraps it in a :class:`~repro.api.client.Client`.  Imported lazily:
+        the service layer depends on this module.
         """
+        warnings.warn(
+            "SmartStore.serve is deprecated; use repro.api.connect with a "
+            "DeploymentSpec instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.service.service import QueryService
 
         return QueryService(self, service_config)

@@ -172,7 +172,7 @@ def point_query_hit_rate(
     hits = 0
     total = 0
     for query in queries:
-        result = store.point_query(query)
+        result = store.execute(query)
         if query.filename in existing:
             total += 1
             if result.found:

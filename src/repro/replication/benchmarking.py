@@ -37,7 +37,7 @@ from repro.metadata.file_metadata import FileMetadata
 from repro.replication.fault import FaultInjector
 from repro.replication.group import ReplicationConfig
 from repro.service.cache import result_fingerprint
-from repro.shard.router import build_shard_router
+from repro.shard.router import _build_shard_router
 from repro.workloads.generator import QueryWorkloadGenerator
 
 __all__ = ["ReplicaFailoverRow", "ReplicaFailoverReport", "run_replica_failover"]
@@ -179,7 +179,7 @@ def run_replica_failover(
     report = ReplicaFailoverReport(rows=[])
     for mode in modes:
         started = time.perf_counter()
-        router = build_shard_router(
+        router = _build_shard_router(
             files,
             shards,
             config,

@@ -52,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -576,12 +577,35 @@ class ReplicaGroup:
             )
 
     # ------------------------------------------------------------------ reads
-    def read(self, method: str, query, *, home_unit=None, **kwargs):
+    def read(
+        self,
+        method: str,
+        query,
+        *,
+        home_unit=None,
+        consistency: Optional[str] = None,
+        max_staleness: int = 0,
+        **kwargs,
+    ):
         """Serve one query from a healthy member (catch-up-on-read).
 
         Members are tried in rotating order; breakers filter candidates
         up front, failures during the attempt rotate to the next member.
         A read that had to skip or retry past anyone counts as degraded.
+
+        ``consistency`` relaxes the catch-up-on-read step (the default,
+        ``None`` or ``"primary"``, fully drains the chosen member's
+        shipped-record queue first, so every acknowledged write is
+        visible — primary-equivalent visibility from any member):
+
+        * ``"any_replica"`` skips catch-up entirely — the member answers
+          from whatever it has applied, trailing the primary by up to its
+          current replication lag;
+        * ``"bounded"`` pumps the member down to at most ``max_staleness``
+          shipped-but-unapplied records before answering.
+
+        Any further keyword arguments (e.g. a cooperative ``deadline``)
+        are forwarded to the serving member's engine.
         """
         if self._closed:
             raise RuntimeError("replica group is closed")
@@ -598,7 +622,14 @@ class ReplicaGroup:
             try:
                 with member.lock:
                     member.check_available()
-                    self.pump(member)
+                    if consistency == "any_replica":
+                        pass  # serve as-is; staleness bounded only by lag
+                    elif consistency == "bounded":
+                        excess = member.lag() - max(0, max_staleness)
+                        if excess > 0:
+                            self.pump(member, budget=excess)
+                    else:
+                        self.pump(member)
                     result = getattr(member.store.engine, method)(
                         query, home_unit=home_unit, **kwargs
                     )
@@ -825,7 +856,7 @@ class ReplicaGroup:
         )
 
 
-def build_replica_group(
+def _build_replica_group(
     files: Sequence[FileMetadata],
     config: Optional[SmartStoreConfig] = None,
     schema: AttributeSchema = DEFAULT_SCHEMA,
@@ -865,3 +896,22 @@ def build_replica_group(
     return ReplicaGroup(
         members, mode=replication.mode, max_lag=replication.max_lag
     )
+
+
+def build_replica_group(*args, **kwargs) -> ReplicaGroup:
+    """Deprecated entry point: build a replica group directly.
+
+    Prefer the unified client front door — ``repro.api.connect`` with a
+    :class:`~repro.api.spec.DeploymentSpec` of topology ``"replicated"``
+    — which returns a :class:`~repro.api.client.Client` carrying request
+    options (deadline, consistency, pagination) and a uniform response
+    envelope.  This wrapper keeps every legacy call-site working
+    unchanged; it forwards verbatim.
+    """
+    warnings.warn(
+        "build_replica_group is deprecated; use repro.api.connect with a "
+        "DeploymentSpec(topology='replicated') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_replica_group(*args, **kwargs)

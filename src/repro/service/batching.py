@@ -43,6 +43,13 @@ class ServiceRequest:
     ``(service seed, request_id)`` and ``home_unit`` from the same stream,
     so cost accounting does not depend on thread scheduling.  The seed is
     kept on the request to make the draw replayable when debugging.
+
+    ``options`` / ``deadline`` carry the unified client API's per-request
+    options (:class:`repro.api.options.RequestOptions`) and the started
+    deadline clock; both stay ``None`` for legacy submissions.  Requests
+    with constraining options are never batched or coalesced with plain
+    requests (they dispatch as singleton batches and bypass the cache),
+    so the query-value coalescing key stays sufficient.
     """
 
     request_id: int
@@ -50,6 +57,8 @@ class ServiceRequest:
     seed: int
     home_unit: int
     future: "Future" = field(default_factory=Future)
+    options: Optional[object] = None
+    deadline: Optional[object] = None
 
     def resolve(self, result) -> None:
         if not self.future.done():

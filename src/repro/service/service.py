@@ -47,6 +47,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.metrics import Metrics
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore
 from repro.ingest.pipeline import IngestPipeline, MutationReceipt
@@ -192,6 +193,10 @@ class QueryService:
         self._dispatch_lock = threading.Lock()
         self._dispatch_futures: List[Future] = []
         self._unit_ids = np.asarray(store.cluster.unit_ids(), dtype=np.int64)
+        # Replication-aware stores (ShardRouter, ReplicaGroup) accept a
+        # consistency preference on their read path; a bare SmartStore is
+        # trivially at primary consistency and must not see the kwarg.
+        self._replication_aware = hasattr(store, "drain_replication_events")
         self._id_lock = threading.Lock()
         self._next_request_id = 0
         self._metrics_lock = threading.Lock()
@@ -219,7 +224,7 @@ class QueryService:
         self.close()
 
     # ------------------------------------------------------------------ request plumbing
-    def _new_request(self, query: Query) -> ServiceRequest:
+    def _new_request(self, query: Query, options=None, deadline=None) -> ServiceRequest:
         with self._id_lock:
             request_id = self._next_request_id
             self._next_request_id += 1
@@ -230,25 +235,71 @@ class QueryService:
         rng = np.random.default_rng([self.config.seed, request_id])
         seed = int(rng.integers(1 << 62))
         home = int(self._unit_ids[rng.integers(len(self._unit_ids))])
-        return ServiceRequest(request_id=request_id, query=query, seed=seed, home_unit=home)
+        return ServiceRequest(
+            request_id=request_id,
+            query=query,
+            seed=seed,
+            home_unit=home,
+            options=options,
+            deadline=deadline,
+        )
+
+    @staticmethod
+    def _constrained(options) -> bool:
+        return options is not None and getattr(options, "constrained", False)
+
+    def _engine_kwargs(self, request: ServiceRequest) -> dict:
+        """Per-request keyword arguments forwarded to the engine."""
+        kwargs: dict = {"home_unit": request.home_unit}
+        if request.deadline is not None:
+            kwargs["deadline"] = request.deadline
+        options = request.options
+        if (
+            options is not None
+            and self._replication_aware
+            and getattr(options, "consistency", "primary") != "primary"
+        ):
+            kwargs["consistency"] = options.consistency
+            kwargs["max_staleness"] = options.max_staleness
+        return kwargs
+
+    def _expired_result(self) -> QueryResult:
+        """Empty partial result for a deadline that expired before any
+        engine work could start (admission wait ate the whole budget)."""
+        return QueryResult(
+            files=[],
+            metrics=Metrics(),
+            latency=0.0,
+            groups_visited=0,
+            hops=0,
+            found=False,
+            distances=[],
+            complete=False,
+        )
 
     def _execute_on_engine(self, request: ServiceRequest) -> QueryResult:
         engine = self.store.engine
         query = request.query
+        if request.deadline is not None and request.deadline.expired():
+            self.telemetry.record_deadline_expiry()
+            return self._expired_result()
+        kwargs = self._engine_kwargs(request)
         # Read side of the state lock: mutations/compaction (write side)
         # restructure the very servers and tree nodes a scan walks.
         self._state_lock.acquire_read()
         try:
             if isinstance(query, PointQuery):
-                result = engine.point_query(query, home_unit=request.home_unit)
+                result = engine.point_query(query, **kwargs)
             elif isinstance(query, RangeQuery):
-                result = engine.range_query(query, home_unit=request.home_unit)
+                result = engine.range_query(query, **kwargs)
             elif isinstance(query, TopKQuery):
-                result = engine.topk_query(query, home_unit=request.home_unit)
+                result = engine.topk_query(query, **kwargs)
             else:
                 raise TypeError(f"unsupported query type {type(query)!r}")
         finally:
             self._state_lock.release_read()
+        if request.deadline is not None and not result.complete:
+            self.telemetry.record_deadline_expiry()
         # The facade merges per-query counters into the cluster-wide
         # accounting; the service does the same, serialised.
         with self._metrics_lock:
@@ -289,7 +340,15 @@ class QueryService:
             pending: List[tuple] = []  # (future, leader, followers)
             for query, members in groups:
                 leader, followers = members[0], members[1:]
-                hit = self.cache.lookup(query) if self.cache is not None else None
+                # Constrained requests (deadline / relaxed consistency) are
+                # not interchangeable with plain ones: they neither read
+                # nor warm the cache.
+                constrained = self._constrained(leader.options)
+                hit = (
+                    self.cache.lookup(query)
+                    if self.cache is not None and not constrained
+                    else None
+                )
                 if hit is not None:
                     self._resolve_group(
                         leader, followers, hit.result, leader_source=hit.source
@@ -306,7 +365,7 @@ class QueryService:
                         request.fail(exc)
                         self.admission.release()
                     continue
-                if self.cache is not None:
+                if self.cache is not None and not self._constrained(leader.options):
                     self.cache.store(leader.query, result, epoch=epoch)
                 self._resolve_group(leader, followers, result, leader_source="engine")
         except BaseException as exc:  # pragma: no cover - defensive
@@ -340,24 +399,32 @@ class QueryService:
             self.admission.release()
 
     # ------------------------------------------------------------------ public API
-    def submit(self, query: Query) -> "Future[QueryResult]":
+    def submit(self, query: Query, options=None) -> "Future[QueryResult]":
         """Admit one request; returns a future resolving to its result.
 
         With batching enabled the request may wait in the current window
         until the window fills or :meth:`drain` runs.  When the admission
         limit is reached the call blocks (default) or raises
         :class:`ServiceOverloadedError` (``block_on_overload=False``).
+
+        ``options`` is an optional
+        :class:`~repro.api.options.RequestOptions`: its deadline clock
+        starts *here* (admission wait counts against the budget) and a
+        constraining options object makes the request bypass the batching
+        window and the result cache — a deadline partial or a
+        relaxed-consistency read must never be served to a plain caller.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         self.telemetry.start_window()
+        deadline = options.start() if options is not None else None
         if not self.admission.admit():
             self.telemetry.record_rejection()
             raise ServiceOverloadedError(
                 f"admission limit of {self.config.max_in_flight} requests reached"
             )
-        request = self._new_request(query)
-        if self.config.batching_enabled:
+        request = self._new_request(query, options, deadline)
+        if self.config.batching_enabled and not self._constrained(options):
             full_batch = self.batcher.add(request)
             if full_batch is not None:
                 self._dispatch_batch(full_batch)
@@ -365,22 +432,23 @@ class QueryService:
             self._dispatch_batch([request])
         return request.future
 
-    def execute(self, query: Query) -> QueryResult:
+    def execute(self, query: Query, options=None) -> QueryResult:
         """Serve one request immediately (bypasses the batching window).
 
         Closed-loop clients use this: the request still goes through
         admission, the cache and telemetry, but never waits for a window
-        to fill.
+        to fill.  ``options`` behaves as in :meth:`submit`.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         self.telemetry.start_window()
+        deadline = options.start() if options is not None else None
         if not self.admission.admit():
             self.telemetry.record_rejection()
             raise ServiceOverloadedError(
                 f"admission limit of {self.config.max_in_flight} requests reached"
             )
-        request = self._new_request(query)
+        request = self._new_request(query, options, deadline)
         self._process_batch([request])
         return request.future.result()
 

@@ -146,6 +146,10 @@ class ServiceTelemetry:
         self._wall_started: Optional[float] = None
         self._wall_elapsed = 0.0
         self.rejected = 0
+        # Requests whose cooperative deadline expired before the engine
+        # could finish (served partial or failed, per the caller's
+        # policy) — the expiry is visible here either way.
+        self.deadline_expired = 0
         # Replication events observed through the store (see
         # ShardRouter.drain_replication_events): primary promotions, reads
         # served while part of a replica group was unhealthy, and internal
@@ -211,6 +215,11 @@ class ServiceTelemetry:
         with self._lock:
             self.rejected += 1
 
+    def record_deadline_expiry(self) -> None:
+        """Count one request whose deadline ran out mid-execution."""
+        with self._lock:
+            self.deadline_expired += 1
+
     def record_replication_events(self, events: Dict[str, int]) -> None:
         """Fold replication-event deltas into the service-level counters."""
         with self._lock:
@@ -239,6 +248,7 @@ class ServiceTelemetry:
                 "total_requests": sum(c.count for c in self._classes.values()),
                 "wall_seconds": self._wall_elapsed,
                 "rejected": self.rejected,
+                "deadline_expired": self.deadline_expired,
                 "failovers": self.failovers,
                 "degraded_reads": self.degraded_reads,
                 "replica_retries": self.replica_retries,

@@ -39,7 +39,7 @@ from repro.ingest.pipeline import IngestPipeline
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.service.cache import result_fingerprint
-from repro.shard.router import build_shard_router
+from repro.shard.router import _build_shard_router
 from repro.workloads.generator import QueryWorkloadGenerator
 
 __all__ = ["ShardScalingRow", "ShardScalingReport", "run_shard_scaling"]
@@ -195,7 +195,7 @@ def run_shard_scaling(
     report = ShardScalingReport(rows=[])
     for count in shard_counts:
         started = time.perf_counter()
-        router = build_shard_router(
+        router = _build_shard_router(
             files,
             count,
             config,

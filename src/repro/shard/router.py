@@ -63,6 +63,7 @@ service telemetry (:meth:`ShardRouter.drain_replication_events`).
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from pathlib import Path
@@ -358,15 +359,49 @@ class ShardRouter:
             self.shards_pruned += len(self.shards) - contacted
 
     def _shard_call(
-        self, shard_id: int, method: str, query: Query, home_unit: Optional[int], **kwargs
+        self,
+        shard_id: int,
+        method: str,
+        query: Query,
+        home_unit: Optional[int],
+        *,
+        deadline=None,
+        consistency: Optional[str] = None,
+        max_staleness: int = 0,
+        **kwargs,
     ) -> QueryResult:
-        """One shard's part of a scatter: execute and account its busy time."""
+        """One shard's part of a scatter: execute and account its busy time.
+
+        The cooperative ``deadline`` is forwarded to every shard engine
+        (each checks it between its own group scans); the consistency
+        preference only applies to replicated shards — a bare store is
+        trivially at primary consistency, so the kwarg is stripped for it.
+        """
+        if deadline is not None:
+            kwargs["deadline"] = deadline
+        if consistency is not None and isinstance(self.shards[shard_id], ReplicaGroup):
+            kwargs["consistency"] = consistency
+            kwargs["max_staleness"] = max_staleness
         result: QueryResult = getattr(self.shards[shard_id].engine, method)(
             query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
         )
         with self._stats_lock:
             self.shard_busy_seconds[shard_id] += result.latency
         return result
+
+    def _expired_result(self, metrics: Metrics) -> QueryResult:
+        """Partial empty result for a request whose deadline expired before
+        any shard could be contacted."""
+        return QueryResult(
+            files=[],
+            metrics=metrics,
+            latency=metrics.latency(self.config.cost_model),
+            groups_visited=0,
+            hops=0,
+            found=False,
+            distances=[],
+            complete=False,
+        )
 
     def busy_makespan(self) -> float:
         """Simulated busy time of the busiest shard (the capacity bound)."""
@@ -407,12 +442,14 @@ class ShardRouter:
         merged: Dict[int, FileMetadata] = {}
         groups_visited = groups_floor
         shard_latency = 0.0
+        complete = True
         for result in results:
             for file in result.files:
                 merged.setdefault(file.file_id, file)
             router_metrics.merge(result.metrics)
             groups_visited += result.groups_visited
             shard_latency = max(shard_latency, result.latency)
+            complete = complete and result.complete
         files = sorted(merged.values(), key=lambda f: f.file_id)
         groups_visited = max(1, groups_visited)
         return QueryResult(
@@ -425,15 +462,25 @@ class ShardRouter:
             hops=max(0, groups_visited - 1),
             found=bool(files),
             distances=[],
+            complete=complete,
         )
 
     # ------------------------------------------------------------------ queries
     def point_query(
-        self, query: PointQuery, *, home_unit: Optional[int] = None
+        self,
+        query: PointQuery,
+        *,
+        home_unit: Optional[int] = None,
+        deadline=None,
+        consistency: Optional[str] = None,
+        max_staleness: int = 0,
     ) -> QueryResult:
         """Filename point query over the shards the Bloom summaries admit."""
         metrics = Metrics()
         metrics.record_bloom_probe(len(self.shards))
+        if deadline is not None and deadline.expired():
+            self._count("point", 0)
+            return self._expired_result(metrics)
         targets = [
             s.shard_id
             for s in self._summaries
@@ -442,16 +489,28 @@ class ShardRouter:
         self._count("point", len(targets))
         results = self._scatter(
             targets,
-            lambda sid: self._shard_call(sid, "point_query", query, home_unit),
+            lambda sid: self._shard_call(
+                sid, "point_query", query, home_unit,
+                deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+            ),
         )
         return self._merge_by_id(results, metrics)
 
     def range_query(
-        self, query: RangeQuery, *, home_unit: Optional[int] = None
+        self,
+        query: RangeQuery,
+        *,
+        home_unit: Optional[int] = None,
+        deadline=None,
+        consistency: Optional[str] = None,
+        max_staleness: int = 0,
     ) -> QueryResult:
         """Range query over the shards whose boxes intersect the window."""
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
+        if deadline is not None and deadline.expired():
+            self._count("range", 0)
+            return self._expired_result(metrics)
         engine = self.shards[0].engine
         attr_idx = list(self.schema.indices(query.attributes))
         lower = engine.to_index_space(attr_idx, query.lower)
@@ -464,12 +523,21 @@ class ShardRouter:
         self._count("range", len(targets))
         results = self._scatter(
             targets,
-            lambda sid: self._shard_call(sid, "range_query", query, home_unit),
+            lambda sid: self._shard_call(
+                sid, "range_query", query, home_unit,
+                deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+            ),
         )
         return self._merge_by_id(results, metrics)
 
     def topk_query(
-        self, query: TopKQuery, *, home_unit: Optional[int] = None
+        self,
+        query: TopKQuery,
+        *,
+        home_unit: Optional[int] = None,
+        deadline=None,
+        consistency: Optional[str] = None,
+        max_staleness: int = 0,
     ) -> QueryResult:
         """Global top-k: primary shard first, MaxD shipped to the rest.
 
@@ -483,6 +551,9 @@ class ShardRouter:
         """
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
+        if deadline is not None and deadline.expired():
+            self._count("topk", 0)
+            return self._expired_result(metrics)
         engine = self.shards[0].engine
         attr_idx = list(self.schema.indices(query.attributes))
         index_point = engine.to_index_space(attr_idx, query.values)
@@ -495,7 +566,10 @@ class ShardRouter:
         ]
         order = sorted(range(len(self.shards)), key=lambda sid: (mindists[sid], sid))
         primary = order[0]
-        primary_result = self._shard_call(primary, "topk_query", query, home_unit)
+        primary_result = self._shard_call(
+            primary, "topk_query", query, home_unit,
+            deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+        )
         bound: Optional[float] = None
         if len(primary_result.distances) >= query.k:
             bound = primary_result.distances[query.k - 1]
@@ -504,11 +578,17 @@ class ShardRouter:
             for sid in order[1:]
             if bound is None or mindists[sid] <= bound
         ]
+        truncated = False
+        if deadline is not None and deadline.expired() and rest:
+            # The budget ran out between the primary scan and the bounded
+            # fan-out: serve what the primary gathered, marked partial.
+            rest, truncated = [], True
         self._count("topk", 1 + len(rest))
         rest_results = self._scatter(
             rest,
             lambda sid: self._shard_call(
-                sid, "topk_query", query, home_unit, max_d_bound=bound
+                sid, "topk_query", query, home_unit, max_d_bound=bound,
+                deadline=deadline, consistency=consistency, max_staleness=max_staleness,
             ),
         )
 
@@ -516,7 +596,9 @@ class ShardRouter:
         best: Dict[int, Tuple[float, FileMetadata]] = {}
         groups_visited = 0
         rest_latency = 0.0
+        complete = not truncated
         for result in [primary_result, *rest_results]:
+            complete = complete and result.complete
             for dist, file in zip(result.distances, result.files):
                 kept = best.get(file.file_id)
                 if kept is None or dist < kept[0]:
@@ -542,6 +624,7 @@ class ShardRouter:
             hops=max(0, groups_visited - 1),
             found=bool(files),
             distances=distances,
+            complete=complete,
         )
 
     def execute(self, query: Query) -> QueryResult:
@@ -682,7 +765,7 @@ class ShardRouter:
         )
 
 
-def build_shard_router(
+def _build_shard_router(
     files: Sequence[FileMetadata],
     num_shards: int,
     config: Optional[SmartStoreConfig] = None,
@@ -800,3 +883,22 @@ def build_shard_router(
         for sid, store in enumerate(stores)
     ]
     return ShardRouter(stores, part, pipelines=pipelines, max_workers=max_workers)
+
+
+def build_shard_router(*args, **kwargs) -> ShardRouter:
+    """Deprecated entry point: build a sharded deployment directly.
+
+    Prefer the unified client front door — ``repro.api.connect`` with a
+    :class:`~repro.api.spec.DeploymentSpec` of topology ``"sharded"`` (or
+    ``"sharded_replicated"``) — which returns a
+    :class:`~repro.api.client.Client` with request options and a uniform
+    response envelope.  This wrapper keeps every legacy call-site working
+    unchanged; it forwards verbatim.
+    """
+    warnings.warn(
+        "build_shard_router is deprecated; use repro.api.connect with a "
+        "DeploymentSpec(topology='sharded') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_shard_router(*args, **kwargs)

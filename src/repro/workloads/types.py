@@ -8,6 +8,7 @@ objects, which is what makes the latency/recall comparisons apples-to-apples.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Tuple, Union
 
@@ -51,6 +52,13 @@ class RangeQuery:
                 "attributes, lower and upper must have the same length, got "
                 f"{len(self.attributes)}, {len(self.lower)}, {len(self.upper)}"
             )
+        # Non-finite bounds are rejected outright: NaN compares False with
+        # everything, so a NaN bound would sail through the lo > hi check
+        # below yet silently defeat (or vacuously satisfy) MBR pruning and
+        # per-record comparisons downstream; ±inf windows are equally
+        # meaningless in the index space.
+        if any(not math.isfinite(v) for v in (*self.lower, *self.upper)):
+            raise ValueError("range bounds must be finite (NaN/inf are not allowed)")
         if any(lo > hi for lo, hi in zip(self.lower, self.upper)):
             raise ValueError("every lower bound must not exceed its upper bound")
         if len(set(self.attributes)) != len(self.attributes):
@@ -84,6 +92,8 @@ class TopKQuery:
                 f"attributes and values must have the same length, got "
                 f"{len(self.attributes)} and {len(self.values)}"
             )
+        if any(not math.isfinite(v) for v in self.values):
+            raise ValueError("top-k query values must be finite (NaN/inf are not allowed)")
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if len(set(self.attributes)) != len(self.attributes):

@@ -1,0 +1,229 @@
+"""The unified client front door: specs, connect(), the response envelope.
+
+The acceptance property this file gates: one ``connect(DeploymentSpec)``
+builds all five topology shapes, and on a shared workload the new
+``Client`` returns byte-identical payloads to the legacy facades over
+the same logical population.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Client,
+    DeploymentSpec,
+    RequestOptions,
+    Response,
+    connect,
+    load_spec,
+    save_spec,
+)
+from repro.api.spec import TOPOLOGIES, service_config_from_dict, service_config_to_dict
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.persistence.jsonl import save_files
+from repro.service.cache import result_fingerprint
+from repro.service.service import ServiceConfig
+from repro.workloads.generator import QueryWorkloadGenerator
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+CONFIG = SmartStoreConfig(num_units=6, seed=3, search_breadth=64)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return make_files(80, clusters=4)
+
+
+@pytest.fixture(scope="module")
+def workload(population):
+    generator = QueryWorkloadGenerator(population, seed=17)
+    return (
+        generator.point_queries(4, existing_fraction=0.75)
+        + generator.range_queries(4, distribution="zipf")
+        + generator.topk_queries(4, k=6, distribution="zipf")
+    )
+
+
+def spec_for(topology: str, tmp_path) -> DeploymentSpec:
+    kwargs = {"topology": topology, "store": CONFIG, "shards": 2, "replicas": 1}
+    if topology == "durable":
+        kwargs["wal_dir"] = str(tmp_path / "wal")
+    return DeploymentSpec(**kwargs)
+
+
+class TestDeploymentSpec:
+    def test_json_round_trip_all_topologies(self, tmp_path):
+        for topology in TOPOLOGIES:
+            spec = spec_for(topology, tmp_path)
+            again = DeploymentSpec.from_dict(spec.to_dict())
+            assert again == spec
+            path = tmp_path / f"{topology}.json"
+            save_spec(spec, path)
+            assert load_spec(path) == spec
+            # The artefact is plain JSON a human (or the CLI) can edit.
+            assert json.loads(path.read_text())["topology"] == topology
+
+    def test_round_trip_preserves_nested_configs(self, tmp_path):
+        spec = DeploymentSpec(
+            topology="sharded_replicated",
+            store=SmartStoreConfig(num_units=12, seed=9, search_breadth=5),
+            shards=3,
+            replicas=2,
+            replication_mode="sync",
+            max_lag=7,
+            service=ServiceConfig(max_workers=2, batch_window=4, cache_enabled=False),
+        )
+        again = DeploymentSpec.from_dict(spec.to_dict())
+        assert again.store.num_units == 12
+        assert again.store.search_breadth == 5
+        assert again.service.cache_enabled is False
+        assert again.replication_config().mode == "sync"
+        assert again.replication_config().max_lag == 7
+
+    def test_service_config_dict_ignores_unknown_keys(self):
+        payload = service_config_to_dict(ServiceConfig(max_workers=3))
+        payload["future_knob"] = True
+        assert service_config_from_dict(payload).max_workers == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"topology": "mesh"},
+            {"topology": "sharded", "shards": 1},
+            {"topology": "replicated", "replicas": 0},
+            {"topology": "durable"},  # wal_dir required
+            {"topology": "plain", "wal_dir": "/tmp/x"},
+            {"topology": "replicated", "replication_mode": "psychic"},
+            {"topology": "plain", "fsync_every": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeploymentSpec(**kwargs)
+
+
+class TestConnectAllTopologies:
+    def test_client_matches_legacy_facade_everywhere(
+        self, population, workload, tmp_path
+    ):
+        """The cross-placement acceptance gate: every topology's client
+        answers fingerprint-identically to a plain legacy store."""
+        legacy = SmartStore.build(population, CONFIG)
+        reference = [result_fingerprint(legacy.execute(q)) for q in workload]
+        for topology in TOPOLOGIES:
+            with connect(spec_for(topology, tmp_path), population) as client:
+                fingerprints = [
+                    result_fingerprint(client.execute(q).result) for q in workload
+                ]
+                assert fingerprints == reference, topology
+
+    def test_uniform_surface(self, population, tmp_path):
+        for topology in TOPOLOGIES:
+            with connect(spec_for(topology, tmp_path), population) as client:
+                assert isinstance(client, Client)
+                assert client.topology == topology
+                response = client.execute(PointQuery(population[0].filename))
+                assert isinstance(response, Response)
+                assert response.kind == "query"
+                assert response.complete and not response.deadline_expired
+                assert response.attribution["topology"] == topology
+                stats = client.stats()
+                assert stats["topology"] == topology
+                assert stats["spec"]["topology"] == topology
+                assert "service" in stats and "store" in stats
+
+    def test_attribution_names_shards_and_replicas(self, population, tmp_path):
+        with connect(spec_for("sharded_replicated", tmp_path), population) as client:
+            attribution = client.execute(PointQuery("nope.dat")).attribution
+            assert attribution["shards"] == 2
+            assert attribution["replicas_per_shard"] == 1
+            assert attribution["primaries"] == [0, 0]
+        with connect(spec_for("replicated", tmp_path), population) as client:
+            attribution = client.execute(PointQuery("nope.dat")).attribution
+            assert attribution["replicas"] == 1
+            assert attribution["primary"] == 0
+
+
+class TestConnectPopulationLoading:
+    def test_connect_loads_population_from_spec(self, population, tmp_path):
+        path = tmp_path / "population.jsonl"
+        save_files(population, path)
+        spec = DeploymentSpec(topology="plain", store=CONFIG, population=str(path))
+        with connect(spec) as client:
+            assert client.execute(PointQuery(population[0].filename)).found
+
+    def test_connect_without_population_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            connect(DeploymentSpec(topology="plain", store=CONFIG))
+
+
+class TestClientMutations:
+    @pytest.mark.parametrize("topology", list(TOPOLOGIES))
+    def test_mutations_round_trip_everywhere(self, population, tmp_path, topology):
+        generator = QueryWorkloadGenerator(population, seed=29)
+        stream = generator.mutation_stream(4, 2, 2)
+        with connect(spec_for(topology, tmp_path), population) as client:
+            for kind, file in stream:
+                response = getattr(client, kind)(file)
+                assert response.kind == "mutation"
+                assert response.receipt is not None
+                assert response.receipt.kind == kind
+            # Every staged mutation is immediately visible through the
+            # same client (read-your-writes through the envelope).
+            inserted = next(file for kind, file in stream if kind == "insert")
+            assert client.execute(PointQuery(inserted.filename)).found
+
+    def test_delete_of_unknown_file_reports_unknown(self, population, tmp_path):
+        from repro.metadata.file_metadata import FileMetadata
+
+        with connect(spec_for("plain", tmp_path), population) as client:
+            ghost = FileMetadata(path="/nowhere/ghost.dat", attributes={"size": 1.0})
+            response = client.delete(ghost)
+            assert response.receipt is not None and not response.receipt.known
+
+
+class TestAsyncSubmit:
+    def test_submit_resolves_to_response(self, population, workload, tmp_path):
+        with connect(spec_for("plain", tmp_path), population) as client:
+            futures = [client.submit(q) for q in workload]
+            client.service.drain()
+            responses = [f.result() for f in futures]
+            direct = [client.execute(q) for q in workload]
+            assert [result_fingerprint(r.result) for r in responses] == [
+                result_fingerprint(r.result) for r in direct
+            ]
+
+    def test_execute_many_preserves_order(self, population, workload, tmp_path):
+        with connect(spec_for("sharded", tmp_path), population) as client:
+            responses = client.execute_many(workload)
+            assert len(responses) == len(workload)
+            direct = [result_fingerprint(client.execute(q).result) for q in workload]
+            assert [result_fingerprint(r.result) for r in responses] == direct
+
+    def test_submit_rejects_paginated_options(self, population, tmp_path):
+        with connect(spec_for("plain", tmp_path), population) as client:
+            with pytest.raises(ValueError, match="paginated"):
+                client.submit(
+                    RangeQuery(("size",), (0.0,), (1e9,)),
+                    RequestOptions(page_size=5),
+                )
+
+
+class TestEnvelope:
+    def test_topk_response_carries_distances(self, population, tmp_path):
+        query = TopKQuery(("size", "mtime"), (8192.0, 2100.0), 5)
+        with connect(spec_for("plain", tmp_path), population) as client:
+            response = client.execute(query)
+            assert len(response.files) == 5
+            assert len(response.distances) == 5
+            assert response.distances == sorted(response.distances)
+            summary = response.as_dict()
+            assert summary["kind"] == "query" and summary["files"] == 5
+
+    def test_closed_client_is_idempotent(self, population, tmp_path):
+        client = connect(spec_for("plain", tmp_path), population)
+        client.close()
+        client.close()  # second close is a no-op

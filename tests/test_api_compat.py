@@ -1,0 +1,136 @@
+"""Backwards compatibility: every legacy entry point keeps working.
+
+The unified client API (``repro.api``) is the front door new code should
+use; the legacy call-site patterns below — the facades of PRs 1-4 — must
+keep answering identically while announcing their deprecation.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import DeploymentSpec, connect
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.replication.group import ReplicationConfig, build_replica_group
+from repro.service.cache import result_fingerprint
+from repro.service.service import QueryService
+from repro.shard.router import ShardRouter, build_shard_router
+from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
+
+from helpers import make_files
+
+CONFIG = SmartStoreConfig(num_units=6, seed=3, search_breadth=64)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return make_files(60, clusters=4)
+
+
+@pytest.fixture(scope="module")
+def store(population):
+    return SmartStore.build(population, CONFIG)
+
+
+def deprecated_call(fn, *args, **kwargs):
+    """Run a legacy call, asserting it both works and warns."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), f"{fn} did not emit a DeprecationWarning"
+    return result
+
+
+class TestLegacyFacadeMethods:
+    """Every historical SmartStore call-site pattern still passes."""
+
+    def test_point_query_with_string(self, store, population):
+        result = deprecated_call(store.point_query, population[0].filename)
+        assert result.found
+
+    def test_point_query_with_object(self, store, population):
+        result = deprecated_call(store.point_query, PointQuery(population[0].filename))
+        assert result.found
+
+    def test_range_query_with_sequences(self, store):
+        result = deprecated_call(
+            store.range_query, ("size", "mtime"), (0.0, 0.0), (1e12, 1e7)
+        )
+        assert result.found
+
+    def test_range_query_with_object(self, store):
+        query = RangeQuery(("size",), (0.0,), (1e12,))
+        assert deprecated_call(store.range_query, query).found
+
+    def test_topk_query_with_sequences(self, store):
+        result = deprecated_call(
+            store.topk_query, ("size", "mtime"), (8192.0, 2100.0), k=5
+        )
+        assert len(result.files) == 5
+
+    def test_topk_query_with_object(self, store):
+        query = TopKQuery(("size", "mtime"), (8192.0, 2100.0), 5)
+        assert len(deprecated_call(store.topk_query, query).files) == 5
+
+    def test_deprecated_answers_match_execute(self, store):
+        query = RangeQuery(("size",), (0.0,), (1e12,))
+        legacy = deprecated_call(store.range_query, query)
+        assert result_fingerprint(legacy) == result_fingerprint(store.execute(query))
+
+    def test_execute_itself_does_not_warn(self, store):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            store.execute(RangeQuery(("size",), (0.0,), (1e12,)))
+
+    def test_serve_still_builds_a_service(self, store):
+        service = deprecated_call(store.serve)
+        try:
+            assert isinstance(service, QueryService)
+            assert service.execute(RangeQuery(("size",), (0.0,), (1e12,))).found
+        finally:
+            service.close()
+
+
+class TestLegacyBuilders:
+    def test_build_shard_router_still_works(self, population):
+        router = deprecated_call(build_shard_router, population, 2, CONFIG)
+        try:
+            assert isinstance(router, ShardRouter)
+            assert router.execute(RangeQuery(("size",), (0.0,), (1e12,))).found
+        finally:
+            router.close()
+
+    def test_build_replica_group_still_works(self, population):
+        group = deprecated_call(
+            build_replica_group,
+            population,
+            CONFIG,
+            replication=ReplicationConfig(replicas=1),
+        )
+        try:
+            assert group.execute(RangeQuery(("size",), (0.0,), (1e12,))).found
+        finally:
+            group.close()
+
+    def test_legacy_builders_match_the_new_front_door(self, population, tmp_path):
+        query = TopKQuery(("size", "mtime"), (8192.0, 2100.0), 7)
+        router = deprecated_call(build_shard_router, population, 2, CONFIG)
+        try:
+            legacy_fp = result_fingerprint(router.execute(query))
+        finally:
+            router.close()
+        spec = DeploymentSpec(topology="sharded", store=CONFIG, shards=2)
+        with connect(spec, population) as client:
+            assert result_fingerprint(client.execute(query).result) == legacy_fp
+
+
+class TestNewFrontDoorDoesNotWarn:
+    def test_connect_and_execute_warn_free(self, population, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            spec = DeploymentSpec(topology="sharded_replicated", store=CONFIG, shards=2)
+            with connect(spec, population) as client:
+                client.execute(RangeQuery(("size",), (0.0,), (1e12,)))
+                client.execute(PointQuery(population[0].filename))

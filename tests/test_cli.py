@@ -294,3 +294,52 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         for module in EXPERIMENT_INDEX:
             assert module in out
+
+
+class TestClientBenchCommand:
+    def test_client_bench_end_to_end_on_tiny_trace(self, capsys, tmp_path):
+        spec_out = tmp_path / "spec.json"
+        code = main([
+            "client-bench", "--profile", "generic", "--scale", "0.05",
+            "--seed", "5", "--units", "4", "--topology", "sharded",
+            "--shards", "2", "--queries", "3", "--page-size", "4",
+            "--save-spec", str(spec_out),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "client-API gate" in out
+        assert "NO" not in out.split("client-API gate")[1]
+        assert spec_out.exists()
+
+    def test_client_bench_loads_spec_file(self, capsys, tmp_path):
+        from repro.api import DeploymentSpec, save_spec
+
+        spec_path = tmp_path / "replicated.json"
+        save_spec(DeploymentSpec(topology="replicated", replicas=1), spec_path)
+        code = main([
+            "client-bench", "--profile", "generic", "--scale", "0.05",
+            "--seed", "6", "--units", "4", "--queries", "2",
+            "--spec", str(spec_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "replicated" in out
+
+    def test_client_bench_durable_requires_wal_dir(self, capsys, tmp_path):
+        code = main([
+            "client-bench", "--profile", "generic", "--scale", "0.05",
+            "--seed", "7", "--units", "4", "--topology", "durable",
+            "--queries", "2",
+        ])
+        assert code == 2  # spec validation error surfaces as a CLI error
+        assert "wal_dir" in capsys.readouterr().err
+
+    def test_client_bench_durable_with_wal_dir(self, capsys, tmp_path):
+        code = main([
+            "client-bench", "--profile", "generic", "--scale", "0.05",
+            "--seed", "8", "--units", "4", "--topology", "durable",
+            "--wal-dir", str(tmp_path / "wal"), "--queries", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "durable" in out

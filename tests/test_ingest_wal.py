@@ -203,7 +203,10 @@ class TestTornTailProperties:
         assert replay.good_bytes == _TAIL_START
 
     @given(
-        cut=st.integers(min_value=1, max_value=_TAIL_BODY),
+        # Strictly inside the tail body: at cut == _TAIL_BODY the JSON is
+        # complete (only the newline is missing) and the record rightly
+        # *survives* — see test_losing_only_the_trailing_newline above.
+        cut=st.integers(min_value=1, max_value=_TAIL_BODY - 1),
         garbage=st.binary(min_size=0, max_size=40),
     )
     @settings(max_examples=100, deadline=None)

@@ -67,3 +67,38 @@ class TestTopKQuery:
 
     def test_hashable(self):
         assert len({TopKQuery(("size",), (1.0,), 3), TopKQuery(("size",), (1.0,), 3)}) == 1
+
+
+class TestNonFiniteValidation:
+    """Regression: NaN bounds compare False with everything, so they used
+    to sail through the lo > hi check and silently defeat (or vacuously
+    satisfy) MBR pruning; ±inf windows are equally meaningless in the
+    index space.  All non-finite inputs are now rejected up front."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_range_lower_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            RangeQuery(("size",), (bad,), (10.0,))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_range_upper_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            RangeQuery(("size",), (0.0,), (bad,))
+
+    def test_nan_does_not_bypass_bound_ordering(self):
+        # The historical failure mode: NaN > 10.0 is False, so the
+        # inverted-bounds check never fired and the query was accepted.
+        with pytest.raises(ValueError):
+            RangeQuery(("size", "mtime"), (0.0, float("nan")), (10.0, 5.0))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_topk_values_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            TopKQuery(("size", "mtime"), (1.0, bad), k=3)
+
+    def test_finite_extremes_still_accepted(self):
+        import sys
+
+        big = sys.float_info.max
+        RangeQuery(("size",), (-big,), (big,))
+        TopKQuery(("size",), (big,), k=1)
