@@ -1,0 +1,132 @@
+"""Network: process-per-shard scatter equivalence + multi-core scaling.
+
+Not a paper figure — this benchmark covers the network front door grown
+on top of the reproduction (ROADMAP north star: "a deployable metadata
+service").  The shared harness (:mod:`repro.server.benchmarking` — the
+same loop the ``net-bench`` CLI subcommand and the CI net-path smoke job
+run) answers a scan-heavy range/top-k workload through worker-process
+deployments of 1 and 4 shards (:func:`repro.server.worker.build_process_router`:
+one OS process per shard, length-prefixed wire frames on loopback) over
+the same total storage-unit budget.
+
+Two assertions:
+
+* **net-path equivalence** — every query answered over the wire returns
+  a result fingerprint-identical to the in-process unsharded baseline
+  (serialization through the wire protocol must be lossless);
+* **throughput scaling** — the 4-worker deployment sustains at least
+  2.5x the 1-worker scan throughput, measured as
+  ``queries / busy-time-of-the-busiest-worker`` in the simulated cost
+  model (the currency every scaling figure here uses; workers are
+  independent OS processes, so the busiest one bounds the sustainable
+  rate).  Wall-clock numbers are also recorded and gated when the host
+  actually has as many cores as workers — see
+  :meth:`~repro.server.benchmarking.NetScalingReport.gate_wall_speedup`.
+
+The run also writes a machine-readable ``BENCH_net.json`` next to the
+text table so CI can diff runs without parsing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import RESULTS_DIR, record_result
+from repro.core.smartstore import SmartStoreConfig
+from repro.eval.reporting import format_table
+from repro.eval.tracking import write_bench_json
+from repro.server.benchmarking import run_net_scaling
+from repro.traces.msn import msn_trace
+
+WORKER_COUNTS = (1, 4)
+TOTAL_UNITS = 16
+QUERIES_PER_TYPE = 24
+MIN_SPEEDUP = 2.5
+
+CONFIG = SmartStoreConfig(num_units=TOTAL_UNITS, seed=7, search_breadth=TOTAL_UNITS)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return msn_trace(scale=2.0, seed=29).file_metadata()
+
+
+@pytest.fixture(scope="module")
+def report(corpus):
+    return run_net_scaling(
+        corpus,
+        CONFIG,
+        WORKER_COUNTS,
+        queries_per_type=QUERIES_PER_TYPE,
+        workload_seed=17,
+    )
+
+
+def test_wire_results_identical_to_in_process_baseline(report):
+    """Every worker count answers exactly like the in-process baseline."""
+    assert report.gates, "harness produced no equivalence gates"
+    failing = [name for name, ok in report.gates.items() if not ok]
+    assert not failing, f"fingerprint mismatches over the wire: {failing}"
+
+
+def test_throughput_scales_with_worker_processes(report):
+    """4 worker processes must sustain >= 2.5x the 1-worker throughput."""
+    assert report.gate_scaling(MIN_SPEEDUP), (
+        f"4-worker scatter throughput is only "
+        f"{report.speedup_of(4):.2f}x the single-worker deployment "
+        f"(required: {MIN_SPEEDUP}x)"
+    )
+    # Wall-clock gate applies only where the host has the cores; on
+    # smaller machines the numbers are still recorded in the table.
+    wall = report.gate_wall_speedup(MIN_SPEEDUP)
+    assert wall is None or wall
+
+
+def test_report_table(report, benchmark, corpus):
+    """Render the scaling table + BENCH_net.json artefact."""
+    benchmark.pedantic(
+        lambda: report.speedup_of(max(WORKER_COUNTS)), rounds=1, iterations=1
+    )
+    rows = [
+        row.as_table_row(
+            report.speedup_of(row.workers), report.wall_speedup_of(row.workers)
+        )
+        for row in report.rows
+    ]
+    table = format_table(
+        ["workers", "build (s)", "wall (s)", "busiest worker (sim ms)",
+         "scatter q/s", "speedup", "wall q/s", "wall speedup", "identical"],
+        rows,
+        title=f"net scaling: {len(corpus)} files, {TOTAL_UNITS} total units, "
+        f"{QUERIES_PER_TYPE} queries/type over the wire, {report.cores} cores",
+    )
+    record_result("net_scaling", table)
+    write_bench_json(
+        "net",
+        metrics={
+            "rows": [
+                {
+                    "workers": r.workers,
+                    "build_seconds": r.build_seconds,
+                    "wall_seconds": r.wall_seconds,
+                    "busy_makespan": r.busy_makespan,
+                    "scatter_qps": r.scatter_qps,
+                    "wall_qps": r.wall_qps,
+                    "identical": r.identical,
+                }
+                for r in report.rows
+            ],
+            "speedup": report.speedup_of(max(WORKER_COUNTS)),
+            "wall_speedup": report.wall_speedup_of(max(WORKER_COUNTS)),
+            "cores": report.cores,
+        },
+        config={
+            "files": len(corpus),
+            "units": TOTAL_UNITS,
+            "worker_counts": list(WORKER_COUNTS),
+            "queries_per_type": QUERIES_PER_TYPE,
+            "min_speedup": MIN_SPEEDUP,
+        },
+        gates=report.gates,
+        directory=RESULTS_DIR,
+    )

@@ -31,10 +31,12 @@ from repro.api.options import (
     DEADLINE_POLICIES,
     Deadline,
     DeadlineExceededError,
+    PartialResultError,
     RequestOptions,
 )
 from repro.api.response import Response, ResultPage
 from repro.api.spec import (
+    EXECUTION_MODES,
     TOPOLOGIES,
     DeploymentSpec,
     load_spec,
@@ -49,7 +51,9 @@ __all__ = [
     "Deadline",
     "DeadlineExceededError",
     "DeploymentSpec",
+    "EXECUTION_MODES",
     "InvalidCursorError",
+    "PartialResultError",
     "RequestOptions",
     "Response",
     "ResultPage",

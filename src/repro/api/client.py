@@ -40,7 +40,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.api.cursor import Cursor, CursorKey, InvalidCursorError, query_fingerprint
-from repro.api.options import DeadlineExceededError, RequestOptions
+from repro.api.options import (
+    DeadlineExceededError,
+    PartialResultError,
+    RequestOptions,
+)
 from repro.api.response import Response, ResultPage
 from repro.api.spec import DeploymentSpec
 from repro.core.queries import QueryResult
@@ -65,15 +69,36 @@ _Snapshot = Tuple[List[FileMetadata], List[float], str, bool, float]
 
 
 def connect(
-    spec: DeploymentSpec,
+    spec: Any,
     files: Optional[Sequence[FileMetadata]] = None,
     schema: AttributeSchema = DEFAULT_SCHEMA,
-) -> "Client":
-    """Build the deployment a spec declares and return its client.
+) -> Any:
+    """Build (or dial) the deployment a spec declares and return its client.
+
+    ``spec`` is either a :class:`~repro.api.spec.DeploymentSpec` — the
+    deployment is built in this process — or a ``"tcp://host:port"``
+    address, in which case a
+    :class:`~repro.server.remote.RemoteClient` for an already-running
+    :class:`~repro.server.server.StoreServer` is returned instead; the
+    remote client is a drop-in for the local one (same
+    execute/submit/pages/mutation surface, same Response envelope).
 
     ``files`` is the population to index; when omitted the spec's
     ``population`` path (a JSON-Lines artefact) is loaded instead.
     """
+    if isinstance(spec, str):
+        if not spec.startswith("tcp://"):
+            raise ValueError(
+                f"string specs must be tcp://host:port addresses, got {spec!r}"
+            )
+        if files is not None:
+            raise ValueError(
+                "a remote deployment is already populated; connect(address) "
+                "does not take files"
+            )
+        from repro.server.remote import connect_remote
+
+        return connect_remote(spec)
     if files is None:
         if spec.population is None:
             raise ValueError(
@@ -94,18 +119,36 @@ def connect(
         pipeline = IngestPipeline(plain, wal)
         store = plain
     elif spec.sharded:
-        store = _build_shard_router(
-            files,
-            spec.shards,
-            spec.store,
-            schema,
-            partitioner=spec.partitioner,
-            strategy=spec.partition_strategy,
-            units_per_shard=spec.units_per_shard,
-            wal_dir=spec.wal_dir,
-            fsync_every=spec.fsync_every,
-            replication=spec.replication_config() if spec.replicated else None,
-        )
+        if spec.execution == "processes":
+            # One worker OS process per shard, scattered to over the wire
+            # protocol (imported lazily: the server package depends on the
+            # api package, not the other way round).
+            from repro.server.worker import build_process_router
+
+            store = build_process_router(
+                files,
+                spec.shards,
+                spec.store,
+                schema,
+                partitioner=spec.partitioner,
+                strategy=spec.partition_strategy,
+                units_per_shard=spec.units_per_shard,
+                wal_dir=spec.wal_dir,
+                fsync_every=spec.fsync_every,
+            )
+        else:
+            store = _build_shard_router(
+                files,
+                spec.shards,
+                spec.store,
+                schema,
+                partitioner=spec.partitioner,
+                strategy=spec.partition_strategy,
+                units_per_shard=spec.units_per_shard,
+                wal_dir=spec.wal_dir,
+                fsync_every=spec.fsync_every,
+                replication=spec.replication_config() if spec.replicated else None,
+            )
     else:  # replicated
         wal_path = None
         if spec.wal_dir is not None:
@@ -143,18 +186,28 @@ class Client:
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Drain the service and release every owned resource."""
+        """Drain the service and release every owned resource.
+
+        Idempotent: a second ``close()`` (or exiting the context manager
+        after an explicit close) is a no-op, and closing with page-stream
+        cursors still open simply releases their pinned snapshots — the
+        cursors remain decodable and resume by re-execution on a fresh
+        client.  Snapshot release is deterministic: it happens on this
+        call even if a layer below fails to close cleanly.
+        """
         if self._closed:
             return
         self._closed = True
-        self.service.close()
-        pipeline = self.service.pipeline
-        if pipeline is not None and hasattr(pipeline, "close"):
-            pipeline.close()
-        if hasattr(self.store, "close"):
-            self.store.close()
-        with self._snapshot_lock:
-            self._snapshots.clear()
+        try:
+            self.service.close()
+            pipeline = self.service.pipeline
+            if pipeline is not None and hasattr(pipeline, "close"):
+                pipeline.close()
+            if hasattr(self.store, "close"):
+                self.store.close()
+        finally:
+            with self._snapshot_lock:
+                self._snapshots.clear()
 
     def __enter__(self) -> "Client":
         return self
@@ -279,6 +332,12 @@ class Client:
         store = self.store
         if isinstance(store, ShardRouter):
             d["shards"] = store.num_shards
+            d["execution"] = self.spec.execution
+            down = store.dead_shards()
+            if down:
+                # Name the shards whose worker is gone, so an incomplete
+                # response carries its own explanation.
+                d["shards_down"] = down
             groups = store.replica_groups()
             if groups:
                 d["replicas_per_shard"] = groups[0].num_replicas
@@ -293,10 +352,7 @@ class Client:
         self, result: QueryResult, options: RequestOptions, started: float
     ) -> Response:
         expired = options.deadline_s is not None and not result.complete
-        if expired and options.on_deadline == "fail":
-            raise DeadlineExceededError(
-                f"deadline of {options.deadline_s}s expired before the query completed"
-            )
+        self._enforce_completeness(options, expired, result.complete)
         return Response(
             kind="query",
             latency_s=result.latency,
@@ -305,6 +361,32 @@ class Client:
             deadline_expired=expired,
             result=result,
             attribution=self._attribution(),
+        )
+
+    def _enforce_completeness(
+        self, options: RequestOptions, expired: bool, complete: bool
+    ) -> None:
+        """Apply the caller's ``on_deadline`` policy to an incomplete result.
+
+        A deadline expiry raises :class:`DeadlineExceededError`; a result
+        that is incomplete for any *other* reason — a shard worker process
+        died mid-scatter — raises :class:`PartialResultError` instead.
+        Policy ``"partial"`` (the default) returns the incomplete payload
+        either way, with the failed shards named in the attribution.
+        """
+        if complete or options.on_deadline != "fail":
+            return
+        if expired:
+            raise DeadlineExceededError(
+                f"deadline of {options.deadline_s}s expired before the query "
+                f"completed"
+            )
+        down = (
+            self.store.dead_shards() if isinstance(self.store, ShardRouter) else []
+        )
+        raise PartialResultError(
+            "query returned an incomplete result"
+            + (f"; shards down: {down}" if down else "")
         )
 
     # ------------------------------------------------------------------ pagination
@@ -380,10 +462,7 @@ class Client:
             offset, pinned, page_index = 0, True, 0
 
         expired = options.deadline_s is not None and not complete
-        if expired and options.on_deadline == "fail":
-            raise DeadlineExceededError(
-                f"deadline of {options.deadline_s}s expired before the query completed"
-            )
+        self._enforce_completeness(options, expired, complete)
 
         end = offset + page_size
         page_files = files[offset:end]

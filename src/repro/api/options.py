@@ -38,6 +38,7 @@ __all__ = [
     "DEADLINE_POLICIES",
     "Deadline",
     "DeadlineExceededError",
+    "PartialResultError",
     "RequestOptions",
 ]
 
@@ -50,6 +51,14 @@ DEADLINE_POLICIES = ("partial", "fail")
 
 class DeadlineExceededError(TimeoutError):
     """A request with ``on_deadline="fail"`` ran out of budget."""
+
+
+class PartialResultError(RuntimeError):
+    """A request with ``on_deadline="fail"`` came back incomplete for a
+    reason other than its deadline — e.g. a shard worker process died
+    mid-scatter.  Requests with the default ``"partial"`` policy receive
+    the incomplete payload (``complete=False``) instead, with the failed
+    shards named in the response attribution."""
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ from repro.replication.group import REPLICATION_MODES, ReplicationConfig
 from repro.service.service import ServiceConfig
 
 __all__ = [
+    "EXECUTION_MODES",
     "TOPOLOGIES",
     "DeploymentSpec",
     "load_spec",
@@ -54,6 +55,12 @@ SPEC_VERSION = 1
 
 #: The five deployment shapes one ``connect(spec)`` can build.
 TOPOLOGIES = ("plain", "durable", "sharded", "replicated", "sharded_replicated")
+
+#: How a sharded deployment executes its scatter: ``"threads"`` runs every
+#: shard in-process on the router's thread pool (GIL-bound), ``"processes"``
+#: runs one worker *process* per shard, scattered to over the wire protocol
+#: (see :mod:`repro.server.worker`) so scan-heavy work uses every core.
+EXECUTION_MODES = ("threads", "processes")
 
 _SHARDED = ("sharded", "sharded_replicated")
 _REPLICATED = ("replicated", "sharded_replicated")
@@ -106,6 +113,10 @@ class DeploymentSpec:
     fsync_every: int = 1
     # Serving.
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    # Transport: scatter execution mode and the optional default bind
+    # address the ``repro serve`` front door listens on for this spec.
+    execution: str = "threads"
+    listen: Optional[str] = None
     # Optional population source for connect(spec) without explicit files.
     population: Optional[str] = None
 
@@ -130,6 +141,17 @@ class DeploymentSpec:
             )
         if self.units_per_shard is not None and self.units_per_shard < 1:
             raise ValueError("units_per_shard must be >= 1")
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+        if self.execution == "processes" and self.topology != "sharded":
+            raise ValueError(
+                "execution 'processes' (one worker process per shard) requires "
+                "topology 'sharded'; replicated shards stay in-process"
+            )
+        if self.listen is not None and not self.listen.startswith("tcp://"):
+            raise ValueError(
+                f"listen must be a tcp://host:port address, got {self.listen!r}"
+            )
 
     # ------------------------------------------------------------------ derived views
     @property
@@ -172,6 +194,8 @@ class DeploymentSpec:
             "wal_dir": self.wal_dir,
             "fsync_every": self.fsync_every,
             "service": service_config_to_dict(self.service),
+            "execution": self.execution,
+            "listen": self.listen,
             "population": self.population,
         }
 
@@ -193,6 +217,8 @@ class DeploymentSpec:
             "max_lag",
             "wal_dir",
             "fsync_every",
+            "execution",
+            "listen",
             "population",
         ):
             if key in payload:

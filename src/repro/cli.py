@@ -61,6 +61,18 @@ Subcommands
     baseline, and cursor-paginated page concatenation equals the
     unpaginated result.  Deadline-bearing probes demonstrate the expiry
     telemetry; ``--save-spec`` writes the resolved spec JSON for reuse.
+``serve``
+    Stand a deployment spec up and serve it over TCP: the network front
+    door.  Remote clients dial it with ``repro.api.connect("tcp://...")``
+    and get the full client surface (queries with request options,
+    pagination, mutations) over the wire protocol.
+``net-bench``
+    Benchmark the process-per-shard execution mode: the same scan-heavy
+    workload through 1 and N worker OS processes, gated on result
+    equivalence with an in-process baseline and on scatter-throughput
+    scaling (wall-clock scaling is additionally gated where the host has
+    the cores).  Writes ``BENCH_net.json``; every other bench subcommand
+    writes its own ``BENCH_<name>.json`` alongside its tables too.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -77,6 +89,7 @@ from repro.baselines.rtree_db import RTreeBaseline
 from repro.baselines.spyglass import SpyglassBaseline
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.eval.harness import run_query_workload
+from repro.eval.tracking import write_bench_json
 from repro.ingest import CompactionPolicy
 from repro.ingest.benchmarking import run_ingest_ablation
 from repro.eval.reporting import format_bytes, format_seconds, format_table
@@ -134,6 +147,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_shard_scaling.py": "Shard: scatter-gather equivalence + throughput scaling across shard counts",
     "bench_replica_failover.py": "Replication: kill-the-primary equivalence + failover availability",
     "bench_client_api.py": "Client API: unified front door equivalence + pagination across all topologies",
+    "bench_net_scaling.py": "Network: process-per-shard scatter equivalence + multi-core scaling over the wire protocol",
 }
 
 
@@ -360,6 +374,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "yes",
         ]
     ]
+    bench_rows = [
+        {
+            "configuration": "serial uncached",
+            "wall_s": serial_wall,
+            "qps": len(stream) / serial_wall,
+            "speedup": 1.0,
+            "identical": True,
+        }
+    ]
     telemetry_rows = None
     for label, cache_on, batching_on in configurations:
         config = ServiceConfig(
@@ -396,6 +419,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "yes" if identical else "NO",
             ]
         )
+        bench_rows.append(
+            {
+                "configuration": label,
+                "wall_s": report.wall_seconds,
+                "qps": report.achieved_qps,
+                "speedup": serial_wall / report.wall_seconds,
+                "cache_enabled": cache_on,
+                "batching_enabled": batching_on,
+                "identical": identical,
+            }
+        )
 
     _print(
         format_table(
@@ -415,7 +449,24 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 title="service telemetry (cache + batching, simulated latency)",
             )
         )
-    return 0
+    identical_all = all(r["identical"] for r in bench_rows)
+    path = write_bench_json(
+        "serve",
+        {"configurations": bench_rows, "serial_wall_s": serial_wall},
+        {
+            "files": len(files),
+            "requests": len(stream),
+            "unique_queries": len(base),
+            "repeat": args.repeat,
+            "workers": args.workers,
+            "mode": args.mode,
+            "units": args.units,
+            "seed": args.seed,
+        },
+        gates={"all results identical to serial baseline": identical_all},
+    )
+    _print(f"[bench json written to {path}]")
+    return 0 if identical_all else 1
 
 
 def _cmd_ingest_bench(args: argparse.Namespace) -> int:
@@ -464,6 +515,20 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
     )
     gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
     _print(format_table(["correctness gate", "passed"], gate_rows, title="write-path gates"))
+    path = write_bench_json(
+        "ingest",
+        {"rows": [row.as_table_row() for row in report.rows]},
+        {
+            "files": len(files),
+            "mutations": len(stream),
+            "units": args.units,
+            "fsync_batch": args.fsync_batch,
+            "compact_threshold": args.compact_threshold,
+            "seed": args.seed,
+        },
+        gates=report.gates,
+    )
+    _print(f"[bench json written to {path}]")
     return 0 if report.passed else 1
 
 
@@ -512,6 +577,7 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
         )
     )
     passed = report.passed
+    gates = dict(report.gates)
     if args.min_speedup > 0:
         best = report.best_speedup
         ok = best is not None and best >= args.min_speedup
@@ -521,7 +587,27 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
             f"{shown} >= {args.min_speedup:.2f}x required: "
             f"{'yes' if ok else 'NO'}"
         )
+        gates[f"scatter throughput >= {args.min_speedup:.2f}x"] = ok
         passed = passed and ok
+    path = write_bench_json(
+        "shard",
+        {
+            "rows": rows,
+            "best_speedup": report.best_speedup,
+        },
+        {
+            "files": len(files),
+            "shards": list(args.shards),
+            "units": args.units,
+            "queries_per_type": args.queries,
+            "mutations": args.mutations,
+            "partitioner": args.partitioner,
+            "min_speedup": args.min_speedup,
+            "seed": args.seed,
+        },
+        gates=gates,
+    )
+    _print(f"[bench json written to {path}]")
     return 0 if passed else 1
 
 
@@ -571,6 +657,24 @@ def _cmd_replica_bench(args: argparse.Namespace) -> int:
             title="replication gates (vs unfailed baseline)",
         )
     )
+    path = write_bench_json(
+        "replica",
+        {"rows": [row.as_table_row() for row in report.rows]},
+        {
+            "files": len(files),
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "modes": list(args.modes),
+            "max_lag": args.max_lag,
+            "units": args.units,
+            "queries_per_type": args.queries,
+            "mutations": args.mutations,
+            "partitioner": args.partitioner,
+            "seed": args.seed,
+        },
+        gates=report.gates,
+    )
+    _print(f"[bench json written to {path}]")
     return 0 if report.passed else 1
 
 
@@ -685,7 +789,148 @@ def _cmd_client_bench(args: argparse.Namespace) -> int:
     }
     gate_rows = [[name, "yes" if ok else "NO"] for name, ok in gates.items()]
     _print(format_table(["client-API gate", "passed"], gate_rows, title="gates"))
+    path = write_bench_json(
+        "client",
+        {
+            "topology": spec.topology,
+            "build_wall_s": build_wall,
+            "query_wall_s": query_wall,
+            "requests": len(workload),
+            "deadline_probes_expired": expired,
+            "attribution": {str(k): v for k, v in attribution.items()},
+        },
+        {
+            "files": len(files),
+            "queries_per_type": args.queries,
+            "page_size": args.page_size,
+            "units": args.units,
+            "seed": args.seed,
+            "spec": spec.to_dict(),
+        },
+        gates=gates,
+    )
+    _print(f"[bench json written to {path}]")
     return 0 if all(gates.values()) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.api import load_spec
+    from repro.server import serve_spec
+
+    spec = load_spec(args.spec)
+    files = _load_population(args.input) if args.input else None
+
+    server = serve_spec(
+        spec,
+        files,
+        listen=args.listen,
+        max_connections=args.max_connections,
+        max_in_flight=args.max_in_flight,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+    )
+    _print(
+        f"serving {spec.topology} deployment "
+        f"({server.client.spec.execution} execution) at {server.address}"
+    )
+    sys.stdout.flush()
+
+    stop = threading.Event()
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _stop)
+        except ValueError:  # pragma: no cover - non-main-thread embedding
+            pass
+    try:
+        # Wake periodically so remote shutdown (server._closed) is noticed.
+        while not stop.is_set() and not server._closed:
+            stop.wait(0.25)
+    finally:
+        server.close()
+        _print("server stopped")
+    return 0
+
+
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    from repro.server.benchmarking import run_net_scaling
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gate compares deployments
+    # with different physical layouts, so bounded-breadth recall loss must
+    # not masquerade as a wire-protocol bug (same policy as shard-bench).
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    report = run_net_scaling(
+        files,
+        config,
+        args.workers,
+        queries_per_type=args.queries,
+        workload_seed=args.seed + 1,
+        partitioner=args.partitioner,
+    )
+
+    scaling_ok = report.gate_scaling(args.min_speedup)
+    wall_ok = report.gate_wall_speedup(args.min_speedup)
+    rows = [
+        row.as_table_row(
+            report.speedup_of(row.workers), report.wall_speedup_of(row.workers)
+        )
+        for row in report.rows
+    ]
+    _print(
+        format_table(
+            ["workers", "build (s)", "wall (s)", "busiest worker (sim ms)",
+             "scatter q/s", "speedup", "wall q/s", "wall speedup", "identical"],
+            rows,
+            title=f"net-bench: {len(files)} files, {args.units} total units, "
+            f"{2 * args.queries} scan-heavy queries, one OS process per worker "
+            f"({report.cores} core(s) on this host)",
+        )
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(
+        format_table(
+            ["net-path gate", "passed"],
+            gate_rows,
+            title="process-per-shard gates (vs in-process baseline)",
+        )
+    )
+    if wall_ok is None:
+        _print(
+            f"wall-clock gate skipped: host has {report.cores} core(s) < "
+            f"{report.max_workers} workers (scatter-throughput gate still applies)"
+        )
+    path = write_bench_json(
+        "net",
+        {
+            "rows": rows,
+            "speedup": report.speedup_of(report.max_workers),
+            "wall_speedup": report.wall_speedup_of(report.max_workers),
+            "cores": report.cores,
+        },
+        {
+            "files": len(files),
+            "workers": list(args.workers),
+            "units": args.units,
+            "queries_per_type": args.queries,
+            "partitioner": args.partitioner,
+            "min_speedup": args.min_speedup,
+            "seed": args.seed,
+        },
+        gates=report.gates,
+    )
+    _print(f"[bench json written to {path}]")
+    return 0 if report.passed else 1
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -870,6 +1115,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--save-spec",
                           help="write the resolved deployment spec JSON here")
     p_client.set_defaults(func=_cmd_client_bench)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve a deployment spec over TCP (the network front door)",
+    )
+    p_srv.add_argument("--spec", required=True,
+                       help="deployment spec JSON to stand up and serve")
+    p_srv.add_argument("--input",
+                       help="population or trace JSON-Lines to index "
+                       "(default: the spec's population path)")
+    p_srv.add_argument("--listen",
+                       help="tcp://host:port to bind (default: the spec's "
+                       "listen address, else an ephemeral loopback port)")
+    p_srv.add_argument("--max-connections", type=int, default=64,
+                       help="concurrent connection cap")
+    p_srv.add_argument("--max-in-flight", type=int, default=None,
+                       help="concurrent request admission cap (composes with "
+                       "the service's own max_in_flight)")
+    p_srv.add_argument("--allow-remote-shutdown", action="store_true",
+                       help="accept the wire protocol's shutdown op")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_net = sub.add_parser(
+        "net-bench",
+        help="benchmark process-per-shard scatter over the wire protocol",
+    )
+    add_trace_source(p_net)
+    p_net.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_net.add_argument("--units", type=int, default=16,
+                       help="total storage-unit budget (split across workers)")
+    p_net.add_argument("--workers", type=int, nargs="+", default=[1, 4],
+                       help="worker-process counts to compare (default: 1 4)")
+    p_net.add_argument("--queries", type=int, default=24,
+                       help="scan-heavy queries per type (range/top-k)")
+    p_net.add_argument("--partitioner", choices=("semantic", "hash"),
+                       default="semantic", help="corpus partitioner")
+    p_net.add_argument("--min-speedup", type=float, default=2.5,
+                       help="fail unless the largest worker count reaches this "
+                       "scatter-throughput speedup over 1 worker")
+    p_net.set_defaults(func=_cmd_net_bench)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

@@ -11,7 +11,9 @@ tables and figures lives here:
 * :mod:`repro.eval.space` — per-node space overhead comparison (Figure 7);
 * :mod:`repro.eval.thresholds` — the optimal-threshold studies (Figure 11);
 * :mod:`repro.eval.reporting` — plain-text table formatting shared by the
-  benchmarks and EXPERIMENTS.md.
+  benchmarks and EXPERIMENTS.md;
+* :mod:`repro.eval.tracking` — machine-readable ``BENCH_<name>.json``
+  artefacts every bench entry point writes alongside its tables.
 """
 
 from repro.eval.recall import recall, ground_truth_range, ground_truth_topk
@@ -28,8 +30,11 @@ from repro.eval.harness import (
 from repro.eval.space import space_comparison
 from repro.eval.thresholds import optimal_threshold_vs_scale, optimal_threshold_per_level
 from repro.eval.reporting import format_table, format_seconds, format_bytes
+from repro.eval.tracking import bench_json_path, write_bench_json
 
 __all__ = [
+    "bench_json_path",
+    "write_bench_json",
     "recall",
     "ground_truth_range",
     "ground_truth_topk",

@@ -1,0 +1,96 @@
+"""Machine-readable benchmark artefacts: ``BENCH_<name>.json``.
+
+Every bench entry point (the CLI's ``serve-bench`` / ``ingest-bench`` /
+``shard-bench`` / ``replica-bench`` / ``client-bench`` / ``net-bench``
+and the pytest benchmarks that adopt it) writes one JSON document at the
+repository root alongside its human-readable table, so CI and regression
+tooling can diff runs without parsing text:
+
+.. code-block:: json
+
+    {
+      "format": "repro.bench-result",
+      "bench": "net",
+      "version": "1.6.0",
+      "timestamp": "2026-08-08T12:00:00+00:00",
+      "config": {"shards": 4, "...": "..."},
+      "metrics": {"speedup": 3.1, "...": "..."},
+      "gates": {"scaling >= 2.5x": true}
+    }
+
+``config`` is what the run was asked to do, ``metrics`` what it
+measured, ``gates`` the pass/fail booleans its exit code asserts.
+Values are coerced to plain JSON types best-effort (numpy scalars
+unwrap, sets sort, everything else falls back to ``repr``).
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["bench_json_path", "write_bench_json"]
+
+BENCH_FORMAT = "repro.bench-result"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort coercion to plain JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "as_dict"):
+        return _jsonable(value.as_dict())
+    return repr(value)
+
+
+def bench_json_path(
+    name: str, directory: Optional[Union[str, Path]] = None
+) -> Path:
+    """Where ``write_bench_json`` puts the artefact (repo root by default)."""
+    base = Path(directory) if directory is not None else Path.cwd()
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    metrics: Dict[str, Any],
+    config: Optional[Dict[str, Any]] = None,
+    *,
+    gates: Optional[Dict[str, bool]] = None,
+    directory: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Write one ``BENCH_<name>.json`` document; returns its path.
+
+    ``name`` is the bench's short name (``"serve"``, ``"net"``, ...);
+    the artefact lands in ``directory`` (default: the current working
+    directory, i.e. the repo root for CLI and CI runs).
+    """
+    from repro import __version__
+
+    path = bench_json_path(name, directory)
+    document = {
+        "format": BENCH_FORMAT,
+        "bench": name,
+        "version": __version__,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": _jsonable(config or {}),
+        "metrics": _jsonable(metrics),
+        "gates": {str(k): bool(v) for k, v in (gates or {}).items()},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,263 @@
+"""The remote client: ``connect("tcp://host:port")`` as a drop-in Client.
+
+:class:`RemoteClient` mirrors the :class:`~repro.api.client.Client`
+surface — ``execute`` / ``submit`` / ``execute_many`` / ``pages``,
+``insert`` / ``delete`` / ``modify``, ``stats`` / ``epoch`` /
+``topology``, ``close`` and context-manager support — over one TCP
+connection pool speaking the :mod:`wire protocol
+<repro.server.protocol>`.  Every call returns the same
+:class:`~repro.api.response.Response` envelope a local client returns,
+rebuilt losslessly from the wire form, so code (and fingerprint suites)
+written against a local deployment runs unchanged against a remote one.
+
+Server-side exceptions arrive as error envelopes and are re-raised as
+their own classes where known (:class:`InvalidCursorError`,
+:class:`DeadlineExceededError`, :class:`PartialResultError`,
+:class:`ServiceOverloadedError`, ...), so remote error handling is
+written exactly like local error handling.  Pagination state (the pinned
+page-stream snapshots) lives on the server; cursors travel as the opaque
+strings they already are.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.api.options import RequestOptions
+from repro.api.response import Response
+from repro.metadata.file_metadata import FileMetadata
+from repro.persistence.jsonl import file_to_dict
+from repro.server import protocol
+from repro.server.protocol import (
+    ProtocolError,
+    WireCodec,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import parse_address
+from repro.workloads.types import Query
+
+__all__ = ["RemoteClient", "connect_remote"]
+
+#: Default per-call socket timeout (finite so a dead server surfaces as
+#: an error, generous so legitimate scans are never cut off).
+CALL_TIMEOUT_S = 120.0
+
+#: Async submit()s run on this many client-side threads.
+SUBMIT_WORKERS = 8
+
+
+def connect_remote(
+    address: str,
+    *,
+    codec: str = "json",
+    timeout_s: float = CALL_TIMEOUT_S,
+) -> "RemoteClient":
+    """Open a remote deployment: ``connect_remote("tcp://host:port")``."""
+    return RemoteClient(address, codec=codec, timeout_s=timeout_s)
+
+
+class RemoteClient:
+    """A connected remote deployment (usually via ``connect("tcp://...")``)."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        codec: str = "json",
+        timeout_s: float = CALL_TIMEOUT_S,
+    ) -> None:
+        self.address = address
+        self._host, self._port = parse_address(address)
+        self._timeout_s = timeout_s
+        self._codec = WireCodec("json")
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        # Hello exchange: verify the protocol version, learn the server's
+        # topology, and negotiate the payload codec for the pool.
+        hello = self._call({"op": "hello", "protocol": protocol.PROTOCOL_VERSION,
+                            "codec": codec})
+        self.server_info: Dict[str, Any] = {
+            k: v for k, v in hello.items() if k not in ("id", "ok")
+        }
+        negotiated = str(hello.get("codec", "json"))
+        if negotiated != self._codec.name:
+            # Pooled connections were opened under the old codec; drop
+            # them so every future frame speaks the negotiated one.
+            with self._lock:
+                conns, self._conns = self._conns, []
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._codec = WireCodec(negotiated)
+
+    # ------------------------------------------------------------------ transport
+    def _dial(self) -> socket.socket:
+        conn = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout_s
+        )
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._request_id += 1
+            return self._request_id
+
+    def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/reply exchange on a pooled connection."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        payload = dict(payload)
+        payload["id"] = self._next_id()
+        with self._lock:
+            conn = self._conns.pop() if self._conns else None
+        if conn is None:
+            conn = self._dial()
+        try:
+            write_frame(conn, payload, self._codec)
+            reply = read_frame(conn, self._codec)
+        except BaseException:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            if not self._closed:
+                self._conns.append(conn)
+                conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if not reply.get("ok"):
+            protocol.raise_remote_error(reply.get("error", {}))
+        return reply
+
+    # ------------------------------------------------------------------ queries
+    def execute(
+        self, query: Query, options: Optional[RequestOptions] = None
+    ) -> Response:
+        """Serve one query remotely; returns the uniform Response envelope."""
+        reply = self._call(
+            {
+                "op": "execute",
+                "query": protocol.query_to_wire(query),
+                "options": protocol.options_to_wire(options),
+            }
+        )
+        return protocol.response_from_wire(reply["response"])
+
+    def submit(
+        self, query: Query, options: Optional[RequestOptions] = None
+    ) -> "Future[Response]":
+        """Admit one query asynchronously (a client-side worker drives the
+        round-trip; the server interleaves it with other connections)."""
+        if options is not None and options.paginated:
+            raise ValueError("paginated requests must go through execute()")
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=SUBMIT_WORKERS,
+                    thread_name_prefix="repro-remote-submit",
+                )
+            pool = self._pool
+        return pool.submit(self.execute, query, options)
+
+    def execute_many(
+        self, queries: Sequence[Query], options: Optional[RequestOptions] = None
+    ) -> List[Response]:
+        """Serve a whole workload, preserving input order."""
+        futures = [self.submit(q, options) for q in queries]
+        return [f.result() for f in futures]
+
+    def pages(
+        self, query: Query, page_size: int, options: Optional[RequestOptions] = None
+    ) -> Iterator[Response]:
+        """Iterate every page of a paginated result (convenience)."""
+        options = options if options is not None else RequestOptions()
+        response = self.execute(
+            query, replace(options, page_size=page_size, cursor=None)
+        )
+        yield response
+        while response.cursor is not None:
+            response = self.execute(
+                query, replace(options, page_size=None, cursor=response.cursor)
+            )
+            yield response
+
+    # ------------------------------------------------------------------ mutations
+    def insert(self, file: FileMetadata) -> Response:
+        return self._mutate("insert", file)
+
+    def delete(self, file: FileMetadata) -> Response:
+        return self._mutate("delete", file)
+
+    def modify(self, file: FileMetadata) -> Response:
+        return self._mutate("modify", file)
+
+    def _mutate(self, kind: str, file: FileMetadata) -> Response:
+        reply = self._call(
+            {"op": "mutate", "kind": kind, "file": file_to_dict(file)}
+        )
+        return protocol.response_from_wire(reply["response"])
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def topology(self) -> str:
+        return str(self.server_info.get("topology", "unknown"))
+
+    def epoch(self) -> str:
+        """The remote deployment's current version-clock snapshot."""
+        return str(self._call({"op": "epoch"})["epoch"])
+
+    def stats(self) -> Dict[str, Any]:
+        """The remote deployment's uniform statistics document."""
+        return dict(self._call({"op": "stats"})["stats"])
+
+    def ping(self) -> bool:
+        self._call({"op": "ping"})
+        return True
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release every connection (idempotent; safe with open cursors —
+        pagination state lives server-side and expires there)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns, self._conns = self._conns, []
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for conn in conns:
+            try:
+                write_frame(conn, {"id": 0, "op": "bye"}, self._codec)
+            except (OSError, ProtocolError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"RemoteClient({self.address!r}, {self.topology}, {state})"

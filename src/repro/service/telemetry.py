@@ -31,6 +31,7 @@ from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 __all__ = [
     "QUERY_KINDS",
     "MUTATION_KINDS",
+    "NetworkStats",
     "QueryClassStats",
     "ServiceTelemetry",
     "kind_of",
@@ -135,6 +136,43 @@ class QueryClassStats:
         return d
 
 
+@dataclass
+class NetworkStats:
+    """Front-door transport counters (zero unless the deployment serves
+    remote clients — see :class:`repro.server.server.StoreServer`).
+
+    ``worker_processes`` / ``worker_calls_failed`` mirror the
+    process-per-shard execution mode: how many shard worker processes the
+    deployment runs, and how many scatter calls to them failed (each such
+    failure surfaced as an incomplete per-shard result, never a hang).
+    """
+
+    connections_accepted: int = 0
+    connections_rejected: int = 0
+    connections_active: int = 0
+    requests_served: int = 0
+    requests_rejected: int = 0
+    protocol_errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    worker_processes: int = 0
+    worker_calls_failed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "connections_accepted": self.connections_accepted,
+            "connections_rejected": self.connections_rejected,
+            "connections_active": self.connections_active,
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "protocol_errors": self.protocol_errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "worker_processes": self.worker_processes,
+            "worker_calls_failed": self.worker_calls_failed,
+        }
+
+
 class ServiceTelemetry:
     """Thread-safe aggregation of every request the service serves."""
 
@@ -157,6 +195,9 @@ class ServiceTelemetry:
         self.failovers = 0
         self.degraded_reads = 0
         self.replica_retries = 0
+        # Transport counters, populated only when a network front door
+        # (or a process-per-shard router) sits over this service.
+        self.network = NetworkStats()
 
     # ------------------------------------------------------------------ wall clock
     def start_window(self) -> None:
@@ -220,6 +261,43 @@ class ServiceTelemetry:
         with self._lock:
             self.deadline_expired += 1
 
+    def record_connection(self, *, accepted: bool) -> None:
+        """Count one inbound connection (accepted or turned away)."""
+        with self._lock:
+            if accepted:
+                self.network.connections_accepted += 1
+                self.network.connections_active += 1
+            else:
+                self.network.connections_rejected += 1
+
+    def record_disconnect(self) -> None:
+        with self._lock:
+            self.network.connections_active = max(
+                0, self.network.connections_active - 1
+            )
+
+    def record_net_request(
+        self, *, bytes_in: int = 0, bytes_out: int = 0, rejected: bool = False
+    ) -> None:
+        """Count one framed request handled by the front door."""
+        with self._lock:
+            if rejected:
+                self.network.requests_rejected += 1
+            else:
+                self.network.requests_served += 1
+            self.network.bytes_in += bytes_in
+            self.network.bytes_out += bytes_out
+
+    def record_protocol_error(self) -> None:
+        with self._lock:
+            self.network.protocol_errors += 1
+
+    def record_worker_stats(self, *, processes: int, calls_failed: int) -> None:
+        """Mirror the process-per-shard router's health into telemetry."""
+        with self._lock:
+            self.network.worker_processes = processes
+            self.network.worker_calls_failed = calls_failed
+
     def record_replication_events(self, events: Dict[str, int]) -> None:
         """Fold replication-event deltas into the service-level counters."""
         with self._lock:
@@ -252,6 +330,7 @@ class ServiceTelemetry:
                 "failovers": self.failovers,
                 "degraded_reads": self.degraded_reads,
                 "replica_retries": self.replica_retries,
+                "network": self.network.as_dict(),
                 "classes": {k: c.as_dict() for k, c in self._classes.items()},
             }
 

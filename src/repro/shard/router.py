@@ -58,6 +58,35 @@ picks (catch-up-on-read keeps answers identical), a primary crash promotes
 the freshest replica mid-scatter without failing the client request, and
 the router aggregates per-group failover/degraded-read counters for the
 service telemetry (:meth:`ShardRouter.drain_replication_events`).
+
+Shard backends
+--------------
+The router never assumes its shards are in-process objects — it programs
+against a *shard backend* contract, so one router implementation serves
+both execution modes:
+
+* ``shard.engine`` with ``point_query`` / ``range_query`` / ``topk_query``
+  (accepting ``home_unit``, cooperative ``deadline``, ``max_d_bound`` and,
+  for replicated shards, ``consistency``), plus ``to_index_space`` /
+  ``index_lower`` / ``index_upper`` on the first shard for summary
+  geometry;
+* ``shard.files`` / ``shard.schema`` / ``shard.config`` / ``shard.cluster``
+  / ``shard.versioning`` for summaries, home-unit mapping and cache
+  epochs;
+* a paired *pipeline* with ``insert`` / ``delete`` / ``modify`` /
+  ``compactor`` / ``overlay`` / ``close``.
+
+:class:`~repro.core.smartstore.SmartStore` (+
+:class:`~repro.ingest.pipeline.IngestPipeline`) and
+:class:`~repro.replication.group.ReplicaGroup` satisfy it in-process
+(threads execution mode); :class:`repro.server.worker.RemoteShard` — a
+proxy speaking the wire protocol to a dedicated worker *process* —
+satisfies it remotely (processes execution mode), which is how scan-heavy
+scatter-gather escapes the GIL.  A backend whose worker has died raises
+:class:`ShardUnavailableError`; the scatter converts that into an
+*incomplete empty* per-shard result, so the merged payload comes back
+``complete=False`` and the client's partial/fail policy decides what the
+caller sees.
 """
 
 from __future__ import annotations
@@ -85,7 +114,23 @@ from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
 from repro.shard.partitioner import corpus_index_bounds, make_partitioner
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
-__all__ = ["ShardSummary", "ShardRouter", "build_shard_router"]
+__all__ = [
+    "ShardSummary",
+    "ShardRouter",
+    "ShardUnavailableError",
+    "build_shard_router",
+]
+
+
+class ShardUnavailableError(ConnectionError):
+    """A shard backend cannot be reached (its worker process died or its
+    transport failed).  Raised by remote backends; the router's scatter
+    turns it into an incomplete per-shard result rather than failing the
+    whole request."""
+
+    def __init__(self, shard_id: int, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
 
 #: Geometry of the router-level per-shard filename Bloom filters.  Sized for
 #: corpora of tens of thousands of filenames per shard at a negligible
@@ -303,6 +348,7 @@ class ShardRouter:
         self.queries: Dict[str, int] = {"point": 0, "range": 0, "topk": 0}
         self.shards_contacted = 0
         self.shards_pruned = 0
+        self.shard_calls_failed = 0
         self.mutations_routed = 0
         # Simulated busy time each shard has accumulated answering its part
         # of the scatter-gather work.  Shards are independent deployments,
@@ -382,9 +428,27 @@ class ShardRouter:
         if consistency is not None and isinstance(self.shards[shard_id], ReplicaGroup):
             kwargs["consistency"] = consistency
             kwargs["max_staleness"] = max_staleness
-        result: QueryResult = getattr(self.shards[shard_id].engine, method)(
-            query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
-        )
+        try:
+            result: QueryResult = getattr(self.shards[shard_id].engine, method)(
+                query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
+            )
+        except ShardUnavailableError:
+            # The backend's worker is gone: this shard contributes an
+            # *incomplete empty* result, so the merged payload is marked
+            # complete=False and the caller's partial/fail policy applies —
+            # a dead worker must degrade a scatter, never hang or crash it.
+            with self._stats_lock:
+                self.shard_calls_failed += 1
+            return QueryResult(
+                files=[],
+                metrics=Metrics(),
+                latency=0.0,
+                groups_visited=0,
+                hops=0,
+                found=False,
+                distances=[],
+                complete=False,
+            )
         with self._stats_lock:
             self.shard_busy_seconds[shard_id] += result.latency
         return result
@@ -684,6 +748,19 @@ class ShardRouter:
         with self._mutation_lock:
             return self._owner.get(file_id)
 
+    def dead_shards(self) -> List[int]:
+        """Shard ids whose backend is known to be unreachable.
+
+        In-process backends are always alive; remote backends flip their
+        ``alive`` flag the first time a call fails, which is what response
+        attribution reports for partial results.
+        """
+        return [
+            sid
+            for sid, shard in enumerate(self.shards)
+            if not getattr(shard, "alive", True)
+        ]
+
     # ------------------------------------------------------------------ replication
     def replica_groups(self) -> List[ReplicaGroup]:
         """The shards that are replica groups (empty for an unreplicated router)."""
@@ -736,6 +813,8 @@ class ShardRouter:
             "queries_routed": routed,
             "shards_contacted": contacted,
             "shards_pruned": pruned,
+            "shard_calls_failed": self.shard_calls_failed,
+            "dead_shards": self.dead_shards(),
             "mutations_routed": self.mutations_routed,
             "shard_busy_seconds": list(self.shard_busy_seconds),
             "staged_per_shard": [len(p.overlay) for p in self.pipelines],
