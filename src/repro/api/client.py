@@ -53,6 +53,7 @@ from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import TraceContext, get_slowlog, get_tracer
 from repro.persistence.jsonl import load_files
 from repro.replication.group import ReplicaGroup, _build_replica_group
 from repro.service.service import QueryService
@@ -227,12 +228,28 @@ class Client:
         (policy ``"fail"``) — the expiry is counted in the service
         telemetry either way.
         """
-        options = options if options is not None else RequestOptions()
+        options = self._traced_options(options)
         started = time.perf_counter()
-        if options.paginated:
-            return self._execute_page(query, options, started)
-        result = self.service.execute(query, options if options.constrained else None)
-        return self._wrap_result(result, options, started)
+        ctx = (
+            TraceContext(options.trace_id, options.trace_parent or "")
+            if options.trace_id is not None
+            else None
+        )
+        with get_tracer().span(
+            "client.execute",
+            ctx,
+            query=type(query).__name__,
+        ) as root:
+            inner = self._child_options(options, root.span_id)
+            if options.paginated:
+                response = self._execute_page(query, inner, started)
+            else:
+                result = self.service.execute(
+                    query, self._service_options(inner)
+                )
+                response = self._wrap_result(result, inner, started)
+        self._maybe_slowlog(response)
+        return response
 
     def submit(self, query: Query, options: Optional[RequestOptions] = None) -> "Future[Response]":
         """Admit one query asynchronously; resolves to a :class:`Response`.
@@ -240,11 +257,11 @@ class Client:
         Paginated options are not accepted here — a page stream is an
         interactive, cursor-driven protocol; use :meth:`execute`.
         """
-        options = options if options is not None else RequestOptions()
+        options = self._traced_options(options)
         if options.paginated:
             raise ValueError("paginated requests must go through execute()")
         started = time.perf_counter()
-        inner = self.service.submit(query, options if options.constrained else None)
+        inner = self.service.submit(query, self._service_options(options))
         outer: "Future[Response]" = Future()
 
         def _done(f: "Future[QueryResult]") -> None:
@@ -294,15 +311,28 @@ class Client:
 
     def _mutate(self, kind: str, file: FileMetadata) -> Response:
         started = time.perf_counter()
-        future: "Future[MutationReceipt]" = getattr(self.service, f"submit_{kind}")(file)
-        receipt = future.result()
-        return Response(
+        tracer = get_tracer()
+        # Continue the ambient trace when one is active (the server edge's
+        # span), else start a fresh one per mutation.
+        ctx = tracer.current() if tracer.enabled else None
+        if ctx is None and tracer.enabled:
+            ctx = TraceContext.new()
+        trace_id = ctx.trace_id if ctx is not None else None
+        with tracer.span("client.mutate", ctx, kind=kind):
+            future: "Future[MutationReceipt]" = getattr(
+                self.service, f"submit_{kind}"
+            )(file)
+            receipt = future.result()
+        response = Response(
             kind="mutation",
             latency_s=receipt.latency,
             wall_s=time.perf_counter() - started,
             receipt=receipt,
             attribution=self._attribution(),
+            trace_id=trace_id,
         )
+        self._maybe_slowlog(response)
+        return response
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -347,6 +377,51 @@ class Client:
             d["primary"] = store.primary_id
         return d
 
+    # ------------------------------------------------------------------ tracing plumbing
+    @staticmethod
+    def _traced_options(options: Optional[RequestOptions]) -> RequestOptions:
+        """Default options, with a fresh trace id attached when tracing is
+        on and the caller did not bring one.  Trace fields never make the
+        request constrained, so caching/batching behaviour is unchanged."""
+        options = options if options is not None else RequestOptions()
+        if options.trace_id is None and get_tracer().enabled:
+            options = replace(options, trace_id=TraceContext.new().trace_id)
+        return options
+
+    @staticmethod
+    def _child_options(options: RequestOptions, span_id: str) -> RequestOptions:
+        """Re-parent the options under the client's root span."""
+        if options.trace_id is None or not span_id:
+            return options
+        return replace(options, trace_parent=span_id)
+
+    @staticmethod
+    def _service_options(options: RequestOptions) -> Optional[RequestOptions]:
+        """What the service layer receives: the options object when it
+        constrains the request *or* carries a trace (the service reads the
+        trace fields but treats the request as unconstrained), else None —
+        exactly the legacy call shape for plain requests."""
+        return options if options.constrained or options.traced else None
+
+    def _maybe_slowlog(self, response: Response) -> None:
+        slowlog = get_slowlog()
+        if not slowlog.enabled:
+            return
+        spans: Sequence[Any] = ()
+        if response.trace_id is not None:
+            spans = get_tracer().collector.spans_for(response.trace_id)
+        slowlog.maybe_record(
+            wall_s=response.wall_s,
+            kind=response.kind,
+            trace_id=response.trace_id,
+            latency_s=response.latency_s,
+            complete=response.complete,
+            deadline_expired=response.deadline_expired,
+            attribution=dict(response.attribution),
+            epoch=self.epoch(),
+            spans=spans,
+        )
+
     # ------------------------------------------------------------------ envelope plumbing
     def _wrap_result(
         self, result: QueryResult, options: RequestOptions, started: float
@@ -361,6 +436,7 @@ class Client:
             deadline_expired=expired,
             result=result,
             attribution=self._attribution(),
+            trace_id=options.trace_id,
         )
 
     def _enforce_completeness(
@@ -392,7 +468,7 @@ class Client:
     # ------------------------------------------------------------------ pagination
     def _run_full(self, query: Query, options: RequestOptions) -> QueryResult:
         stripped = replace(options, page_size=None, cursor=None)
-        return self.service.execute(query, stripped if stripped.constrained else None)
+        return self.service.execute(query, self._service_options(stripped))
 
     def _pin(self, snapshot: _Snapshot) -> str:
         with self._snapshot_lock:
@@ -503,4 +579,5 @@ class Client:
             deadline_expired=expired,
             page=page,
             attribution=self._attribution(),
+            trace_id=options.trace_id,
         )

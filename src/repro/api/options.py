@@ -100,6 +100,13 @@ class RequestOptions:
     max_staleness: int = 0
     page_size: Optional[int] = None
     cursor: Optional[str] = None
+    #: Distributed-tracing correlation (see :mod:`repro.obs.trace`).
+    #: Set by the client edge when tracing is enabled, or supplied by a
+    #: caller continuing an existing trace.  Telemetry-only: trace fields
+    #: never make a request :attr:`constrained` — a traced request must
+    #: behave (cache, batching) exactly like its untraced twin.
+    trace_id: Optional[str] = None
+    trace_parent: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and (
@@ -131,6 +138,10 @@ class RequestOptions:
             or self.page_size is not None
             or self.cursor is not None
         )
+
+    @property
+    def traced(self) -> bool:
+        return self.trace_id is not None
 
     @property
     def paginated(self) -> bool:

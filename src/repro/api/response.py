@@ -70,6 +70,9 @@ class Response:
     page: Optional[ResultPage] = None
     receipt: Optional[MutationReceipt] = None
     attribution: Dict[str, object] = field(default_factory=dict)
+    #: Correlation id of the distributed trace this request recorded into
+    #: (None when tracing was off).  See :mod:`repro.obs.trace`.
+    trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------ payload accessors
     @property
@@ -107,6 +110,8 @@ class Response:
             "files": len(self.files),
             "attribution": dict(self.attribution),
         }
+        if self.trace_id is not None:
+            d["trace_id"] = self.trace_id
         if self.receipt is not None:
             d["receipt"] = {
                 "seq": self.receipt.seq,

@@ -817,8 +817,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro import obs
     from repro.api import load_spec
     from repro.server import serve_spec
+
+    if args.trace or args.slow_query_s is not None:
+        # Must happen before the deployment is built so spawned shard
+        # workers inherit the tracing switch.
+        obs.configure(
+            tracing=bool(args.trace),
+            slow_query_threshold_s=args.slow_query_s,
+            slow_query_path=args.slow_query_log,
+        )
+        if args.trace:
+            _print("tracing enabled (export via the trace_export op / repro obs-export)")
+        if args.slow_query_s is not None:
+            _print(f"slow-query log enabled at {args.slow_query_s}s threshold")
 
     spec = load_spec(args.spec)
     files = _load_population(args.input) if args.input else None
@@ -854,6 +868,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
         _print("server stopped")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import SpanCollector
+    from repro.server.remote import connect_remote
+
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with connect_remote(args.address) as client:
+        metrics_text = client.metrics_text()
+        spans = client.export_spans()
+
+    prom_path = out_dir / f"{args.prefix}.prom"
+    prom_path.write_text(metrics_text, encoding="utf-8")
+
+    # Re-materialise the server's spans locally so both export formats
+    # come from the same collector code path.
+    collector = SpanCollector(capacity=max(1, len(spans) or 1))
+    ingested = collector.ingest(spans)
+    jsonl_path = collector.export_jsonl(out_dir / f"{args.prefix}_trace.jsonl")
+    chrome_path = collector.export_chrome(
+        out_dir / f"{args.prefix}_trace.chrome.json"
+    )
+
+    _print(f"wrote {prom_path} ({len(metrics_text.splitlines())} lines)")
+    _print(f"wrote {jsonl_path} ({ingested} spans)")
+    _print(f"wrote {chrome_path} (open in Perfetto / chrome://tracing)")
+    if not ingested:
+        _print("note: no spans on the server — was it started with --trace?")
     return 0
 
 
@@ -1135,7 +1179,29 @@ def build_parser() -> argparse.ArgumentParser:
                        "the service's own max_in_flight)")
     p_srv.add_argument("--allow-remote-shutdown", action="store_true",
                        help="accept the wire protocol's shutdown op")
+    p_srv.add_argument("--trace", action="store_true",
+                       help="enable distributed tracing (spans exportable "
+                       "via the trace_export op / repro obs-export)")
+    p_srv.add_argument("--slow-query-s", type=float, default=None,
+                       help="emit a structured slow-query record for "
+                       "requests slower than this many seconds")
+    p_srv.add_argument("--slow-query-log",
+                       help="append slow-query records to this JSONL file "
+                       "(default: in-memory ring only)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_obs = sub.add_parser(
+        "obs-export",
+        help="export metrics and traces from a running server",
+    )
+    p_obs.add_argument("--address", required=True,
+                       help="tcp://host:port of the running repro serve")
+    p_obs.add_argument("--output-dir", default="obs",
+                       help="directory for the exported artefacts "
+                       "(default: ./obs)")
+    p_obs.add_argument("--prefix", default="repro",
+                       help="artefact filename prefix (default: repro)")
+    p_obs.set_defaults(func=_cmd_obs_export)
 
     p_net = sub.add_parser(
         "net-bench",

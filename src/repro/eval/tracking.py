@@ -27,13 +27,35 @@ unwrap, sets sort, everything else falls back to ``repr``).
 from __future__ import annotations
 
 import json
+import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["bench_json_path", "write_bench_json"]
 
 BENCH_FORMAT = "repro.bench-result"
+
+#: Secondary artefact location: every bench JSON is mirrored here so a
+#: run's results accumulate in one directory (the repo-root copies stay
+#: for tooling that diffs the latest run in place).
+RESULTS_DIR = "benchmarks/results"
+
+
+def _git_rev() -> Optional[str]:
+    """The working tree's short commit hash, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
 
 
 def _jsonable(value: Any) -> Any:
@@ -71,11 +93,15 @@ def write_bench_json(
     gates: Optional[Dict[str, bool]] = None,
     directory: Optional[Union[str, Path]] = None,
 ) -> Path:
-    """Write one ``BENCH_<name>.json`` document; returns its path.
+    """Write one ``BENCH_<name>.json`` document; returns its primary path.
 
     ``name`` is the bench's short name (``"serve"``, ``"net"``, ...);
     the artefact lands in ``directory`` (default: the current working
-    directory, i.e. the repo root for CLI and CI runs).
+    directory, i.e. the repo root for CLI and CI runs) **and** is
+    mirrored into ``benchmarks/results/`` relative to the primary
+    location, so per-run results accumulate in one place.  Each document
+    stamps the run's UTC timestamp and (when inside a checkout) the git
+    revision it measured.
     """
     from repro import __version__
 
@@ -85,12 +111,18 @@ def write_bench_json(
         "bench": name,
         "version": __version__,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
         "config": _jsonable(config or {}),
         "metrics": _jsonable(metrics),
         "gates": {str(k): bool(v) for k, v in (gates or {}).items()},
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump(document, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    targets: List[Path] = [path]
+    mirror = path.parent / RESULTS_DIR / path.name
+    if mirror.resolve() != path.resolve():
+        targets.append(mirror)
+    for target in targets:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return path

@@ -42,6 +42,7 @@ from repro.ingest.compactor import CompactionPolicy, Compactor
 from repro.ingest.overlay import StagingOverlay
 from repro.ingest.wal import WALRecord, WriteAheadLog
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import get_tracer
 from repro.persistence.jsonl import load_files, save_files, schema_from_dict, schema_to_dict
 from repro.persistence.snapshot import config_from_dict, config_to_dict
 
@@ -134,7 +135,7 @@ class IngestPipeline:
     def _apply(self, kind: str, file: FileMetadata) -> MutationReceipt:
         if self._closed:
             raise RuntimeError("pipeline is closed")
-        with self.lock:
+        with self.lock, get_tracer().span("ingest.apply", kind=kind):
             # Log first: the mutation must be durable before any in-memory
             # structure reflects it, or a crash could acknowledge a write
             # that recovery cannot reproduce.  The WAL's shipping hook

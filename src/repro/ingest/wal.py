@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import get_tracer
 from repro.persistence.jsonl import file_from_dict, file_to_dict
 
 __all__ = ["WALRecord", "WALReplay", "WriteAheadLog", "WAL_FORMAT"]
@@ -184,8 +185,9 @@ class WriteAheadLog:
                 f"explicit seq {seq} would regress the log (next is {self._next_seq})"
             )
         record = WALRecord(seq=seq, kind=kind, file=file)
-        self._fh.write(json.dumps(record.to_payload()) + "\n")
-        self._fh.flush()
+        with get_tracer().span("wal.append", kind=kind, seq=seq):
+            self._fh.write(json.dumps(record.to_payload()) + "\n")
+            self._fh.flush()
         self._next_seq = seq + 1
         self.appended += 1
         self._unsynced += 1
@@ -212,8 +214,9 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with get_tracer().span("wal.fsync", batched=self._unsynced):
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
         self.syncs += 1
         self._unsynced = 0
 

@@ -66,6 +66,7 @@ from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.ingest.wal import WALRecord, WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import get_tracer
 from repro.replication.fault import (
     GroupUnavailableError,
     ReplicaCrashedError,
@@ -620,19 +621,33 @@ class ReplicaGroup:
                 degraded = True
                 continue
             try:
-                with member.lock:
+                with member.lock, get_tracer().span(
+                    "replica.read",
+                    replica=member.replica_id,
+                    consistency=consistency or "primary",
+                    method=method,
+                ) as read_span:
                     member.check_available()
                     if consistency == "any_replica":
                         pass  # serve as-is; staleness bounded only by lag
                     elif consistency == "bounded":
                         excess = member.lag() - max(0, max_staleness)
                         if excess > 0:
-                            self.pump(member, budget=excess)
+                            with get_tracer().span(
+                                "replica.catchup",
+                                replica=member.replica_id,
+                                budget=excess,
+                            ):
+                                self.pump(member, budget=excess)
                     else:
-                        self.pump(member)
+                        with get_tracer().span(
+                            "replica.catchup", replica=member.replica_id
+                        ):
+                            self.pump(member)
                     result = getattr(member.store.engine, method)(
                         query, home_unit=home_unit, **kwargs
                     )
+                    read_span.tag(degraded=degraded)
             except ReplicaUnavailableError as exc:
                 member.tracker.record_failure()
                 with self._lock:

@@ -301,7 +301,21 @@ def options_to_wire(options: Optional[RequestOptions]) -> Optional[Dict[str, Any
         "max_staleness": options.max_staleness,
         "page_size": options.page_size,
         "cursor": options.cursor,
+        "trace_id": options.trace_id,
+        "trace_parent": options.trace_parent,
     }
+
+
+def _tolerant_trace_field(value: Any) -> Optional[str]:
+    """Trace correlation ids degrade to None on malformation, never raise:
+    a peer corrupting telemetry headers must not be able to fail requests."""
+    if (
+        isinstance(value, str)
+        and 0 < len(value) <= 128
+        and value.isprintable()
+    ):
+        return value
+    return None
 
 
 def options_from_wire(payload: Optional[Dict[str, Any]]) -> Optional[RequestOptions]:
@@ -323,6 +337,8 @@ def options_from_wire(payload: Optional[Dict[str, Any]]) -> Optional[RequestOpti
             cursor=(
                 None if payload.get("cursor") is None else str(payload["cursor"])
             ),
+            trace_id=_tolerant_trace_field(payload.get("trace_id")),
+            trace_parent=_tolerant_trace_field(payload.get("trace_parent")),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed request options: {exc}") from exc
@@ -445,6 +461,8 @@ def response_to_wire(response: Response) -> Dict[str, Any]:
         "deadline_expired": response.deadline_expired,
         "attribution": dict(response.attribution),
     }
+    if response.trace_id is not None:
+        payload["trace_id"] = response.trace_id
     if response.result is not None:
         payload["result"] = result_to_wire(response.result)
     if response.page is not None:
@@ -478,6 +496,7 @@ def response_from_wire(payload: Dict[str, Any]) -> Response:
                 else None
             ),
             attribution=dict(payload.get("attribution", {})),
+            trace_id=_tolerant_trace_field(payload.get("trace_id")),
         )
     except ProtocolError:
         raise

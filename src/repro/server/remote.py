@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 from repro.api.options import RequestOptions
 from repro.api.response import Response
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import TraceContext, context_to_wire, get_slowlog, get_tracer
 from repro.persistence.jsonl import file_to_dict
 from repro.server import protocol
 from repro.server.protocol import (
@@ -150,6 +151,31 @@ class RemoteClient:
         self, query: Query, options: Optional[RequestOptions] = None
     ) -> Response:
         """Serve one query remotely; returns the uniform Response envelope."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Client edge of a distributed trace: the ids ride the options
+            # over the wire and the server continues the same trace.
+            if options is None:
+                options = RequestOptions()
+            if options.trace_id is None:
+                options = replace(options, trace_id=TraceContext.new().trace_id)
+            with tracer.root(
+                "remote.execute",
+                trace_id=options.trace_id,
+                query=type(query).__name__,
+            ) as root:
+                if root.span_id:
+                    options = replace(options, trace_parent=root.span_id)
+                response = self._execute_wire(query, options)
+                root.tag(complete=response.complete)
+        else:
+            response = self._execute_wire(query, options)
+        self._maybe_slowlog(response)
+        return response
+
+    def _execute_wire(
+        self, query: Query, options: Optional[RequestOptions]
+    ) -> Response:
         reply = self._call(
             {
                 "op": "execute",
@@ -158,6 +184,24 @@ class RemoteClient:
             }
         )
         return protocol.response_from_wire(reply["response"])
+
+    def _maybe_slowlog(self, response: Response) -> None:
+        slowlog = get_slowlog()
+        if not slowlog.enabled:
+            return
+        spans: Sequence[Any] = ()
+        if response.trace_id is not None:
+            spans = get_tracer().collector.spans_for(response.trace_id)
+        slowlog.maybe_record(
+            wall_s=response.wall_s,
+            kind=response.kind,
+            trace_id=response.trace_id,
+            latency_s=response.latency_s,
+            complete=response.complete,
+            deadline_expired=response.deadline_expired,
+            attribution=dict(response.attribution),
+            spans=spans,
+        )
 
     def submit(
         self, query: Query, options: Optional[RequestOptions] = None
@@ -208,10 +252,24 @@ class RemoteClient:
         return self._mutate("modify", file)
 
     def _mutate(self, kind: str, file: FileMetadata) -> Response:
-        reply = self._call(
-            {"op": "mutate", "kind": kind, "file": file_to_dict(file)}
-        )
-        return protocol.response_from_wire(reply["response"])
+        payload: Dict[str, Any] = {
+            "op": "mutate",
+            "kind": kind,
+            "file": file_to_dict(file),
+        }
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.root("remote.mutate", kind=kind) as root:
+                payload["trace"] = context_to_wire(
+                    TraceContext(root.trace_id, root.span_id)
+                )
+                reply = self._call(payload)
+                response = protocol.response_from_wire(reply["response"])
+        else:
+            reply = self._call(payload)
+            response = protocol.response_from_wire(reply["response"])
+        self._maybe_slowlog(response)
+        return response
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -229,6 +287,18 @@ class RemoteClient:
     def ping(self) -> bool:
         self._call({"op": "ping"})
         return True
+
+    def metrics_text(self) -> str:
+        """The deployment's merged Prometheus text exposition (the
+        ``metrics`` op): server-process instruments plus every shard
+        worker's registry under a ``shard`` label."""
+        return str(self._call({"op": "metrics"})["metrics"])
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """The server-side span collector's current contents (the
+        ``trace_export`` op), as plain span dicts."""
+        spans = self._call({"op": "trace_export"}).get("spans", [])
+        return [dict(s) for s in spans if isinstance(s, dict)]
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:

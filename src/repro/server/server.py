@@ -39,9 +39,18 @@ from __future__ import annotations
 import select
 import socket
 import threading
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.options import RequestOptions
 from repro.api.spec import DeploymentSpec
+from repro.obs import (
+    MetricsRegistry,
+    TraceContext,
+    context_from_wire,
+    get_registry,
+    get_tracer,
+)
 from repro.server import protocol
 from repro.server.protocol import (
     ConnectionClosed,
@@ -305,10 +314,23 @@ class StoreServer:
                 if isinstance(exc, ProtocolError):
                     self._telemetry.record_protocol_error()
                 reply, keep_open = error_envelope(request_id, exc), True
-            try:
-                bytes_out = write_frame(
-                    conn, reply, codec, max_frame_bytes=self.max_frame_bytes
+            tracer = get_tracer()
+            ser_ctx: Optional[TraceContext] = None
+            if tracer.enabled:
+                response = reply.get("response")
+                trace_id = (
+                    response.get("trace_id")
+                    if isinstance(response, dict)
+                    else None
                 )
+                if isinstance(trace_id, str) and trace_id:
+                    ser_ctx = TraceContext(trace_id, "")
+            try:
+                with tracer.span("server.serialize", ser_ctx) as ser_span:
+                    bytes_out = write_frame(
+                        conn, reply, codec, max_frame_bytes=self.max_frame_bytes
+                    )
+                    ser_span.tag(bytes=bytes_out)
             except OSError:
                 return None
             self._telemetry.record_net_request(
@@ -342,6 +364,18 @@ class StoreServer:
             )
         if op == "epoch":
             return {"epoch": self.client.epoch()}, codec, True
+        if op == "metrics":
+            return (
+                {
+                    "metrics": self.metrics_text(),
+                    "content_type": "text/plain; version=0.0.4",
+                },
+                codec,
+                True,
+            )
+        if op == "trace_export":
+            spans = get_tracer().collector.snapshot()
+            return {"spans": [s.to_dict() for s in spans]}, codec, True
         if op == "ping":
             return {}, codec, True
         if op == "bye":
@@ -396,7 +430,23 @@ class StoreServer:
     def _execute(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         query = protocol.query_from_wire(payload.get("query") or {})
         options = protocol.options_from_wire(payload.get("options"))
-        response = self.client.execute(query, options)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            response = self.client.execute(query, options)
+            return {"response": protocol.response_to_wire(response)}
+        # Server edge: continue the caller's trace when one rode the
+        # options in, otherwise start a fresh one here.
+        if options is None:
+            options = RequestOptions()
+        if options.trace_id is None:
+            options = replace(options, trace_id=TraceContext.new().trace_id)
+        ctx = TraceContext(options.trace_id, options.trace_parent or "")
+        with tracer.span(
+            "server.execute", ctx, query=type(query).__name__
+        ) as span:
+            options = replace(options, trace_parent=span.span_id)
+            response = self.client.execute(query, options)
+            span.tag(complete=response.complete)
         return {"response": protocol.response_to_wire(response)}
 
     def _mutate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -407,7 +457,15 @@ class StoreServer:
             file = protocol.file_from_dict(dict(payload["file"]))
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed mutation payload: {exc}") from exc
-        response = getattr(self.client, kind)(file)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            response = getattr(self.client, kind)(file)
+            return {"response": protocol.response_to_wire(response)}
+        ctx = context_from_wire(payload.get("trace")) or TraceContext.new()
+        with tracer.span("server.mutate", ctx, kind=kind):
+            # The span's thread-local context makes the client continue
+            # this trace instead of minting its own.
+            response = getattr(self.client, kind)(file)
         return {"response": protocol.response_to_wire(response)}
 
     def _mirror_worker_stats(self) -> None:
@@ -423,6 +481,30 @@ class StoreServer:
             self._telemetry.record_worker_stats(
                 processes=processes, calls_failed=store.shard_calls_failed
             )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition for the whole deployment.
+
+        Renders from a scratch registry — the server's own instruments
+        plus every worker's shipped snapshot under a ``shard`` label — so
+        repeated scrapes never double-count the cumulative merges.
+        """
+        self._mirror_worker_stats()
+        merged = MetricsRegistry()
+        merged.merge(get_registry().to_wire())
+        store = self.client.store
+        for sid, shard in enumerate(getattr(store, "shards", ())):
+            worker_stats = getattr(shard, "worker_stats", None)
+            if worker_stats is None:
+                continue
+            try:
+                doc = worker_stats()
+            except Exception:  # noqa: BLE001 - a dead worker must not fail the scrape
+                continue
+            payload = doc.get("metrics")
+            if payload:
+                merged.merge(payload, extra_labels={"shard": str(sid)})
+        return merged.render_prometheus()
 
     # ------------------------------------------------------------------ introspection
     def stats(self) -> Dict[str, Any]:

@@ -50,6 +50,13 @@ from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import (
+    configure as obs_configure,
+    context_from_wire,
+    context_to_wire,
+    get_registry,
+    get_tracer,
+)
 from repro.persistence.jsonl import (
     file_from_dict,
     file_to_dict,
@@ -114,6 +121,9 @@ class _WorkerState:
         self.max_frame_bytes = int(
             payload.get("max_frame_bytes", protocol.MAX_FRAME_BYTES)
         )
+        # The parent's observability choices travel in the spawn payload,
+        # so worker-side spans exist exactly when the deployment traces.
+        obs_configure(tracing=bool(payload.get("tracing", False)))
         # One worker, many parent connections: engine scans may run
         # concurrently, mutations serialise against them.
         self.mutation_lock = threading.Lock()
@@ -143,6 +153,9 @@ class _WorkerState:
                 "stats": protocol.jsonable(self.pipeline.stats()),
                 "requests_served": self.requests_served,
                 "clock": self.store.versioning.change_clock,
+                # The worker's whole metrics registry rides the existing
+                # stats op; the parent merges it under a shard label.
+                "metrics": get_registry().to_wire(),
             }
         if op == "shutdown":
             self.stop.set()
@@ -164,23 +177,57 @@ class _WorkerState:
             kwargs["deadline"] = Deadline.after(max(0.0, float(remaining)))
         if payload.get("max_d_bound") is not None:
             kwargs["max_d_bound"] = float(payload["max_d_bound"])
-        result: QueryResult = getattr(self.store.engine, method)(query, **kwargs)
-        return {
+        # A malformed trace header degrades to None (fresh-trace semantics);
+        # it must never fail the scan it rode in on.
+        ctx = context_from_wire(payload.get("trace"))
+        tracer = get_tracer()
+        with tracer.span(
+            "worker.scan", ctx, shard=self.shard_id, method=method
+        ) as scan_span:
+            result: QueryResult = getattr(self.store.engine, method)(query, **kwargs)
+            scan_span.tag(complete=result.complete)
+        get_registry().histogram(
+            "repro_worker_scan_latency_seconds",
+            "Simulated per-scan latency inside one shard worker",
+            method=method,
+        ).observe(result.latency)
+        reply = {
             "result": protocol.result_to_wire(result),
             "staged": len(self.pipeline.overlay),
         }
+        if ctx is not None and tracer.enabled:
+            # Ship this request's worker-side spans back inline, so the
+            # parent's collector holds one cross-process trace.
+            reply["spans"] = [
+                s.to_dict() for s in tracer.collector.take(ctx.trace_id)
+            ]
+        return reply
 
     def _shard_mutate(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         kind = payload.get("kind")
         if kind not in _MUTATION_KINDS:
             raise ProtocolError(f"unknown mutation kind {kind!r}")
         file = file_from_dict(dict(payload["file"]))
-        with self.mutation_lock:
+        ctx = context_from_wire(payload.get("trace"))
+        tracer = get_tracer()
+        with self.mutation_lock, tracer.span(
+            "worker.mutate", ctx, shard=self.shard_id, kind=kind
+        ):
             receipt: MutationReceipt = getattr(self.pipeline, kind)(file)
-        return {
+        get_registry().histogram(
+            "repro_worker_mutation_latency_seconds",
+            "Simulated per-mutation latency inside one shard worker",
+            kind=kind,
+        ).observe(receipt.latency)
+        reply = {
             "receipt": protocol.receipt_to_wire(receipt),
             "staged": len(self.pipeline.overlay),
         }
+        if ctx is not None and tracer.enabled:
+            reply["spans"] = [
+                s.to_dict() for s in tracer.collector.take(ctx.trace_id)
+            ]
+        return reply
 
     def _compact(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         mode = payload.get("mode", "run_once")
@@ -511,8 +558,16 @@ class RemoteShard:
             payload["deadline_remaining_s"] = max(0.0, deadline.remaining())
         if max_d_bound is not None:
             payload["max_d_bound"] = float(max_d_bound)
+        tracer = get_tracer()
+        ctx = tracer.current() if tracer.enabled else None
+        if ctx is not None:
+            payload["trace"] = context_to_wire(ctx)
         reply = self._call(payload)
         self._observe_staged(reply)
+        if ctx is not None:
+            # Fold the worker's spans for this request into the local
+            # collector: one trace across the process boundary.
+            tracer.collector.ingest(reply.get("spans"))
         return protocol.result_from_wire(reply["result"])
 
     def point_query(
@@ -548,10 +603,19 @@ class RemoteShard:
 
     # ------------------------------------------------------------------ write path (pipeline)
     def _mutate(self, kind: str, file: FileMetadata) -> MutationReceipt:
-        reply = self._call(
-            {"op": "shard_mutate", "kind": kind, "file": file_to_dict(file)}
-        )
+        payload: Dict[str, Any] = {
+            "op": "shard_mutate",
+            "kind": kind,
+            "file": file_to_dict(file),
+        }
+        tracer = get_tracer()
+        ctx = tracer.current() if tracer.enabled else None
+        if ctx is not None:
+            payload["trace"] = context_to_wire(ctx)
+        reply = self._call(payload)
         self._observe_staged(reply)
+        if ctx is not None:
+            tracer.collector.ingest(reply.get("spans"))
         receipt = protocol.receipt_from_wire(reply["receipt"])
         # The worker's own versioning clock advanced; bump the local mirror
         # so the front door's cache epochs (and their subscribers) track it.
@@ -570,6 +634,22 @@ class RemoteShard:
     def stats(self) -> Dict[str, Any]:
         reply = self._call({"op": "stats"})
         return dict(reply.get("stats", {}))
+
+    def worker_stats(self) -> Dict[str, Any]:
+        """The worker's full stats document (not just its pipeline stats):
+        process identity, requests served, version clock, and the worker's
+        metrics-registry snapshot — what the router surfaces so a remote
+        client's ``stats()`` call sees per-worker internals."""
+        reply = self._call({"op": "stats"})
+        return {
+            "alive": True,
+            "pid": self.process.pid,
+            "port": self.port,
+            "requests_served": reply.get("requests_served"),
+            "clock": reply.get("clock"),
+            "stats": dict(reply.get("stats", {})),
+            "metrics": reply.get("metrics"),
+        }
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -629,6 +709,9 @@ def spawn_worker(
         ],
         "wal_path": None if wal_path is None else str(wal_path),
         "fsync_every": fsync_every,
+        # Workers inherit the parent's tracing switch at spawn time so their
+        # spans exist to ship back when the parent is collecting them.
+        "tracing": get_tracer().enabled,
     }
     process = ctx.Process(
         target=worker_main,

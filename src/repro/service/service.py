@@ -52,6 +52,7 @@ from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore
 from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.metadata.file_metadata import FileMetadata
+from repro.obs import TraceContext, get_tracer
 from repro.service.batching import (
     AdmissionController,
     RequestBatcher,
@@ -63,6 +64,14 @@ from repro.service.telemetry import ServiceTelemetry
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
 __all__ = ["ServiceConfig", "QueryService"]
+
+
+def _trace_context(options) -> Optional[TraceContext]:
+    """The trace context a request's options carry (None when untraced)."""
+    trace_id = getattr(options, "trace_id", None) if options is not None else None
+    if trace_id is None:
+        return None
+    return TraceContext(trace_id, getattr(options, "trace_parent", None) or "")
 
 
 class _ReadWriteLock:
@@ -280,26 +289,37 @@ class QueryService:
     def _execute_on_engine(self, request: ServiceRequest) -> QueryResult:
         engine = self.store.engine
         query = request.query
-        if request.deadline is not None and request.deadline.expired():
-            self.telemetry.record_deadline_expiry()
-            return self._expired_result()
-        kwargs = self._engine_kwargs(request)
-        # Read side of the state lock: mutations/compaction (write side)
-        # restructure the very servers and tree nodes a scan walks.
-        self._state_lock.acquire_read()
-        try:
-            if isinstance(query, PointQuery):
-                result = engine.point_query(query, **kwargs)
-            elif isinstance(query, RangeQuery):
-                result = engine.range_query(query, **kwargs)
-            elif isinstance(query, TopKQuery):
-                result = engine.topk_query(query, **kwargs)
-            else:
-                raise TypeError(f"unsupported query type {type(query)!r}")
-        finally:
-            self._state_lock.release_read()
-        if request.deadline is not None and not result.complete:
-            self.telemetry.record_deadline_expiry()
+        # The span sets this pool thread's trace context, so the router /
+        # replica / WAL spans below parent under it automatically.
+        with get_tracer().span(
+            "service.engine",
+            _trace_context(request.options),
+            request_id=request.request_id,
+            query=type(query).__name__,
+        ) as engine_span:
+            if request.deadline is not None and request.deadline.expired():
+                self.telemetry.record_deadline_expiry()
+                engine_span.tag(deadline_expired=True)
+                return self._expired_result()
+            kwargs = self._engine_kwargs(request)
+            # Read side of the state lock: mutations/compaction (write side)
+            # restructure the very servers and tree nodes a scan walks.
+            self._state_lock.acquire_read()
+            try:
+                if isinstance(query, PointQuery):
+                    result = engine.point_query(query, **kwargs)
+                elif isinstance(query, RangeQuery):
+                    result = engine.range_query(query, **kwargs)
+                elif isinstance(query, TopKQuery):
+                    result = engine.topk_query(query, **kwargs)
+                else:
+                    raise TypeError(f"unsupported query type {type(query)!r}")
+            finally:
+                self._state_lock.release_read()
+            if request.deadline is not None and not result.complete:
+                self.telemetry.record_deadline_expiry()
+                engine_span.tag(deadline_expired=True)
+            engine_span.tag(complete=result.complete)
         # The facade merges per-query counters into the cluster-wide
         # accounting; the service does the same, serialised.
         with self._metrics_lock:
@@ -344,11 +364,16 @@ class QueryService:
                 # not interchangeable with plain ones: they neither read
                 # nor warm the cache.
                 constrained = self._constrained(leader.options)
-                hit = (
-                    self.cache.lookup(query)
-                    if self.cache is not None and not constrained
-                    else None
-                )
+                hit = None
+                if self.cache is not None and not constrained:
+                    with get_tracer().span(
+                        "service.cache_lookup", _trace_context(leader.options)
+                    ) as lookup_span:
+                        hit = self.cache.lookup(query)
+                        lookup_span.tag(
+                            hit=hit is not None,
+                            source=hit.source if hit is not None else "miss",
+                        )
                 if hit is not None:
                     self._resolve_group(
                         leader, followers, hit.result, leader_source=hit.source
@@ -392,6 +417,13 @@ class QueryService:
         leader.resolve(result)
         self.admission.release()
         for follower in followers:
+            # Zero-work marker span: this request rode the leader's batch.
+            with get_tracer().span(
+                "service.batch_ride",
+                _trace_context(follower.options),
+                leader_request_id=leader.request_id,
+            ):
+                pass
             self.telemetry.observe(
                 follower.query, result.latency, source="coalesced"
             )
@@ -418,7 +450,9 @@ class QueryService:
             raise RuntimeError("service is closed")
         self.telemetry.start_window()
         deadline = options.start() if options is not None else None
-        if not self.admission.admit():
+        with get_tracer().span("service.admission", _trace_context(options)):
+            admitted = self.admission.admit()
+        if not admitted:
             self.telemetry.record_rejection()
             raise ServiceOverloadedError(
                 f"admission limit of {self.config.max_in_flight} requests reached"
@@ -443,7 +477,9 @@ class QueryService:
             raise RuntimeError("service is closed")
         self.telemetry.start_window()
         deadline = options.start() if options is not None else None
-        if not self.admission.admit():
+        with get_tracer().span("service.admission", _trace_context(options)):
+            admitted = self.admission.admit()
+        if not admitted:
             self.telemetry.record_rejection()
             raise ServiceOverloadedError(
                 f"admission limit of {self.config.max_in_flight} requests reached"

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cluster.metrics import Metrics
+from repro.obs import get_registry
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
 __all__ = [
@@ -198,6 +199,10 @@ class ServiceTelemetry:
         # Transport counters, populated only when a network front door
         # (or a process-per-shard router) sits over this service.
         self.network = NetworkStats()
+        # Every number recorded here is mirrored into the process-wide
+        # metrics registry (repro.obs), so one Prometheus export carries
+        # the whole deployment's telemetry alongside worker-side series.
+        self._registry = get_registry()
 
     # ------------------------------------------------------------------ wall clock
     def start_window(self) -> None:
@@ -232,8 +237,20 @@ class ServiceTelemetry:
         *,
         source: str = "engine",
     ) -> None:
+        kind = kind_of(query)
         with self._lock:
-            self._classes[kind_of(query)].observe(latency, metrics, source=source)
+            self._classes[kind].observe(latency, metrics, source=source)
+        self._registry.counter(
+            "repro_requests_total",
+            "Requests served, by query kind and serving source",
+            kind=kind,
+            source=source,
+        ).inc()
+        self._registry.histogram(
+            "repro_request_latency_seconds",
+            "Simulated request latency, by query kind",
+            kind=kind,
+        ).observe(latency)
 
     def observe_mutation(
         self,
@@ -251,15 +268,33 @@ class ServiceTelemetry:
             raise ValueError(f"unknown mutation kind {kind!r}")
         with self._lock:
             self._classes[kind].observe(latency, metrics, source="engine")
+        self._registry.counter(
+            "repro_mutations_total",
+            "Mutations applied through the ingest path, by kind",
+            kind=kind,
+        ).inc()
+        self._registry.histogram(
+            "repro_mutation_latency_seconds",
+            "Simulated mutation latency, by kind",
+            kind=kind,
+        ).observe(latency)
 
     def record_rejection(self) -> None:
         with self._lock:
             self.rejected += 1
+        self._registry.counter(
+            "repro_requests_rejected_total",
+            "Requests rejected at the admission window",
+        ).inc()
 
     def record_deadline_expiry(self) -> None:
         """Count one request whose deadline ran out mid-execution."""
         with self._lock:
             self.deadline_expired += 1
+        self._registry.counter(
+            "repro_deadline_expired_total",
+            "Requests whose cooperative deadline expired",
+        ).inc()
 
     def record_connection(self, *, accepted: bool) -> None:
         """Count one inbound connection (accepted or turned away)."""
@@ -269,12 +304,25 @@ class ServiceTelemetry:
                 self.network.connections_active += 1
             else:
                 self.network.connections_rejected += 1
+            active = self.network.connections_active
+        self._registry.counter(
+            "repro_net_connections_total",
+            "Inbound connections, by admission outcome",
+            outcome="accepted" if accepted else "rejected",
+        ).inc()
+        self._registry.gauge(
+            "repro_net_connections_active", "Currently open client connections"
+        ).set(active)
 
     def record_disconnect(self) -> None:
         with self._lock:
             self.network.connections_active = max(
                 0, self.network.connections_active - 1
             )
+            active = self.network.connections_active
+        self._registry.gauge(
+            "repro_net_connections_active", "Currently open client connections"
+        ).set(active)
 
     def record_net_request(
         self, *, bytes_in: int = 0, bytes_out: int = 0, rejected: bool = False
@@ -287,23 +335,68 @@ class ServiceTelemetry:
                 self.network.requests_served += 1
             self.network.bytes_in += bytes_in
             self.network.bytes_out += bytes_out
+        self._registry.counter(
+            "repro_net_requests_total",
+            "Framed requests handled by the front door, by outcome",
+            outcome="rejected" if rejected else "served",
+        ).inc()
+        if bytes_in:
+            self._registry.counter(
+                "repro_net_bytes_total",
+                "Wire payload bytes, by direction",
+                direction="in",
+            ).inc(bytes_in)
+        if bytes_out:
+            self._registry.counter(
+                "repro_net_bytes_total",
+                "Wire payload bytes, by direction",
+                direction="out",
+            ).inc(bytes_out)
 
     def record_protocol_error(self) -> None:
         with self._lock:
             self.network.protocol_errors += 1
+        self._registry.counter(
+            "repro_net_protocol_errors_total",
+            "Malformed frames received by the front door",
+        ).inc()
 
     def record_worker_stats(self, *, processes: int, calls_failed: int) -> None:
         """Mirror the process-per-shard router's health into telemetry."""
         with self._lock:
             self.network.worker_processes = processes
             self.network.worker_calls_failed = calls_failed
+        self._registry.gauge(
+            "repro_worker_processes", "Live shard worker processes"
+        ).set(processes)
+        self._registry.gauge(
+            "repro_worker_calls_failed",
+            "Scatter calls that failed against a worker process",
+        ).set(calls_failed)
 
     def record_replication_events(self, events: Dict[str, int]) -> None:
         """Fold replication-event deltas into the service-level counters."""
+        failovers = int(events.get("failovers", 0))
+        degraded = int(events.get("degraded_reads", 0))
+        retries = int(events.get("replica_retries", 0))
         with self._lock:
-            self.failovers += int(events.get("failovers", 0))
-            self.degraded_reads += int(events.get("degraded_reads", 0))
-            self.replica_retries += int(events.get("replica_retries", 0))
+            self.failovers += failovers
+            self.degraded_reads += degraded
+            self.replica_retries += retries
+        if failovers:
+            self._registry.counter(
+                "repro_replication_failovers_total", "Primary promotions"
+            ).inc(failovers)
+        if degraded:
+            self._registry.counter(
+                "repro_replication_degraded_reads_total",
+                "Reads served while a replica group was unhealthy",
+            ).inc(degraded)
+        if retries:
+            self._registry.counter(
+                "repro_replication_read_retries_total",
+                "Internal replica read retries that kept requests alive",
+            ).inc(retries)
 
     # ------------------------------------------------------------------ reading
     def query_class(self, kind: str) -> QueryClassStats:

@@ -110,6 +110,7 @@ from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
+from repro.obs import TraceContext, get_tracer
 from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
 from repro.shard.partitioner import corpus_index_bounds, make_partitioner
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
@@ -414,6 +415,7 @@ class ShardRouter:
         deadline=None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
+        trace_ctx: Optional[TraceContext] = None,
         **kwargs,
     ) -> QueryResult:
         """One shard's part of a scatter: execute and account its busy time.
@@ -422,33 +424,41 @@ class ShardRouter:
         (each checks it between its own group scans); the consistency
         preference only applies to replicated shards — a bare store is
         trivially at primary consistency, so the kwarg is stripped for it.
+        ``trace_ctx`` is passed explicitly because scatters run on pool
+        threads, which do not inherit the caller's thread-local context;
+        the span below re-establishes it so replica / worker / WAL spans
+        underneath parent correctly.
         """
         if deadline is not None:
             kwargs["deadline"] = deadline
         if consistency is not None and isinstance(self.shards[shard_id], ReplicaGroup):
             kwargs["consistency"] = consistency
             kwargs["max_staleness"] = max_staleness
-        try:
-            result: QueryResult = getattr(self.shards[shard_id].engine, method)(
-                query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
-            )
-        except ShardUnavailableError:
-            # The backend's worker is gone: this shard contributes an
-            # *incomplete empty* result, so the merged payload is marked
-            # complete=False and the caller's partial/fail policy applies —
-            # a dead worker must degrade a scatter, never hang or crash it.
-            with self._stats_lock:
-                self.shard_calls_failed += 1
-            return QueryResult(
-                files=[],
-                metrics=Metrics(),
-                latency=0.0,
-                groups_visited=0,
-                hops=0,
-                found=False,
-                distances=[],
-                complete=False,
-            )
+        with get_tracer().span(
+            "shard.scan", trace_ctx, shard=shard_id, method=method
+        ) as scan_span:
+            try:
+                result: QueryResult = getattr(self.shards[shard_id].engine, method)(
+                    query, home_unit=self._shard_home(shard_id, home_unit), **kwargs
+                )
+            except ShardUnavailableError:
+                # The backend's worker is gone: this shard contributes an
+                # *incomplete empty* result, so the merged payload is marked
+                # complete=False and the caller's partial/fail policy applies —
+                # a dead worker must degrade a scatter, never hang or crash it.
+                with self._stats_lock:
+                    self.shard_calls_failed += 1
+                scan_span.tag(unavailable=True)
+                return QueryResult(
+                    files=[],
+                    metrics=Metrics(),
+                    latency=0.0,
+                    groups_visited=0,
+                    hops=0,
+                    found=False,
+                    distances=[],
+                    complete=False,
+                )
         with self._stats_lock:
             self.shard_busy_seconds[shard_id] += result.latency
         return result
@@ -540,6 +550,9 @@ class ShardRouter:
         max_staleness: int = 0,
     ) -> QueryResult:
         """Filename point query over the shards the Bloom summaries admit."""
+        # Captured on the submitting thread: scatter pool threads do not
+        # inherit thread-local trace context.
+        trace_ctx = get_tracer().current()
         metrics = Metrics()
         metrics.record_bloom_probe(len(self.shards))
         if deadline is not None and deadline.expired():
@@ -556,6 +569,7 @@ class ShardRouter:
             lambda sid: self._shard_call(
                 sid, "point_query", query, home_unit,
                 deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+                trace_ctx=trace_ctx,
             ),
         )
         return self._merge_by_id(results, metrics)
@@ -570,6 +584,7 @@ class ShardRouter:
         max_staleness: int = 0,
     ) -> QueryResult:
         """Range query over the shards whose boxes intersect the window."""
+        trace_ctx = get_tracer().current()
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
         if deadline is not None and deadline.expired():
@@ -590,6 +605,7 @@ class ShardRouter:
             lambda sid: self._shard_call(
                 sid, "range_query", query, home_unit,
                 deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+                trace_ctx=trace_ctx,
             ),
         )
         return self._merge_by_id(results, metrics)
@@ -613,6 +629,7 @@ class ShardRouter:
         candidates by ``(distance, file_id)`` — the same canonical order a
         single store produces — and truncates to ``k``.
         """
+        trace_ctx = get_tracer().current()
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
         if deadline is not None and deadline.expired():
@@ -633,6 +650,7 @@ class ShardRouter:
         primary_result = self._shard_call(
             primary, "topk_query", query, home_unit,
             deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+            trace_ctx=trace_ctx,
         )
         bound: Optional[float] = None
         if len(primary_result.distances) >= query.k:
@@ -653,6 +671,7 @@ class ShardRouter:
             lambda sid: self._shard_call(
                 sid, "topk_query", query, home_unit, max_d_bound=bound,
                 deadline=deadline, consistency=consistency, max_staleness=max_staleness,
+                trace_ctx=trace_ctx,
             ),
         )
 
@@ -822,6 +841,23 @@ class ShardRouter:
                 p.compactor.stats.group_compactions for p in self.pipelines
             ),
         }
+        # Process-mode backends (RemoteShard) expose their worker's own
+        # stats document (busy time, cache epochs, requests served); ship
+        # them so a remote client's stats() call sees worker internals.
+        workers = []
+        for sid, shard in enumerate(self.shards):
+            worker_stats = getattr(shard, "worker_stats", None)
+            if worker_stats is None:
+                continue
+            try:
+                doc = worker_stats()
+            except ShardUnavailableError:
+                doc = {"alive": False}
+            doc = dict(doc)
+            doc["shard_id"] = sid
+            workers.append(doc)
+        if workers:
+            d["workers"] = workers
         groups = self.replica_groups()
         if groups:
             d["replication"] = {
