@@ -27,14 +27,23 @@ unwrap, sets sort, everything else falls back to ``repr``).
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["bench_json_path", "write_bench_json"]
+__all__ = ["BENCH_DIR_ENV", "bench_json_path", "write_bench_json"]
 
 BENCH_FORMAT = "repro.bench-result"
+
+#: Environment override for where bench artefacts land when no explicit
+#: directory is given.  The test suite sets this to a temporary directory
+#: (see ``tests/conftest.py``) so that exercising the bench CLIs can never
+#: clobber the checked-in official results at the repository root and in
+#: ``benchmarks/results/`` — only deliberate runs (CLI from the checkout,
+#: CI bench jobs) write the tracked artefacts.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 #: Secondary artefact location: every bench JSON is mirrored here so a
 #: run's results accumulate in one directory (the repo-root copies stay
@@ -80,7 +89,14 @@ def _jsonable(value: Any) -> Any:
 def bench_json_path(
     name: str, directory: Optional[Union[str, Path]] = None
 ) -> Path:
-    """Where ``write_bench_json`` puts the artefact (repo root by default)."""
+    """Where ``write_bench_json`` puts the artefact.
+
+    Resolution order: the explicit ``directory`` argument, then the
+    ``REPRO_BENCH_DIR`` environment variable, then the current working
+    directory (the repo root for CLI and CI runs).
+    """
+    if directory is None:
+        directory = os.environ.get(BENCH_DIR_ENV) or None
     base = Path(directory) if directory is not None else Path.cwd()
     return base / f"BENCH_{name}.json"
 
@@ -96,10 +112,11 @@ def write_bench_json(
     """Write one ``BENCH_<name>.json`` document; returns its primary path.
 
     ``name`` is the bench's short name (``"serve"``, ``"net"``, ...);
-    the artefact lands in ``directory`` (default: the current working
-    directory, i.e. the repo root for CLI and CI runs) **and** is
-    mirrored into ``benchmarks/results/`` relative to the primary
-    location, so per-run results accumulate in one place.  Each document
+    the artefact lands in ``directory`` (default: ``$REPRO_BENCH_DIR``
+    when set, else the current working directory, i.e. the repo root for
+    CLI and CI runs) **and** is mirrored into ``benchmarks/results/``
+    relative to the primary location, so per-run results accumulate in
+    one place.  Each document
     stamps the run's UTC timestamp and (when inside a checkout) the git
     revision it measured.
     """

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.eval.tracking import BENCH_DIR_ENV
 from repro.metadata.attributes import DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.traces.msn import msn_trace
@@ -20,6 +21,22 @@ from repro.workloads.generator import QueryWorkloadGenerator
 
 
 from helpers import make_files  # noqa: F401  (re-exported for fixtures below)
+
+
+@pytest.fixture(autouse=True)
+def _bench_artefacts_in_tmp(tmp_path_factory, monkeypatch):
+    """Keep ``BENCH_<name>.json`` artefacts out of the checkout.
+
+    Several tests exercise the bench CLI entry points end-to-end; without
+    this, each such run overwrites the *official* committed results at the
+    repo root and in ``benchmarks/results/`` with its own tiny (sometimes
+    deliberately failing) configuration.  Redirecting the default artefact
+    directory makes test runs side-effect-free; tests that care about the
+    written document pass an explicit directory or read this one.
+    """
+    bench_dir = tmp_path_factory.mktemp("bench-artefacts")
+    monkeypatch.setenv(BENCH_DIR_ENV, str(bench_dir))
+    return bench_dir
 
 
 @pytest.fixture(scope="session")

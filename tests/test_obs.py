@@ -560,3 +560,23 @@ class TestBenchTracking:
         assert primary["metrics"] == {"metric": 1.5}
         assert "timestamp" in primary
         assert "git_rev" in primary  # None outside a checkout, hash inside
+
+    def test_default_directory_honours_env_override(self, _bench_artefacts_in_tmp):
+        # The autouse conftest fixture points REPRO_BENCH_DIR at a tmp dir;
+        # a bench entry point that does not pass an explicit directory
+        # (i.e. every CLI bench run under pytest) must land there, never in
+        # the checkout's cwd where it would clobber committed results.
+        path = write_bench_json("obs_env_test", {"metric": 1.0})
+        assert path == _bench_artefacts_in_tmp / "BENCH_obs_env_test.json"
+        assert path.exists()
+        mirror = (
+            _bench_artefacts_in_tmp
+            / "benchmarks"
+            / "results"
+            / "BENCH_obs_env_test.json"
+        )
+        assert mirror.exists()
+
+    def test_explicit_directory_beats_env_override(self, tmp_path):
+        path = write_bench_json("obs_dir_test", {"m": 1}, directory=tmp_path)
+        assert path == tmp_path / "BENCH_obs_dir_test.json"
