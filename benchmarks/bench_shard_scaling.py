@@ -86,7 +86,8 @@ def test_report_table(report, benchmark, corpus):
     rows = [row.as_table_row(report.speedup_of(row.shards)) for row in report.rows]
     table = format_table(
         ["shards", "build (s)", "mix wall (s)", "busiest shard (sim ms)",
-         "scatter q/s", "speedup", "mut/s", "pruned", "identical"],
+         "scatter q/s", "speedup", "mut/s", "pruned", "busy share",
+         "identical"],
         rows,
         title=f"shard scaling: {len(corpus)} files, {TOTAL_UNITS} total units, "
         f"{QUERIES_PER_TYPE} queries/type x 3 phases, {N_MUTATIONS} mutations",

@@ -1,0 +1,37 @@
+"""Static analysis and runtime invariant checking for the repro stack.
+
+* :mod:`repro.analysis.engine` — the repro-lint AST engine (rule
+  registry, suppression comments, ratchet baseline).
+* :mod:`repro.analysis.rules` — the shipped invariant rules.
+* :mod:`repro.analysis.lockorder` — the opt-in runtime lock-order
+  witness (deadlock-cycle and blocking-under-lock detection).
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    LintReport,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.lockorder import (
+    LockOrderFinding,
+    LockOrderWitness,
+    OrderedLock,
+    witness_locks,
+)
+from repro.analysis.rules import ALL_RULES, build_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "LockOrderFinding",
+    "LockOrderWitness",
+    "OrderedLock",
+    "build_rules",
+    "load_baseline",
+    "run_lint",
+    "witness_locks",
+    "write_baseline",
+]

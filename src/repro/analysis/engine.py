@@ -1,0 +1,231 @@
+"""repro-lint: a project-specific static-analysis engine.
+
+The repo's hot paths rest on a handful of cross-cutting invariants
+(WAL-append-before-stage, cooperative deadline propagation, typed error
+envelopes, span coverage, no blocking I/O under fine-grained locks) that
+generic linters cannot see.  This engine parses every file under
+``src/repro/`` once, hands the ASTs to a registry of project rules
+(:mod:`repro.analysis.rules`), and reports :class:`Finding`\\ s.
+
+Two escape hatches keep the lint honest without blocking development:
+
+* **Suppression comments** — ``# repro-lint: disable=<rule>[,<rule>...]``
+  on the finding's line (or the line directly above it) waives that
+  finding.  Every suppression in committed code carries a one-line
+  justification; the comment is the audit trail.
+* **Ratchet baseline** — a committed JSON file
+  (``src/repro/analysis/baseline.json``) records fingerprints of
+  accepted pre-existing findings.  The lint gate fails only on findings
+  *beyond* the baseline, so the count can ratchet down but never
+  silently up.  Fingerprints are ``(rule, path, symbol)`` — line-number
+  insensitive, so unrelated edits don't churn the baseline.
+
+See ``docs/INVARIANTS.md`` for the invariant each rule guards.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # circular at runtime: rules.base imports this module
+    from repro.analysis.rules.base import Rule
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line.
+
+    ``symbol`` is the qualified name of the innermost enclosing function
+    or class (``IngestPipeline.checkpoint``); together with ``rule`` and
+    ``path`` it forms the line-insensitive baseline fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        return (self.rule, self.path, self.symbol)
+
+    def render(self) -> str:
+        where = f" (in {self.symbol})" if self.symbol else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{where}"
+
+
+class FileContext:
+    """One parsed source file plus the lookup tables rules need."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        # Innermost-scope lookup: (start, end, qualname) per def/class.
+        self._scopes: List[Tuple[int, int, str]] = []
+        self._collect_scopes(self.tree, ())
+
+    def _collect_scopes(self, node: ast.AST, stack: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qual = stack + (child.name,)
+                end = getattr(child, "end_lineno", None) or child.lineno
+                self._scopes.append((child.lineno, end, ".".join(qual)))
+                self._collect_scopes(child, qual)
+            else:
+                self._collect_scopes(child, stack)
+
+    def symbol_at(self, line: int) -> str:
+        """Qualified name of the innermost def/class containing ``line``."""
+        best = ""
+        best_start = -1
+        for start, end, qual in self._scopes:
+            if start <= line <= end and start > best_start:
+                best = qual
+                best_start = start
+        return best
+
+    def suppressed_at(self, line: int) -> FrozenSet[str]:
+        """Rules waived on ``line`` (or the line directly above it)."""
+        names: List[str] = []
+        for lineno in (line, line - 1):
+            if 1 <= lineno <= len(self.lines):
+                match = _SUPPRESS_RE.search(self.lines[lineno - 1])
+                if match:
+                    names.extend(
+                        part.strip()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    )
+        return frozenset(names)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            symbol=self.symbol_at(line),
+            message=message,
+        )
+
+
+class Project:
+    """Every parsed file under the lint root, for cross-file rules."""
+
+    def __init__(self, root: Path, files: Sequence[FileContext]) -> None:
+        self.root = root
+        self.files = list(files)
+        self._by_relpath = {ctx.relpath: ctx for ctx in self.files}
+
+    def file(self, relpath: str) -> Optional[FileContext]:
+        return self._by_relpath.get(relpath)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, before baseline application."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+    rule_names: List[str]
+
+    def new_findings(self, baseline: Dict[Fingerprint, int]) -> List[Finding]:
+        """Findings beyond the baseline's per-fingerprint allowance."""
+        seen: Dict[Fingerprint, int] = {}
+        fresh: List[Finding] = []
+        for finding in sorted(self.findings, key=lambda f: (f.path, f.line)):
+            count = seen.get(finding.fingerprint, 0)
+            seen[finding.fingerprint] = count + 1
+            if count >= baseline.get(finding.fingerprint, 0):
+                fresh.append(finding)
+        return fresh
+
+
+def iter_source_files(root: Path) -> List[Path]:
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def load_project(root: Path) -> Project:
+    root = root.resolve()
+    return Project(root, [FileContext(root, p) for p in iter_source_files(root)])
+
+
+def run_lint(
+    root: Path, rules: Optional[Sequence["Rule"]] = None
+) -> LintReport:
+    """Parse everything under ``root`` and run every registered rule."""
+    from repro.analysis.rules import build_rules
+
+    active = list(rules) if rules is not None else build_rules()
+    project = load_project(root)
+    for rule in active:
+        rule.prepare(project)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for ctx in project.files:
+        for rule in active:
+            for finding in rule.check(ctx, project):
+                if finding.rule in ctx.suppressed_at(finding.line):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(project.files),
+        rule_names=[rule.name for rule in active],
+    )
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def load_baseline(path: Path) -> Dict[Fingerprint, int]:
+    """Read the ratchet baseline; missing file means an empty baseline."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    counts: Dict[Fingerprint, int] = {}
+    for entry in payload.get("findings", []):
+        key: Fingerprint = (entry["rule"], entry["path"], entry["symbol"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    counts: Dict[Fingerprint, int] = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    entries = [
+        {"rule": rule, "path": rel, "symbol": symbol, "count": count}
+        for (rule, rel, symbol), count in sorted(counts.items())
+    ]
+    payload = {"version": 1, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,465 @@
+"""Runtime lock-order witness: deadlock cycles and blocking-under-lock.
+
+Static rules can't see dynamic acquisition order, so this module ships
+an opt-in instrumented lock.  :class:`OrderedLock` wraps a real
+``threading.Lock``/``RLock`` and reports every acquire/release to a
+:class:`LockOrderWitness`, which maintains
+
+* the **acquisition-order graph**: a directed edge ``A -> B`` whenever a
+  thread acquires ``B`` while holding ``A``.  A cycle in that graph is a
+  potential deadlock — two threads interleaving the two orders will hang
+  — reported even if the test run happened not to hit the interleaving.
+* **blocking-under-lock findings**: with :meth:`LockOrderWitness.install`
+  active, ``os.fsync`` and socket ``sendall``/``recv`` report through
+  the witness; performing one while holding a lock that was not wrapped
+  with ``allow_blocking=True`` is a finding (the convoy the
+  lock-discipline static rule guards, caught dynamically).
+
+Tests enable it two ways:
+
+* explicitly — ``witness.wrap(threading.Lock(), "name")`` around the
+  locks a scenario cares about;
+* wholesale — the :func:`witness_locks` context manager patches the
+  ``threading.Lock``/``RLock`` factories so every lock *created by repro
+  code* during the window is witnessed, named by its creation site.
+  Locks whose source line binds a name matching ``pipeline``/``_lock``
+  RLock-style write-path coverage keep ``allow_blocking`` (the WAL-first
+  design deliberately fsyncs under the coarse write locks); fine-grained
+  plain Locks do not.
+
+Re-entrant re-acquisition of a lock already held by the same thread adds
+no edges (it cannot deadlock).  ``Condition`` wait is supported: the
+wrapper exposes ``_release_save``/``_acquire_restore``/``_is_owned``
+when the inner lock does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+import os
+import re
+import socket
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "LockOrderFinding",
+    "LockOrderWitness",
+    "OrderedLock",
+    "witness_locks",
+]
+
+
+def _canonical_cycle(cycle: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Rotation-independent key for a cycle ``(a, b, ..., a)``."""
+    nodes = cycle[:-1]
+    if not nodes:
+        return cycle
+    pivot = nodes.index(min(nodes))
+    return nodes[pivot:] + nodes[:pivot]
+
+
+@dataclass(frozen=True)
+class LockOrderFinding:
+    """One witnessed violation: a cycle or a blocking call under a lock."""
+
+    kind: str  # "cycle" | "blocking-under-lock"
+    detail: str
+    chain: Tuple[str, ...]
+    thread: str
+
+    def render(self) -> str:
+        links = " -> ".join(self.chain)
+        return f"[{self.kind}] {self.detail} ({links}) [thread {self.thread}]"
+
+
+class OrderedLock:
+    """A witnessed wrapper around a ``threading.Lock``/``RLock``.
+
+    Drop-in for ``with``-statement and ``acquire``/``release`` use;
+    anything else (``locked``, timeouts) passes through to the inner
+    lock.  ``allow_blocking=True`` marks a coarse write-path lock that
+    is *expected* to be held across durable appends (fsync) — blocking
+    findings are not raised for it, ordering edges still are.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        name: str,
+        witness: "LockOrderWitness",
+        *,
+        allow_blocking: bool = False,
+    ) -> None:
+        self._inner = inner
+        self.name = name
+        self.allow_blocking = allow_blocking
+        self._witness = witness
+        # threading.Condition duck-probes these three attributes to
+        # cooperate with RLocks; forward them (with bookkeeping) only
+        # when the inner lock actually has them.
+        if hasattr(inner, "_release_save"):
+
+            def _release_save() -> Any:
+                self._witness._note_release_all(self)
+                return inner._release_save()
+
+            def _acquire_restore(state: Any) -> None:
+                inner._acquire_restore(state)
+                self._witness._note_acquire(self)
+
+            self._release_save = _release_save  # type: ignore[method-assign]
+            self._acquire_restore = _acquire_restore  # type: ignore[method-assign]
+        if hasattr(inner, "_is_owned"):
+            self._is_owned = inner._is_owned  # type: ignore[method-assign]
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired: bool = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._witness._note_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._witness._note_release(self)
+        self._inner.release()
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked: bool = self._inner.locked()
+        return locked
+
+    def __repr__(self) -> str:
+        return f"OrderedLock({self.name!r})"
+
+
+class LockOrderWitness:
+    """Aggregates acquisition order across threads and detects trouble."""
+
+    def __init__(self) -> None:
+        self._graph: Dict[str, Set[str]] = {}
+        self._edge_sites: Dict[Tuple[str, str], str] = {}
+        self._findings: List[LockOrderFinding] = []
+        self._reported_cycles: Set[Tuple[str, ...]] = set()
+        self._mutex = threading.Lock()
+        self._tls = threading.local()
+        self._seq = itertools.count(1)
+        self._installed: List[Callable[[], None]] = []
+
+    # -------------------------------------------------------------- wrapping
+
+    def wrap(
+        self,
+        inner: Any,
+        name: Optional[str] = None,
+        *,
+        allow_blocking: bool = False,
+    ) -> OrderedLock:
+        if name is None:
+            name = f"lock#{next(self._seq)}"
+        return OrderedLock(inner, name, self, allow_blocking=allow_blocking)
+
+    # ------------------------------------------------------------ accounting
+
+    def _held(self) -> List[List[Any]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack  # list of [OrderedLock, count]
+
+    def _note_acquire(self, lock: OrderedLock) -> None:
+        stack = self._held()
+        for entry in stack:
+            if entry[0] is lock:
+                entry[1] += 1  # re-entrant: no new ordering information
+                return
+        held_names = [entry[0].name for entry in stack]
+        stack.append([lock, 1])
+        if not held_names:
+            return
+        # Fast path: every edge already witnessed (racy read is fine —
+        # the graph only grows, a miss just falls through to the mutex).
+        if all(
+            lock.name in self._graph.get(held, ()) for held in held_names
+        ):
+            return
+        site: Optional[str] = None
+        with self._mutex:
+            for held in held_names:
+                if held == lock.name:
+                    continue
+                edges = self._graph.setdefault(held, set())
+                if lock.name not in edges:
+                    if site is None:
+                        site = _call_site()
+                    edges.add(lock.name)
+                    self._edge_sites[(held, lock.name)] = site
+                    self._check_cycle(held, lock.name)
+
+    def _note_release(self, lock: OrderedLock) -> None:
+        stack = self._held()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                stack[index][1] -= 1
+                if stack[index][1] <= 0:
+                    del stack[index]
+                return
+
+    def _note_release_all(self, lock: OrderedLock) -> None:
+        stack = self._held()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is lock:
+                del stack[index]
+                return
+
+    def _check_cycle(self, source: str, target: str) -> None:
+        """The new edge source->target closes a cycle iff target reaches
+        source; DFS over the (small) name graph."""
+        path = self._find_path(target, source)
+        if path is None:
+            return
+        cycle = tuple(path) + (target,)
+        canonical = _canonical_cycle(cycle)
+        if canonical in self._reported_cycles:
+            return
+        self._reported_cycles.add(canonical)
+        sites = [
+            self._edge_sites.get((cycle[i], cycle[i + 1]), "?")
+            for i in range(len(cycle) - 1)
+        ]
+        self._findings.append(
+            LockOrderFinding(
+                kind="cycle",
+                detail=(
+                    "lock acquisition order forms a cycle (potential "
+                    "deadlock); edges acquired at: " + "; ".join(sites)
+                ),
+                chain=cycle,
+                thread=threading.current_thread().name,
+            )
+        )
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        seen: Set[str] = set()
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._graph.get(node, ()):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    # -------------------------------------------------------- blocking hooks
+
+    def _note_blocking(self, op: str) -> None:
+        stack = self._held()
+        strict = [entry[0].name for entry in stack if not entry[0].allow_blocking]
+        if not strict:
+            return
+        self._findings.append(
+            LockOrderFinding(
+                kind="blocking-under-lock",
+                detail=f"'{op}' while holding {', '.join(strict)} "
+                f"at {_call_site()}",
+                chain=tuple(strict),
+                thread=threading.current_thread().name,
+            )
+        )
+
+    def install(self) -> "LockOrderWitness":
+        """Route ``os.fsync`` and socket send/recv through the witness."""
+        if self._installed:
+            return self
+        witness = self
+
+        original_fsync = os.fsync
+
+        def fsync(fd: int) -> None:
+            witness._note_blocking("os.fsync")
+            original_fsync(fd)
+
+        os.fsync = fsync  # type: ignore[assignment]
+        self._installed.append(lambda: setattr(os, "fsync", original_fsync))
+
+        original_sendall = socket.socket.sendall
+
+        def sendall(sock: socket.socket, *args: Any, **kwargs: Any) -> None:
+            witness._note_blocking("socket.sendall")
+            original_sendall(sock, *args, **kwargs)
+
+        socket.socket.sendall = sendall  # type: ignore[assignment, method-assign]
+        self._installed.append(
+            lambda: setattr(socket.socket, "sendall", original_sendall)
+        )
+
+        original_recv = socket.socket.recv
+
+        def recv(sock: socket.socket, *args: Any, **kwargs: Any) -> bytes:
+            witness._note_blocking("socket.recv")
+            data: bytes = original_recv(sock, *args, **kwargs)
+            return data
+
+        socket.socket.recv = recv  # type: ignore[assignment, method-assign]
+        self._installed.append(
+            lambda: setattr(socket.socket, "recv", original_recv)
+        )
+        return self
+
+    def uninstall(self) -> None:
+        while self._installed:
+            self._installed.pop()()
+
+    # --------------------------------------------------------------- results
+
+    @property
+    def findings(self) -> List[LockOrderFinding]:
+        return list(self._findings)
+
+    def report(self) -> Dict[str, Any]:
+        """Structured summary: the witnessed graph plus every finding."""
+        with self._mutex:
+            edges = sorted(
+                (src, dst) for src, dsts in self._graph.items() for dst in dsts
+            )
+        return {
+            "locks": sorted(
+                {name for edge in edges for name in edge}
+            ),
+            "edges": [
+                {
+                    "from": src,
+                    "to": dst,
+                    "site": self._edge_sites.get((src, dst), "?"),
+                }
+                for src, dst in edges
+            ],
+            "findings": [
+                {
+                    "kind": f.kind,
+                    "detail": f.detail,
+                    "chain": list(f.chain),
+                    "thread": f.thread,
+                }
+                for f in self._findings
+            ],
+        }
+
+    def assert_clean(self) -> None:
+        if not self._findings:
+            return
+        rendered = "\n".join(f.render() for f in self._findings)
+        raise AssertionError(f"lock-order witness findings:\n{rendered}")
+
+
+# ------------------------------------------------------------ factory patch
+
+_REPRO_MARKER = os.sep + "repro" + os.sep
+_THIS_FILE = os.path.abspath(__file__)
+_BIND_RE = re.compile(r"(\w+)\s*(?::[^=]+)?=\s*threading\.R?Lock\(")
+
+# Creation-site variable names that mark coarse write-path locks: the
+# WAL-first design holds these across durable appends on purpose, so
+# fsync under them is not a finding (ordering edges still are).
+_ALLOW_BLOCKING_BINDINGS = re.compile(r"(pipeline|^lock$|^_lock$|wal)", re.I)
+
+
+def _call_site() -> str:
+    """First stack frame inside repro code (excluding this module)."""
+    for frame in reversed(traceback.extract_stack()):
+        filename = os.path.abspath(frame.filename)
+        if filename == _THIS_FILE:
+            continue
+        if _REPRO_MARKER in filename:
+            return f"{Path(filename).name}:{frame.lineno}"
+    return "?"
+
+
+def _creation_site() -> Optional[Tuple[str, int, str]]:
+    """(short path, line, source line) of the repro frame creating a lock."""
+    for frame in reversed(traceback.extract_stack()):
+        filename = os.path.abspath(frame.filename)
+        if filename == _THIS_FILE or _REPRO_MARKER not in filename:
+            continue
+        line = linecache.getline(filename, frame.lineno).strip()
+        short = "/".join(Path(filename).parts[-2:])
+        return (short, frame.lineno, line)
+    return None
+
+
+@contextmanager
+def witness_locks(
+    witness: Optional[LockOrderWitness] = None,
+    *,
+    install_blocking_hooks: bool = True,
+) -> Iterator[LockOrderWitness]:
+    """Witness every lock created by repro code inside the block.
+
+    Patches the ``threading.Lock``/``RLock`` factories; locks created
+    from non-repro frames (stdlib executors, futures) pass through
+    unwrapped, so the overhead and the graph stay scoped to this
+    codebase.  Lock names come from the creation site
+    (``service/service.py:214:_pipeline_lock#1``), which also decides
+    ``allow_blocking`` (see module docstring).
+    """
+    active = witness if witness is not None else LockOrderWitness()
+    original_lock = threading.Lock
+    original_rlock = threading.RLock
+    counter = itertools.count(1)
+
+    def _make(
+        factory: Callable[[], Any], reentrant: bool
+    ) -> Callable[[], Any]:
+        def maker() -> Any:
+            inner = factory()
+            site = _creation_site()
+            if site is None:
+                return inner
+            short, lineno, source = site
+            match = _BIND_RE.search(source)
+            binding = match.group(1) if match else ""
+            name = f"{short}:{lineno}"
+            if binding:
+                name = f"{name}:{binding}"
+            name = f"{name}#{next(counter)}"
+            allow = reentrant and (
+                not binding or bool(_ALLOW_BLOCKING_BINDINGS.search(binding))
+            )
+            return active.wrap(inner, name, allow_blocking=allow)
+
+        return maker
+
+    threading.Lock = _make(original_lock, False)  # type: ignore[assignment]
+    threading.RLock = _make(original_rlock, True)  # type: ignore[assignment]
+    if install_blocking_hooks:
+        active.install()
+    try:
+        yield active
+    finally:
+        threading.Lock = original_lock  # type: ignore[assignment]
+        threading.RLock = original_rlock  # type: ignore[assignment]
+        if install_blocking_hooks:
+            active.uninstall()

@@ -1,0 +1,49 @@
+"""Rule registry for repro-lint.
+
+Every shipped rule is listed here; ``build_rules()`` instantiates fresh
+rule objects for one lint run (rules carry per-run indices built in
+``prepare``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.deadline import DeadlinePropagationRule
+from repro.analysis.rules.errenvelope import ErrorEnvelopeRule
+from repro.analysis.rules.excepts import BareExceptRule, NoSwallowRule
+from repro.analysis.rules.lockio import LockDisciplineRule
+from repro.analysis.rules.spans import SpanCoverageRule
+from repro.analysis.rules.walfirst import WalFirstRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+ALL_RULES: List[Type[Rule]] = [
+    DeadlinePropagationRule,
+    WalFirstRule,
+    LockDisciplineRule,
+    ErrorEnvelopeRule,
+    SpanCoverageRule,
+    WallClockRule,
+    BareExceptRule,
+    NoSwallowRule,
+]
+
+
+def build_rules() -> List[Rule]:
+    return [cls() for cls in ALL_RULES]
+
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "build_rules",
+    "BareExceptRule",
+    "DeadlinePropagationRule",
+    "ErrorEnvelopeRule",
+    "LockDisciplineRule",
+    "NoSwallowRule",
+    "SpanCoverageRule",
+    "WalFirstRule",
+    "WallClockRule",
+]

@@ -1,0 +1,99 @@
+"""Rule protocol and shared AST helpers for repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple, Union
+
+from repro.analysis.engine import FileContext, Finding, Project
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class Rule:
+    """One invariant check.
+
+    ``prepare`` runs once with the whole parsed project (for cross-file
+    indices); ``check`` runs per file and yields findings.  ``name`` is
+    the identifier used in suppression comments and the baseline.
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def prepare(self, project: Project) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every (sync or async) function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def param_names(fn: FunctionNode) -> List[str]:
+    args = fn.args
+    return [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def call_name(call: ast.Call) -> str:
+    """Terminal name of a call target: ``self.wal.append(...)`` -> ``append``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(expr: ast.AST) -> str:
+    """Best-effort dotted rendering: ``os.fsync`` -> ``"os.fsync"``.
+
+    Returns ``""`` for anything dynamic (subscripts, calls, lambdas).
+    """
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def name_chain(expr: ast.AST) -> Tuple[str, ...]:
+    """All identifiers along an attribute chain, outermost last."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree without descending into nested functions.
+
+    Code inside a nested ``def``/``lambda`` runs later (often on another
+    thread via an executor), so rules about "what happens inside this
+    block" must not attribute it to the enclosing block.
+    """
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if not isinstance(child, (*FUNCTION_NODES, ast.Lambda)):
+            yield from walk_shallow(child)
+
+
+def body_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Calls syntactically inside ``node``, excluding nested functions."""
+    for child in walk_shallow(node):
+        if isinstance(child, ast.Call):
+            yield child

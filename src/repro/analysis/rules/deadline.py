@@ -1,0 +1,85 @@
+"""deadline-propagation: cooperative deadlines must not be dropped.
+
+A request's :class:`~repro.api.options.Deadline` is plumbed by hand
+through service -> engine -> router -> shard -> replica (PR 5).  Any
+function that *accepts* a ``deadline`` and then calls another function
+that also accepts one must forward it — a silent drop turns a bounded
+request into an unbounded one, and nothing else in the stack notices.
+
+Forwarding counts when the call passes a ``deadline=`` keyword, passes a
+value *named* deadline positionally (``self._query(..., deadline, ...)``
+or ``request.deadline``), or splats ``**kwargs`` (the established idiom
+for riding options through generic engine facades).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.engine import FileContext, Finding, Project
+from repro.analysis.rules.base import (
+    Rule,
+    body_calls,
+    call_name,
+    functions,
+    param_names,
+)
+
+# Names too generic to index: a method of this name accepting ``deadline``
+# somewhere must not force every unrelated call of that name to forward.
+_GENERIC_NAMES = {"read", "write", "get", "put", "send", "run", "close"}
+
+
+def _passes_deadline(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg is None:  # **kwargs splat rides the deadline through
+            return True
+        if kw.arg == "deadline":
+            return True
+        value = kw.value
+        if isinstance(value, ast.Name) and value.id == "deadline":
+            return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == "deadline":
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == "deadline":
+            return True
+    return False
+
+
+class DeadlinePropagationRule(Rule):
+    name = "deadline-propagation"
+    summary = (
+        "functions accepting a deadline must forward it to every callee "
+        "that accepts one"
+    )
+
+    def __init__(self) -> None:
+        self._accepting: Dict[str, Set[str]] = {}
+
+    def prepare(self, project: Project) -> None:
+        self._accepting = {}
+        for ctx in project.files:
+            for fn in functions(ctx.tree):
+                if fn.name in _GENERIC_NAMES:
+                    continue
+                if "deadline" in param_names(fn):
+                    self._accepting.setdefault(fn.name, set()).add(ctx.relpath)
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        for fn in functions(ctx.tree):
+            if "deadline" not in param_names(fn):
+                continue
+            for call in body_calls(fn):
+                callee = call_name(call)
+                if callee not in self._accepting:
+                    continue
+                if _passes_deadline(call):
+                    continue
+                yield ctx.finding(
+                    self.name,
+                    call,
+                    f"call to deadline-accepting '{callee}' drops the "
+                    "deadline this function received",
+                )

@@ -1,0 +1,103 @@
+"""error-envelope: every wire-crossing exception must decode to itself.
+
+``server/protocol.py`` keeps a typed-error codec (``_KNOWN_ERRORS``): an
+exception raised server-side is enveloped by class name and re-raised as
+the *same* class on the client.  A class missing from the registry still
+crosses the wire, but degrades to a generic ``RemoteError`` — client
+code that catches the typed exception silently stops matching.
+
+The rule derives both sets statically — the registry keys from the
+``_KNOWN_ERRORS`` dict literal, and every ``raise Name(...)`` in
+``server/`` — and flags raises outside the registry.  Client-side
+transport exceptions (``ConnectionClosed``, ``RemoteError``) never enter
+an envelope and are exempt, as are bare re-raises and ``raise ... from``
+of dynamic expressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import FileContext, Finding, Project
+from repro.analysis.rules.base import Rule
+
+_PROTOCOL = "server/protocol.py"
+_REGISTRY = "_KNOWN_ERRORS"
+
+# Raised only on the client side of the wire (transport failures); they
+# are never encoded into an envelope, so registration is meaningless.
+_TRANSPORT_LOCAL = {"ConnectionClosed", "RemoteError"}
+
+
+def _raised_name(node: ast.Raise) -> str:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    elif isinstance(exc, ast.Name):
+        return exc.id
+    return ""
+
+
+class ErrorEnvelopeRule(Rule):
+    name = "error-envelope"
+    summary = (
+        "exceptions raised in server/ must be registered in the "
+        "protocol's typed-error codec"
+    )
+
+    def __init__(self) -> None:
+        self._registered: Set[str] = set()
+
+    def prepare(self, project: Project) -> None:
+        self._registered = set()
+        protocol = project.file(_PROTOCOL)
+        if protocol is None:
+            return
+        for node in ast.walk(protocol.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if _REGISTRY not in targets or not isinstance(node.value, ast.Dict):
+                continue
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    self._registered.add(key.value)
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if not ctx.relpath.startswith("server/"):
+            return
+        if not self._registered:
+            # Registry missing entirely: that is itself a finding, once.
+            if ctx.relpath == _PROTOCOL:
+                yield ctx.finding(
+                    self.name,
+                    ctx.tree,
+                    f"could not locate the {_REGISTRY} dict literal in "
+                    f"{_PROTOCOL}",
+                )
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if not name or not (
+                name.endswith("Error") or name.endswith("Exception")
+                or name in {"KeyError", "ValueError", "TypeError"}
+            ):
+                continue
+            if name in self._registered or name in _TRANSPORT_LOCAL:
+                continue
+            yield ctx.finding(
+                self.name,
+                node,
+                f"'{name}' is raised in server/ but not registered in "
+                f"protocol.{_REGISTRY}; clients would receive a generic "
+                "RemoteError",
+            )

@@ -1,0 +1,68 @@
+"""wal-first: durability logging must precede in-memory application.
+
+The ingest pipeline's crash-safety story is WAL-append-*then*-stage: a
+mutation acknowledged to a client exists on disk before the store's
+in-memory state reflects it, so recovery can always replay forward.
+Within ``ingest/`` and ``replication/``, any function body that both
+appends to a WAL and stages/applies a mutation must append first.
+
+Replay paths (``recover``) that stage without appending are exempt —
+the rule only fires when both operations appear in one function and the
+stage comes first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import FileContext, Finding, Project
+from repro.analysis.rules.base import (
+    Rule,
+    body_calls,
+    call_name,
+    functions,
+    name_chain,
+)
+
+_STAGE_CALLS = {"stage_mutation", "apply_mutation"}
+_SCOPES = ("ingest/", "replication/")
+
+
+def _is_wal_append(call: ast.Call) -> bool:
+    if call_name(call) != "append":
+        return False
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    # Receiver chain must mention the log ('self.wal.append', 'wal.append',
+    # 'log.append') so plain list.append never trips the rule.
+    receiver = name_chain(func.value)
+    return any("wal" in part.lower() or part.lower() == "log" for part in receiver)
+
+
+class WalFirstRule(Rule):
+    name = "wal-first"
+    summary = "in ingest/ and replication/, WAL append must precede staging"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if not ctx.relpath.startswith(_SCOPES):
+            return
+        for fn in functions(ctx.tree):
+            first_stage: Optional[ast.Call] = None
+            first_append: Optional[ast.Call] = None
+            for call in body_calls(fn):
+                if first_stage is None and call_name(call) in _STAGE_CALLS:
+                    first_stage = call
+                if first_append is None and _is_wal_append(call):
+                    first_append = call
+            if first_stage is None or first_append is None:
+                continue
+            if first_stage.lineno < first_append.lineno:
+                yield ctx.finding(
+                    self.name,
+                    first_stage,
+                    f"'{call_name(first_stage)}' precedes the WAL append at "
+                    f"line {first_append.lineno}; durability logging must "
+                    "come first",
+                )

@@ -1,0 +1,75 @@
+"""no-wall-clock: deterministic paths must not read the wall clock or
+global RNG.
+
+Query evaluation, semantic partitioning and result fingerprints promise
+byte-identical outputs for identical inputs — cursors resume against a
+fingerprint, replicas compare digests, benches compare fingerprints
+across topologies.  ``time.time()`` or an unseeded ``random`` call in
+those paths breaks the contract invisibly (everything still "works",
+digests just stop matching under load or across runs).
+
+Scope: ``core/``, ``shard/partitioner.py``, ``api/cursor.py`` and
+``service/cache.py`` (the fingerprint home).  ``time.monotonic`` /
+``time.perf_counter`` remain fine — they measure, they don't timestamp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Project
+from repro.analysis.rules.base import Rule, dotted_name
+
+_SCOPED_FILES = {"shard/partitioner.py", "api/cursor.py", "service/cache.py"}
+
+_FORBIDDEN_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.ctime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_FORBIDDEN_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+
+class WallClockRule(Rule):
+    name = "no-wall-clock"
+    summary = (
+        "no time.time()/random.* in deterministic fingerprint/partition "
+        "paths"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if not (
+            ctx.relpath.startswith("core/") or ctx.relpath in _SCOPED_FILES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if not dotted:
+                continue
+            # Seeded generator construction is the *fix* for this rule,
+            # not a violation: default_rng(seed) / Random(seed) with an
+            # explicit argument are deterministic.
+            seeded_ctor = dotted.endswith((".default_rng", ".Random"))
+            if seeded_ctor and (node.args or node.keywords):
+                continue
+            hit = dotted in _FORBIDDEN_EXACT or any(
+                dotted.startswith(prefix) for prefix in _FORBIDDEN_PREFIXES
+            )
+            if hit:
+                yield ctx.finding(
+                    self.name,
+                    node,
+                    f"'{dotted}' is non-deterministic; this path promises "
+                    "byte-identical outputs (use a seeded RNG or "
+                    "time.monotonic for measurement)",
+                )

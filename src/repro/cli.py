@@ -73,6 +73,13 @@ Subcommands
     scaling (wall-clock scaling is additionally gated where the host has
     the cores).  Writes ``BENCH_net.json``; every other bench subcommand
     writes its own ``BENCH_<name>.json`` alongside its tables too.
+``lint``
+    Run repro-lint — the project-specific invariant rules (deadline
+    propagation, WAL-first ordering, lock discipline, error-envelope
+    exhaustiveness, span coverage, determinism, exception hygiene) — over
+    the source tree, gated by the committed ratchet baseline.  Exits
+    non-zero on any finding not covered by the baseline, so CI runs it as
+    the static-analysis gate.
 ``experiments``
     List the benchmark modules and the paper table/figure each regenerates.
 """
@@ -561,13 +568,26 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     _print(
         format_table(
             ["shards", "build (s)", "mix wall (s)", "busiest shard (sim ms)",
-             "scatter q/s", "speedup", "mut/s", "pruned", "identical"],
+             "scatter q/s", "speedup", "mut/s", "pruned", "busy share",
+             "identical"],
             rows,
             title=f"shard-bench: {len(files)} files, {args.units} total units, "
             f"{args.queries} queries/type x3 phases, {args.mutations} mutations, "
             f"{args.partitioner} partitioner",
         )
     )
+    for row in report.rows:
+        if row.degenerate:
+            _print(
+                f"WARNING: the {row.shards}-shard partition is degenerate — "
+                f"the busiest shard carries {row.busy_share:.0%} of the "
+                f"simulated busy time ({row.busy_utilization:.0%} effective "
+                f"cluster utilization; per-shard populations: "
+                f"{row.shard_populations}).  Scatter throughput of this row "
+                f"measures one machine, not the cluster; its speedup is not "
+                f"meaningful.  Use a larger corpus (--scale / --input) or a "
+                f"different --seed before reading anything into it."
+            )
     gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
     _print(
         format_table(
@@ -977,6 +997,58 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run repro-lint (the project invariant rules) over a source tree.
+
+    Exit code 0 when every finding is covered by the ratchet baseline
+    (or there are none), 1 when new findings appear.  With
+    ``--baseline-update`` the current findings *become* the baseline —
+    the ratchet only ever moves deliberately.
+    """
+    from repro.analysis.engine import (
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+    from repro.analysis.rules import build_rules
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        raise ValueError(f"lint root {root} is not a directory")
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else root / "analysis" / "baseline.json"
+    )
+
+    if args.list_rules:
+        rows = [[rule.name, rule.summary] for rule in build_rules()]
+        _print(format_table(["rule", "invariant"], rows, title="repro-lint rules"))
+        return 0
+
+    report = run_lint(root)
+    baseline = load_baseline(baseline_path)
+    fresh = report.new_findings(baseline)
+
+    if args.baseline_update:
+        write_baseline(baseline_path, report.findings)
+        _print(
+            f"[baseline updated: {len(report.findings)} finding(s) "
+            f"recorded in {baseline_path}]"
+        )
+        return 0
+
+    for finding in fresh:
+        _print(finding.render())
+    waived = len(report.findings) - len(fresh)
+    _print(
+        f"[repro-lint: {report.files_checked} files, "
+        f"{len(report.rule_names)} rules, {len(fresh)} new finding(s), "
+        f"{waived} baselined, {len(report.suppressed)} suppressed]"
+    )
+    return 1 if fresh else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     rows = [[module, what] for module, what in sorted(EXPERIMENT_INDEX.items())]
     _print(
@@ -1221,6 +1293,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the largest worker count reaches this "
                        "scatter-throughput speedup over 1 worker")
     p_net.set_defaults(func=_cmd_net_bench)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project invariant rules (repro-lint) over src/repro",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent),
+        help="source tree to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        help="ratchet baseline JSON (default: <root>/analysis/baseline.json)",
+    )
+    p_lint.add_argument(
+        "--baseline-update",
+        action="store_true",
+        help="accept the current findings as the new baseline",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_exp = sub.add_parser("experiments", help="list the benchmark/experiment index")
     p_exp.set_defaults(func=_cmd_experiments)

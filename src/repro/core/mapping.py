@@ -32,7 +32,9 @@ def map_index_units(tree: SemanticRTree, rng: Optional[np.random.Generator] = No
     more index units than storage units (only possible for tiny, degenerate
     configurations) labelled servers are reused round-robin.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    # The fallback stream is fixed: mapping must be reproducible even when
+    # the caller does not thread a seeded generator through.
+    rng = rng if rng is not None else np.random.default_rng(0)
     labelled: set[int] = set()
     assignment: Dict[int, int] = {}
 
@@ -68,7 +70,8 @@ def multi_map_root(tree: SemanticRTree, rng: Optional[np.random.Generator] = Non
     outside the root's attribute bounds, so keeping these replicas
     consistent is cheap (§4.3).
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    # Fixed fallback stream, same reasoning as map_index_units above.
+    rng = rng if rng is not None else np.random.default_rng(0)
     root = tree.root
     replica_hosts: List[int] = []
     for group in tree.first_level_groups():

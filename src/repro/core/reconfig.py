@@ -70,7 +70,9 @@ def insert_storage_unit(
     """
     if descriptor.unit_id in tree.leaves:
         raise ValueError(f"storage unit {descriptor.unit_id} is already part of the tree")
-    rng = rng if rng is not None else np.random.default_rng()
+    # Fixed fallback stream: reconfiguration must be reproducible even
+    # when the caller does not thread a seeded generator through.
+    rng = rng if rng is not None else np.random.default_rng(0)
     metrics = metrics if metrics is not None else Metrics()
 
     groups = tree.first_level_groups()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.ingest.compactor import CompactionPolicy
@@ -92,7 +92,9 @@ def standard_configurations(fsync_batch: int) -> List[Tuple[str, Optional[int], 
     ]
 
 
-def _probe_queries(files: Sequence[FileMetadata], per_type: int, seed: int):
+def _probe_queries(
+    files: Sequence[FileMetadata], per_type: int, seed: int
+) -> List[Any]:
     generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=seed)
     return (
         generator.point_queries(per_type, existing_fraction=0.8)

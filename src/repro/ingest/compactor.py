@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.cluster.metrics import Metrics
 from repro.core.reconfig import split_group
@@ -172,7 +172,7 @@ class Compactor:
             self.stats.changes_applied += applied
             return applied
 
-    def _maybe_split(self, group) -> bool:
+    def _maybe_split(self, group: Any) -> bool:
         """Split ``group`` if hot; returns True when a split happened."""
         if not self.policy.hot_group_factor:
             return False

@@ -57,6 +57,21 @@ def _payload_crc(payload: Dict[str, object]) -> int:
     return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
 
 
+def _parse_record_line(line: bytes) -> WALRecord:
+    """Parse one on-disk record line, rejecting ANY byte-level corruption.
+
+    The CRC covers the canonical (re-serialized) JSON, which a pure
+    formatting corruption — e.g. an inter-token space flipped to a tab —
+    does not change.  Requiring the raw bytes to round-trip through the
+    writer's own serialization closes that gap: formatting damage fails
+    the byte comparison, value damage fails the CRC.
+    """
+    payload = json.loads(line)
+    if json.dumps(payload).encode("utf-8") != line.rstrip(b"\r\n"):
+        raise ValueError("record bytes are not the writer's serialization")
+    return WALRecord.from_payload(payload)
+
+
 @dataclass(frozen=True)
 class WALRecord:
     """One logged mutation."""
@@ -236,7 +251,7 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ reading
@@ -282,7 +297,7 @@ class WriteAheadLog:
                     replay.good_bytes = fh.tell()
                     continue
                 try:
-                    record = WALRecord.from_payload(json.loads(line))
+                    record = _parse_record_line(line)
                 except (ValueError, KeyError, TypeError):
                     replay.truncated = True
                     replay.bad_line = line_no

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.ingest.pipeline import IngestPipeline
@@ -92,7 +92,12 @@ class ReplicaFailoverReport:
         return all(self.gates.values())
 
 
-def _workload(files, schema, queries_per_type, seed):
+def _workload(
+    files: Sequence[FileMetadata],
+    schema: AttributeSchema,
+    queries_per_type: int,
+    seed: int,
+) -> Tuple[List[Any], List[Any]]:
     generator = QueryWorkloadGenerator(files, schema, seed=seed)
     points = generator.point_queries(queries_per_type, existing_fraction=0.8)
     complex_mix = generator.mixed_complex_queries(
@@ -101,7 +106,15 @@ def _workload(files, schema, queries_per_type, seed):
     return points, complex_mix
 
 
-def _run_phases(target, mutator, points, complex_mix, halves, *, on_kill=None):
+def _run_phases(
+    target: Any,
+    mutator: Any,
+    points: Sequence[Any],
+    complex_mix: Sequence[Any],
+    halves: Sequence[Sequence[Tuple[str, FileMetadata]]],
+    *,
+    on_kill: Optional[Callable[[], None]] = None,
+) -> Tuple[Dict[str, List[str]], float, float, int]:
     """Drive one deployment through the three phases.
 
     ``halves`` is the mutation stream split in two; ``on_kill`` (replicated

@@ -32,7 +32,7 @@ Fault kinds:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
     "ReplicaUnavailableError",
@@ -71,17 +71,17 @@ class FaultInjector:
         :class:`~repro.shard.router.ShardRouter`).
     """
 
-    def __init__(self, groups) -> None:
+    def __init__(self, groups: Any) -> None:
         if hasattr(groups, "replica_groups"):
             groups = groups.replica_groups()
         elif hasattr(groups, "members"):  # a single ReplicaGroup
             groups = [groups]
-        self.groups: List = list(groups)
+        self.groups: List[Any] = list(groups)
         if not self.groups:
             raise ValueError("FaultInjector needs at least one replica group")
 
     # ------------------------------------------------------------------ helpers
-    def _replica(self, group_id: int, replica_id: int):
+    def _replica(self, group_id: int, replica_id: int) -> Any:
         return self.groups[group_id].members[replica_id]
 
     # ------------------------------------------------------------------ crashes

@@ -56,12 +56,13 @@ import warnings
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.smartstore import SmartStore, SmartStoreConfig
-from repro.ingest.compactor import CompactionPolicy
+from repro.ingest.compactor import CompactionPolicy, CompactionStats
+from repro.ingest.overlay import StagingOverlay
 from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.ingest.wal import WALRecord, WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
@@ -238,7 +239,7 @@ class _GroupVersioning:
         for member in self._group.members:
             member.store.versioning.unsubscribe(listener)
 
-    def rewire(self, manager) -> None:
+    def rewire(self, manager: Any) -> None:
         """Subscribe the remembered listeners to a resynced member's manager."""
         for listener in self._listeners:
             manager.subscribe(listener)
@@ -250,16 +251,22 @@ class _GroupEngine:
     def __init__(self, group: "ReplicaGroup") -> None:
         self._group = group
 
-    def point_query(self, query, *, home_unit=None, **kwargs):
+    def point_query(
+        self, query: Any, *, home_unit: Optional[int] = None, **kwargs: Any
+    ) -> Any:
         return self._group.read("point_query", query, home_unit=home_unit, **kwargs)
 
-    def range_query(self, query, *, home_unit=None, **kwargs):
+    def range_query(
+        self, query: Any, *, home_unit: Optional[int] = None, **kwargs: Any
+    ) -> Any:
         return self._group.read("range_query", query, home_unit=home_unit, **kwargs)
 
-    def topk_query(self, query, *, home_unit=None, **kwargs):
+    def topk_query(
+        self, query: Any, *, home_unit: Optional[int] = None, **kwargs: Any
+    ) -> Any:
         return self._group.read("topk_query", query, home_unit=home_unit, **kwargs)
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         # to_index_space / index_lower / node_by_id / ... — read-only
         # geometry shared by every identically-built member.
         return getattr(self._group.primary.store.engine, name)
@@ -272,7 +279,7 @@ class _GroupCompactor:
         self._group = group
 
     @property
-    def stats(self):
+    def stats(self) -> CompactionStats:
         return self._group.primary.pipeline.compactor.stats
 
     def _sweep(self, entry_point: str) -> int:
@@ -382,11 +389,11 @@ class ReplicaGroup:
         return self.primary.store.index_upper
 
     @property
-    def cluster(self):
+    def cluster(self) -> Any:
         return self.primary.store.cluster
 
     @property
-    def overlay(self):
+    def overlay(self) -> StagingOverlay:
         return self.primary.pipeline.overlay
 
     @property
@@ -397,7 +404,7 @@ class ReplicaGroup:
         """The group is its own write path (QueryService hook)."""
         return self
 
-    def execute(self, query):
+    def execute(self, query: object) -> Any:
         """Facade-style dispatch (mirrors :meth:`SmartStore.execute`)."""
         from repro.workloads.types import PointQuery, RangeQuery, TopKQuery
 
@@ -581,13 +588,13 @@ class ReplicaGroup:
     def read(
         self,
         method: str,
-        query,
+        query: Any,
         *,
-        home_unit=None,
+        home_unit: Optional[int] = None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> Any:
         """Serve one query from a healthy member (catch-up-on-read).
 
         Members are tried in rotating order; breakers filter candidates
@@ -829,7 +836,7 @@ class ReplicaGroup:
     def __enter__(self) -> "ReplicaGroup":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ introspection
@@ -877,8 +884,8 @@ def _build_replica_group(
     schema: AttributeSchema = DEFAULT_SCHEMA,
     *,
     replication: Optional[ReplicationConfig] = None,
-    index_bounds=None,
-    wal_path=None,
+    index_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    wal_path: Optional[Union[str, Path]] = None,
     fsync_every: int = 1,
     policy: Optional[CompactionPolicy] = None,
 ) -> ReplicaGroup:
@@ -913,7 +920,7 @@ def _build_replica_group(
     )
 
 
-def build_replica_group(*args, **kwargs) -> ReplicaGroup:
+def build_replica_group(*args: Any, **kwargs: Any) -> ReplicaGroup:
     """Deprecated entry point: build a replica group directly.
 
     Prefer the unified client front door — ``repro.api.connect`` with a

@@ -66,6 +66,7 @@ from repro.core.queries import QueryResult
 from repro.ingest.pipeline import MutationReceipt
 from repro.persistence.jsonl import file_from_dict, file_to_dict
 from repro.service.batching import ServiceOverloadedError
+from repro.shard.router import ShardUnavailableError
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
 __all__ = [
@@ -220,6 +221,8 @@ _KNOWN_ERRORS = {
     "PartialResultError": PartialResultError,
     "ServiceOverloadedError": ServiceOverloadedError,
     "ProtocolError": ProtocolError,
+    "ShardUnavailableError": ShardUnavailableError,
+    "RuntimeError": RuntimeError,
     "ValueError": ValueError,
     "TypeError": TypeError,
     "KeyError": KeyError,

@@ -500,6 +500,11 @@ class StoreServer:
             try:
                 doc = worker_stats()
             except Exception:  # noqa: BLE001 - a dead worker must not fail the scrape
+                merged.counter(
+                    "server_scrape_worker_unreachable",
+                    "workers whose stats could not be fetched this scrape",
+                    shard=str(sid),
+                ).inc()
                 continue
             payload = doc.get("metrics")
             if payload:

@@ -38,7 +38,7 @@ index_bounds=...)``) so distances and normalisation agree across shards.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ __all__ = [
     "corpus_index_bounds",
     "SemanticShardPartitioner",
     "HashShardPartitioner",
+    "ShardPartitioner",
     "make_partitioner",
 ]
 
@@ -246,6 +247,10 @@ class HashShardPartitioner:
         return int(file.file_id % self.num_shards)
 
 
+#: Either concrete partitioner; both expose ``shard_for`` and ``kind``.
+ShardPartitioner = Union[SemanticShardPartitioner, HashShardPartitioner]
+
+
 def make_partitioner(
     files: Sequence[FileMetadata],
     num_shards: int,
@@ -255,7 +260,7 @@ def make_partitioner(
     rank: int = 5,
     seed: Optional[int] = None,
     strategy: str = "slice",
-):
+) -> "ShardPartitioner":
     """Factory over the partitioner strategies (``semantic`` / ``hash``)."""
     if kind == "semantic":
         return SemanticShardPartitioner(

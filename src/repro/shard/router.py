@@ -96,15 +96,28 @@ import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.api.__init__
+    from repro.api.options import Deadline
 
 from repro.bloom.bloom import BloomFilter
 from repro.cluster.metrics import Metrics
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.core.versioning import VersioningManager
+from repro.ingest.compactor import CompactionPolicy
 from repro.ingest.pipeline import IngestPipeline, MutationReceipt
 from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
@@ -112,7 +125,11 @@ from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
 from repro.obs import TraceContext, get_tracer
 from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
-from repro.shard.partitioner import corpus_index_bounds, make_partitioner
+from repro.shard.partitioner import (
+    ShardPartitioner,
+    corpus_index_bounds,
+    make_partitioner,
+)
 from repro.workloads.types import PointQuery, Query, RangeQuery, TopKQuery
 
 __all__ = [
@@ -129,9 +146,17 @@ class ShardUnavailableError(ConnectionError):
     turns it into an incomplete per-shard result rather than failing the
     whole request."""
 
-    def __init__(self, shard_id: int, message: str) -> None:
-        super().__init__(f"shard {shard_id}: {message}")
-        self.shard_id = shard_id
+    def __init__(
+        self, shard_id: Union[int, str], message: Optional[str] = None
+    ) -> None:
+        if message is None:
+            # Reconstructed from a wire error envelope: the rendered
+            # message already carries the shard id prefix.
+            super().__init__(str(shard_id))
+            self.shard_id = -1
+        else:
+            super().__init__(f"shard {shard_id}: {message}")
+            self.shard_id = int(shard_id)
 
 #: Geometry of the router-level per-shard filename Bloom filters.  Sized for
 #: corpora of tens of thousands of filenames per shard at a negligible
@@ -283,7 +308,7 @@ class ShardRouter:
     def __init__(
         self,
         shards: Sequence[SmartStore],
-        partitioner,
+        partitioner: ShardPartitioner,
         *,
         pipelines: Optional[Sequence[IngestPipeline]] = None,
         max_workers: Optional[int] = None,
@@ -373,7 +398,7 @@ class ShardRouter:
     def __enter__(self) -> "ShardRouter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -412,11 +437,11 @@ class ShardRouter:
         query: Query,
         home_unit: Optional[int],
         *,
-        deadline=None,
+        deadline: Optional[Deadline] = None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
         trace_ctx: Optional[TraceContext] = None,
-        **kwargs,
+        **kwargs: object,
     ) -> QueryResult:
         """One shard's part of a scatter: execute and account its busy time.
 
@@ -545,7 +570,7 @@ class ShardRouter:
         query: PointQuery,
         *,
         home_unit: Optional[int] = None,
-        deadline=None,
+        deadline: Optional[Deadline] = None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
     ) -> QueryResult:
@@ -579,7 +604,7 @@ class ShardRouter:
         query: RangeQuery,
         *,
         home_unit: Optional[int] = None,
-        deadline=None,
+        deadline: Optional[Deadline] = None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
     ) -> QueryResult:
@@ -615,7 +640,7 @@ class ShardRouter:
         query: TopKQuery,
         *,
         home_unit: Optional[int] = None,
-        deadline=None,
+        deadline: Optional[Deadline] = None,
         consistency: Optional[str] = None,
         max_staleness: int = 0,
     ) -> QueryResult:
@@ -891,7 +916,7 @@ def _build_shard_router(
     units_per_shard: Optional[int] = None,
     wal_dir: Optional[Union[str, Path]] = None,
     fsync_every: int = 1,
-    policy=None,
+    policy: Optional[CompactionPolicy] = None,
     max_workers: Optional[int] = None,
     replication: Optional[ReplicationConfig] = None,
 ) -> ShardRouter:
@@ -1000,7 +1025,7 @@ def _build_shard_router(
     return ShardRouter(stores, part, pipelines=pipelines, max_workers=max_workers)
 
 
-def build_shard_router(*args, **kwargs) -> ShardRouter:
+def build_shard_router(*args: object, **kwargs: object) -> ShardRouter:
     """Deprecated entry point: build a sharded deployment directly.
 
     Prefer the unified client front door — ``repro.api.connect`` with a

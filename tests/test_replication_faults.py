@@ -16,6 +16,7 @@ Covers the failure scenarios the replication layer exists for:
 
 import pytest
 
+from repro.analysis.lockorder import witness_locks
 from repro.cluster.failures import run_failover_drill
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.metadata.file_metadata import FileMetadata
@@ -40,6 +41,17 @@ CONFIG = SmartStoreConfig(num_units=6, seed=2, search_breadth=64)
 @pytest.fixture(scope="module")
 def files():
     return make_files(90, clusters=3)
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_witness():
+    """Every kill-the-primary drill doubles as a deadlock hunt: all locks
+    the replication stack creates during the test are witnessed, and any
+    acquisition-order cycle or blocking-I/O-under-a-fine-grained-lock
+    fails the test."""
+    with witness_locks() as witness:
+        yield witness
+    witness.assert_clean()
 
 
 @pytest.fixture()

@@ -17,11 +17,23 @@ import threading
 
 import pytest
 
+from repro.analysis.lockorder import witness_locks
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.service import QueryService, ServiceConfig
 from repro.workloads.types import PointQuery, RangeQuery
 
 from helpers import make_files
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_witness():
+    """Every stress run doubles as a deadlock/blocking hunt: all locks the
+    service stack creates during the test are witnessed, and any
+    acquisition-order cycle or blocking-I/O-under-a-fine-grained-lock
+    fails the test."""
+    with witness_locks() as witness:
+        yield witness
+    witness.assert_clean()
 
 CONFIG = SmartStoreConfig(num_units=6, seed=3, search_breadth=64)
 

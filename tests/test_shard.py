@@ -254,3 +254,62 @@ class TestServiceOverRouter:
                 assert router.versioning.change_clock != epoch_before
                 assert service.cache.stats.invalidations >= 1
                 assert service.execute(PointQuery("epoch.dat")).found
+
+
+class TestScalingRowSkew:
+    """Degenerate-partition detection on ShardScalingRow (pure arithmetic,
+    no store builds): the skew satellite the CLI warning hangs off."""
+
+    @staticmethod
+    def _row(shards, populations, busy):
+        from repro.shard.benchmarking import ShardScalingRow
+
+        return ShardScalingRow(
+            shards=shards,
+            build_seconds=0.0,
+            complex_seconds=0.0,
+            busy_makespan=max(busy) if busy else 0.0,
+            scatter_qps=0.0,
+            mutations_per_second=0.0,
+            shards_contacted=0,
+            shards_pruned=0,
+            identical=True,
+            shard_populations=populations,
+            shard_busy=busy,
+        )
+
+    def test_balanced_partition_is_not_degenerate(self):
+        row = self._row(4, [250, 250, 250, 250], [0.1, 0.1, 0.1, 0.1])
+        assert row.busy_share == pytest.approx(0.25)
+        assert row.busy_utilization == pytest.approx(1.0)
+        assert not row.degenerate
+
+    def test_single_shard_is_never_degenerate(self):
+        row = self._row(1, [1000], [0.4])
+        assert not row.degenerate
+
+    def test_cli_default_shape_is_degenerate(self):
+        # The seed-42 / 16-unit / 4-shard CLI default: half the busy time
+        # on the 70-file shard, half the corpus cold on one shard -> the
+        # 0.99x "speedup" measures one machine.
+        row = self._row(4, [644, 339, 70, 197], [0.0076, 0.0259, 0.0553, 0.0249])
+        assert row.degenerate
+        assert row.busy_utilization < 0.55
+
+    def test_empty_shard_is_degenerate(self):
+        row = self._row(4, [500, 500, 0, 250], [0.1, 0.1, 0.0, 0.1])
+        assert row.degenerate
+
+    def test_population_concentration_is_degenerate(self):
+        # Busy time level-ish but half the corpus piled on one shard.
+        row = self._row(4, [700, 200, 200, 150], [0.1, 0.09, 0.08, 0.1])
+        assert row.degenerate
+
+    def test_mild_imbalance_is_not_degenerate(self):
+        row = self._row(4, [350, 300, 300, 300], [0.12, 0.1, 0.09, 0.11])
+        assert not row.degenerate
+
+    def test_table_row_marks_degenerate_share(self):
+        row = self._row(4, [644, 339, 70, 197], [0.0076, 0.0259, 0.0553, 0.0249])
+        cells = row.as_table_row(0.99)
+        assert any(cell.endswith("!") for cell in cells)
