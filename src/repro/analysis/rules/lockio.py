@@ -24,7 +24,7 @@ from repro.analysis.engine import FileContext, Finding, Project
 from repro.analysis.rules.base import Rule, body_calls, call_name, dotted_name
 
 _SCOPED_DIRS = ("service/", "server/")
-_SCOPED_FILES = {"shard/router.py", "ingest/pipeline.py"}
+_SCOPED_FILES = {"shard/router.py", "shard/reshard.py", "ingest/pipeline.py"}
 
 # Condition variables that alias a lock without 'lock' in their name.
 _EXTRA_LOCK_NAMES = {"_drained"}

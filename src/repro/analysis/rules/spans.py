@@ -27,6 +27,8 @@ _TARGETS: Tuple[Tuple[str, str], ...] = (
     ("server/worker.py", "_WorkerState._shard_query"),
     ("server/worker.py", "_WorkerState._shard_mutate"),
     ("shard/router.py", "ShardRouter._shard_call"),
+    ("shard/reshard.py", "ReshardController._rebalance_locked"),
+    ("shard/reshard.py", "ReshardController._split_locked"),
     ("replication/group.py", "ReplicaGroup.read"),
     ("service/service.py", "QueryService._execute_on_engine"),
     ("ingest/pipeline.py", "IngestPipeline._apply"),

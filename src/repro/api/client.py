@@ -57,6 +57,7 @@ from repro.obs import TraceContext, get_slowlog, get_tracer
 from repro.persistence.jsonl import load_files
 from repro.replication.group import ReplicaGroup, _build_replica_group
 from repro.service.service import QueryService
+from repro.shard.reshard import ReshardController
 from repro.shard.router import ShardRouter, _build_shard_router
 from repro.workloads.types import Query, TopKQuery
 
@@ -184,6 +185,8 @@ class Client:
         self._snapshot_lock = threading.Lock()
         self._cursor_counter = 0
         self._closed = False
+        self._reshard_lock = threading.Lock()
+        self._reshard_controller: Optional[ReshardController] = None
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -333,6 +336,33 @@ class Client:
         )
         self._maybe_slowlog(response)
         return response
+
+    # ------------------------------------------------------------------ elasticity
+    def reshard(self, force: bool = False) -> Dict[str, object]:
+        """One reshard-controller pass over a sharded deployment.
+
+        Evaluates the router's live partition load and, when degenerate
+        (or ``force=True``), rebalances — or splits, when fresh quantile
+        cuts already match the placement — under traffic; see
+        :class:`~repro.shard.reshard.ReshardController`.  Returns the
+        outcome document (``performed``, ``action``, ``reason``, counts,
+        the load snapshot).  Topologies without live shards (plain,
+        durable, replicated, process-mode) report ``performed=False``
+        with a reason instead of raising — elasticity is advisory.
+        """
+        store = self.store
+        if not isinstance(store, ShardRouter):
+            return {
+                "performed": False,
+                "reason": f"topology {self.topology!r} has no "
+                "in-process shards to reshard",
+                "action": "none",
+            }
+        with self._reshard_lock:
+            if self._reshard_controller is None:
+                self._reshard_controller = ReshardController(store)
+            controller = self._reshard_controller
+        return controller.run_once(force=force).as_dict()
 
     # ------------------------------------------------------------------ introspection
     @property

@@ -43,6 +43,15 @@ Subcommands
     (exit-code-asserted, so CI runs it as the shard-path smoke test), and
     scatter-gather throughput per shard count is reported — optionally
     gated with ``--min-speedup``.
+``reshard-bench``
+    Reproduce the degenerate CLI-default partition on purpose (legacy
+    weighted cuts, one shard holding half the corpus, ~1.0x "speedup"),
+    then let the :class:`~repro.shard.reshard.ReshardController` repair it
+    live under a mixed read/write storm.  Exit-code-asserted gates: every
+    query phase byte-identical to an unsharded baseline before *and* after
+    the reshard, zero failed requests during the storm, at least one
+    reshard performed, and the rebalanced topology clearing utilization
+    and scatter-speedup floors the degenerate build failed.
 ``replica-bench``
     Run every shard as a replica group (1 primary + N replicas) and kill
     **every primary mid-workload** with the live fault injector.  The exit
@@ -152,6 +161,7 @@ EXPERIMENT_INDEX: Dict[str, str] = {
     "bench_service_throughput.py": "Service: query-service throughput/latency with cache and batching ablated",
     "bench_ingest_throughput.py": "Ingest: durable write-path throughput with WAL fsync batching and compaction ablated",
     "bench_shard_scaling.py": "Shard: scatter-gather equivalence + throughput scaling across shard counts",
+    "bench_reshard.py": "Reshard: live rebalance of a degenerate partition under a reader/mutation storm",
     "bench_replica_failover.py": "Replication: kill-the-primary equivalence + failover availability",
     "bench_client_api.py": "Client API: unified front door equivalence + pagination across all topologies",
     "bench_net_scaling.py": "Network: process-per-shard scatter equivalence + multi-core scaling over the wire protocol",
@@ -629,6 +639,80 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     )
     _print(f"[bench json written to {path}]")
     return 0 if passed else 1
+
+
+def _cmd_reshard_bench(args: argparse.Namespace) -> int:
+    from repro.shard.reshard import ReshardPolicy
+    from repro.shard.reshard_bench import run_reshard_bench
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gates compare deployments
+    # with different physical layouts, so bounded-breadth recall loss must
+    # not masquerade as a resharding bug (same policy as shard-bench).
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    report = run_reshard_bench(
+        files,
+        config,
+        args.shards,
+        queries_per_type=args.queries,
+        n_mutations=args.mutations,
+        workload_seed=args.seed + 1,
+        storm_readers=args.readers,
+        storm_rounds=args.rounds,
+        min_utilization=args.min_utilization,
+        min_speedup=args.min_speedup,
+        policy=ReshardPolicy(max_shards=args.max_shards),
+    )
+
+    _print(
+        format_table(
+            ["cycle", "shards", "busiest shard (sim ms)", "scatter q/s",
+             "speedup", "utilization", "identical"],
+            [row.as_table_row() for row in report.rows],
+            title=f"reshard-bench: {len(files)} files, {args.units} total "
+            f"units, {args.shards} shards, {args.queries} queries/type x3 "
+            f"phases ('!' marks a degenerate partition)",
+        )
+    )
+    storm = report.storm
+    _print(
+        f"storm: {storm.requests} concurrent requests "
+        f"({storm.failed_requests} failed), {storm.writes} writes, "
+        f"{storm.rebalances} rebalance(s) + {storm.splits} split(s) moving "
+        f"{storm.moved} files in {storm.wall_seconds:.2f}s wall"
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(
+        format_table(
+            ["reshard gate", "passed"],
+            gate_rows,
+            title="reshard gates (vs unsharded baseline)",
+        )
+    )
+    path = write_bench_json(
+        "reshard",
+        report.as_dict(),
+        {
+            "files": len(files),
+            "shards": args.shards,
+            "units": args.units,
+            "queries_per_type": args.queries,
+            "mutations": args.mutations,
+            "readers": args.readers,
+            "rounds": args.rounds,
+            "min_utilization": args.min_utilization,
+            "min_speedup": args.min_speedup,
+            "seed": args.seed,
+        },
+        gates=report.gates,
+    )
+    _print(f"[bench json written to {path}]")
+    return 0 if report.passed else 1
 
 
 def _cmd_replica_bench(args: argparse.Namespace) -> int:
@@ -1174,6 +1258,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail unless the largest shard count reaches this "
                          "scatter-throughput speedup over 1 shard (0 = report only)")
     p_shard.set_defaults(func=_cmd_shard_bench)
+
+    p_resh = sub.add_parser(
+        "reshard-bench",
+        help="benchmark live shard rebalancing under a mixed-traffic storm",
+    )
+    add_trace_source(p_resh)
+    p_resh.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_resh.add_argument("--units", type=int, default=16,
+                        help="total storage-unit budget (split across shards)")
+    p_resh.add_argument("--shards", type=int, default=4,
+                        help="shard count for the deliberately degenerate build")
+    p_resh.add_argument("--queries", type=int, default=8,
+                        help="queries per type per phase")
+    p_resh.add_argument("--mutations", type=int, default=45,
+                        help="mutations per stream (cycle 1 and the storm)")
+    p_resh.add_argument("--readers", type=int, default=4,
+                        help="concurrent reader threads during the storm")
+    p_resh.add_argument("--rounds", type=int, default=2,
+                        help="storm rounds (mutation chunk + controller pass)")
+    p_resh.add_argument("--max-shards", type=int, default=16,
+                        help="reshard policy: topology growth bound")
+    p_resh.add_argument("--min-utilization", type=float, default=0.55,
+                        help="fail unless the rebalanced cycle clears this "
+                        "effective cluster utilization")
+    p_resh.add_argument("--min-speedup", type=float, default=1.3,
+                        help="fail unless the rebalanced cycle clears this "
+                        "scatter-throughput speedup over the unsharded baseline")
+    p_resh.set_defaults(func=_cmd_reshard_bench)
 
     p_rep = sub.add_parser(
         "replica-bench",

@@ -1,0 +1,77 @@
+"""Shared concurrency primitives used across the serving stack.
+
+:class:`ReadWriteLock` began life inside :mod:`repro.service.service`
+(engine scans vs. mutation application); the shard layer now needs the
+same discipline for topology changes (live shard splits must exclude
+scatters and routed mutations without serialising readers against each
+other), so the primitive lives here and both layers import it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers or one exclusive writer, writer-preferring.
+
+    Readers are the steady-state path (engine query execution, scatter
+    fan-out, routed mutations against a *fixed* topology); writers are
+    rare structural changes (mutation application in the service, shard
+    installation during a live split).  Writers block new readers while
+    waiting, bounding writer latency under a steady read load.
+
+    Not reentrant on the write side; the read side must not be held while
+    acquiring the write side.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

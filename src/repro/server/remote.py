@@ -284,6 +284,12 @@ class RemoteClient:
         """The remote deployment's uniform statistics document."""
         return dict(self._call({"op": "stats"})["stats"])
 
+    def reshard(self, force: bool = False) -> Dict[str, Any]:
+        """One reshard-controller pass on the remote deployment (the
+        ``reshard`` op); returns the outcome document.  Advisory like the
+        local call: unsupported topologies report ``performed=False``."""
+        return dict(self._call({"op": "reshard", "force": bool(force)})["outcome"])
+
     def ping(self) -> bool:
         self._call({"op": "ping"})
         return True

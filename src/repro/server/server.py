@@ -5,8 +5,9 @@ deployment, and serves the full unified-client API over the
 :mod:`wire protocol <repro.server.protocol>`: queries with request
 options (deadlines, consistency, pagination — cursors travel as opaque
 strings and pinned page-stream snapshots live server-side), mutations,
-stats and epoch reads.  :func:`serve_spec` is the one-call form the CLI's
-``repro serve`` uses.
+stats and epoch reads, plus a ``reshard`` op that runs one
+reshard-controller pass on a sharded deployment.  :func:`serve_spec` is
+the one-call form the CLI's ``repro serve`` uses.
 
 Concurrency & admission
 -----------------------
@@ -364,6 +365,9 @@ class StoreServer:
             )
         if op == "epoch":
             return {"epoch": self.client.epoch()}, codec, True
+        if op == "reshard":
+            outcome = self.client.reshard(force=bool(payload.get("force", False)))
+            return {"outcome": protocol.jsonable(outcome)}, codec, True
         if op == "metrics":
             return (
                 {

@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.metrics import Metrics
+from repro.concurrency import ReadWriteLock
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore
 from repro.ingest.pipeline import IngestPipeline, MutationReceipt
@@ -74,47 +75,13 @@ def _trace_context(options) -> Optional[TraceContext]:
     return TraceContext(trace_id, getattr(options, "trace_parent", None) or "")
 
 
-class _ReadWriteLock:
-    """Many concurrent readers or one exclusive writer, writer-preferring.
-
-    Engine query execution (thread pool, closed-loop callers) takes the
-    read side; mutation application and compaction (dispatcher thread) take
-    the write side, so structural updates to the servers, the semantic
-    R-tree and the population map never interleave with a scan.  Writers
-    block new readers while waiting, bounding mutation latency under a
-    steady read load.
-    """
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writers_waiting = 0
-        self._writer_active = False
-
-    def acquire_read(self) -> None:
-        with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def release_read(self) -> None:
-        with self._cond:
-            self._readers -= 1
-            if self._readers == 0:
-                self._cond.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._cond:
-            self._writers_waiting += 1
-            while self._writer_active or self._readers:
-                self._cond.wait()
-            self._writers_waiting -= 1
-            self._writer_active = True
-
-    def release_write(self) -> None:
-        with self._cond:
-            self._writer_active = False
-            self._cond.notify_all()
+# Engine query execution (thread pool, closed-loop callers) takes the read
+# side; mutation application and compaction (dispatcher thread) take the
+# write side, so structural updates to the servers, the semantic R-tree and
+# the population map never interleave with a scan.  The primitive moved to
+# repro.concurrency (the shard layer reuses it for topology changes); the
+# private alias keeps this module's call sites and history readable.
+_ReadWriteLock = ReadWriteLock
 
 
 @dataclass(frozen=True)

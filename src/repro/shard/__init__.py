@@ -17,10 +17,31 @@ demands:
     and compactor each) routed by ownership/partitioner, and full
     duck-compatibility with :class:`~repro.service.service.QueryService`.
 
+``repro.shard.load``
+    :class:`PartitionLoad` — the shared partition-skew model (population
+    share, busy utilization, the degeneracy verdict) used identically by
+    the live router, the reshard controller and the scaling benchmarks.
+``repro.shard.reshard``
+    :class:`ReshardController` — online elasticity: detects a degenerate
+    partition from the router's live load report and repairs it without
+    stopping the deployment.  The primary repair is a **rebalance**
+    (refit the partitioner at fresh popularity-weighted quantiles,
+    migrate misplaced files as WAL-logged delete+insert pairs, repack
+    every store over its drained population); when the fresh cuts
+    already match the placement it falls back to **splitting** the hot
+    shard — backfilling the new shard through the replication mutation
+    feed while the old owner keeps serving, then flipping ownership
+    atomically under the router's topology write lock.  Either way the
+    composite cache epoch grows arity (a global flush by construction)
+    and paginated cursors survive by placement independence.
+
 The correctness contract — sharded scatter-gather answers are
 fingerprint-identical to an unsharded deployment over the union population
 — is asserted by ``repro shard-bench`` and
-``benchmarks/bench_shard_scaling.py``.
+``benchmarks/bench_shard_scaling.py``; the elasticity contract — a reshard
+storm under mixed traffic loses no request and changes no answer, and the
+rebalanced topology beats the degenerate one — by ``repro reshard-bench``
+and ``benchmarks/bench_reshard.py``.
 
 For availability, ``build_shard_router(...,
 replication=ReplicationConfig(...))`` runs every shard as a
@@ -29,16 +50,22 @@ with WAL-segment shipping and live failover); ``repro replica-bench``
 asserts the same fingerprints survive killing every primary mid-workload.
 """
 
+from repro.shard.load import PartitionLoad
 from repro.shard.partitioner import (
     HashShardPartitioner,
     SemanticShardPartitioner,
     corpus_index_bounds,
     make_partitioner,
 )
+from repro.shard.reshard import ReshardController, ReshardOutcome, ReshardPolicy
 from repro.shard.router import ShardRouter, ShardSummary, build_shard_router
 
 __all__ = [
     "HashShardPartitioner",
+    "PartitionLoad",
+    "ReshardController",
+    "ReshardOutcome",
+    "ReshardPolicy",
     "SemanticShardPartitioner",
     "ShardRouter",
     "ShardSummary",

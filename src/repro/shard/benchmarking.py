@@ -39,6 +39,7 @@ from repro.ingest.pipeline import IngestPipeline
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.service.cache import result_fingerprint
+from repro.shard.load import PartitionLoad
 from repro.shard.router import _build_shard_router
 from repro.workloads.generator import QueryWorkloadGenerator
 
@@ -65,48 +66,42 @@ class ShardScalingRow:
     shard_busy: List[float] = field(default_factory=list)
 
     @property
+    def load(self) -> PartitionLoad:
+        """This row's measurements as the shared partition-load model.
+
+        The degeneracy verdict lives in :class:`~repro.shard.load
+        .PartitionLoad` (shared with the router's ``load_report()`` and
+        the reshard controller) so the bench, the live router and the
+        elasticity loop can never disagree about what "too skewed" means.
+        """
+        return PartitionLoad(
+            shards=self.shards,
+            populations=list(self.shard_populations),
+            busy_seconds=list(self.shard_busy),
+        )
+
+    @property
     def population_share(self) -> float:
         """Largest shard's fraction of the corpus (1/shards = balanced)."""
-        total = sum(self.shard_populations)
-        return max(self.shard_populations) / total if total else 0.0
+        return self.load.population_share
 
     @property
     def busy_share(self) -> float:
         """Busiest shard's fraction of total simulated busy time."""
-        total = sum(self.shard_busy)
-        return max(self.shard_busy) / total if total > 0 else 0.0
+        return self.load.busy_share
 
     @property
     def busy_utilization(self) -> float:
-        """Effective parallelism as a fraction of the shard count.
-
-        ``sum(busy) / max(busy)`` is how many shards' worth of capacity the
-        workload actually exercised (the scatter-throughput denominator is
-        the busiest shard); dividing by ``shards`` normalises it to 1.0 =
-        perfectly level.
-        """
-        peak = max(self.shard_busy) if self.shard_busy else 0.0
-        if peak <= 0 or self.shards <= 0:
-            return 0.0
-        return sum(self.shard_busy) / peak / self.shards
+        """Effective parallelism as a fraction of the shard count
+        (see :attr:`PartitionLoad.busy_utilization`)."""
+        return self.load.busy_utilization
 
     @property
     def degenerate(self) -> bool:
-        """The partition is too skewed for this row's throughput to mean
-        anything: the cluster ran at barely half capacity (or worse), so
-        scatter throughput measures the one hot shard, not N machines.
-        Happens when the corpus is too small or too clustered for the
-        requested shard count — e.g. the CLI-default seed-42, 16-unit
-        corpus split 4 ways concentrates the Zipf-hot slice on one tiny
-        shard (~50% of busy time on 5% of the files) and measures 0.99x.
-        """
-        if self.shards <= 1:
-            return False
-        if self.shard_populations and min(self.shard_populations) == 0:
-            return True
-        if self.busy_utilization <= 0.55:
-            return True
-        return self.population_share >= min(0.9, 2.0 / self.shards)
+        """Delegates to :attr:`PartitionLoad.degenerate` — the one shared
+        definition of "too skewed for this row's throughput to mean
+        anything"."""
+        return self.load.degenerate
 
     def as_table_row(self, speedup: Optional[float] = None) -> List[str]:
         return [

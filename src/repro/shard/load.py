@@ -1,0 +1,121 @@
+"""Partition-load accounting shared by the router, the reshard controller
+and the scaling benchmarks.
+
+:class:`PartitionLoad` is the degeneracy verdict PR 8 shipped inside the
+bench-only ``ShardScalingRow`` promoted to first-class shared code: the
+router snapshots one from its live per-shard population/busy accounting
+(:meth:`~repro.shard.router.ShardRouter.load_report`), the
+:class:`~repro.shard.reshard.ReshardController` decides *when to split*
+from it, and the bench rows delegate their ``degenerate`` property to it —
+one definition of "this partition is too skewed to mean anything", used
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PartitionLoad", "DEGENERATE_UTILIZATION"]
+
+#: A partition whose effective cluster utilization is at or below this
+#: fraction of the shard count is degenerate: scatter throughput measures
+#: the one hot shard, not N machines.
+DEGENERATE_UTILIZATION = 0.55
+
+
+@dataclass(frozen=True)
+class PartitionLoad:
+    """One snapshot of how load and population spread across the shards.
+
+    ``populations`` is the live per-shard record count; ``busy_seconds``
+    the simulated busy time each shard accumulated answering its part of
+    the scatter-gather work (the scatter-throughput denominator is the
+    busiest shard).  Either list may be all zeros when nothing has been
+    measured yet — the properties degrade gracefully.
+    """
+
+    shards: int
+    populations: List[int] = field(default_factory=list)
+    busy_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def population_share(self) -> float:
+        """Largest shard's fraction of the corpus (1/shards = balanced)."""
+        total = sum(self.populations)
+        return max(self.populations) / total if total else 0.0
+
+    @property
+    def busy_share(self) -> float:
+        """Busiest shard's fraction of total simulated busy time."""
+        total = sum(self.busy_seconds)
+        return max(self.busy_seconds) / total if total > 0 else 0.0
+
+    @property
+    def busy_utilization(self) -> float:
+        """Effective parallelism as a fraction of the shard count.
+
+        ``sum(busy) / max(busy)`` is how many shards' worth of capacity the
+        workload actually exercised (the scatter-throughput denominator is
+        the busiest shard); dividing by ``shards`` normalises it to 1.0 =
+        perfectly level.
+        """
+        peak = max(self.busy_seconds) if self.busy_seconds else 0.0
+        if peak <= 0 or self.shards <= 0:
+            return 0.0
+        return sum(self.busy_seconds) / peak / self.shards
+
+    @property
+    def population_cap(self) -> float:
+        """The degeneracy threshold on one shard's population share."""
+        return min(0.9, 2.0 / self.shards) if self.shards > 0 else 1.0
+
+    @property
+    def degenerate(self) -> bool:
+        """The partition is too skewed for its throughput to mean
+        anything: the cluster ran at barely half capacity (or worse), so
+        scatter throughput measures the one hot shard, not N machines.
+        Happens when the corpus is too small or too clustered for the
+        shard count — e.g. the CLI-default seed-42, 16-unit corpus split 4
+        ways with the legacy weighted cuts concentrated 51% of the corpus
+        and 49% of busy time on one shard and measured a 0.99x "speedup".
+        """
+        if self.shards <= 1:
+            return False
+        if self.populations and min(self.populations) == 0:
+            return True
+        if self.busy_seconds and max(self.busy_seconds) > 0:
+            if self.busy_utilization <= DEGENERATE_UTILIZATION:
+                return True
+        return self.population_share >= self.population_cap
+
+    def hottest_shard(self) -> Optional[int]:
+        """The shard a rebalance should split first, picked by whichever
+        degeneracy criterion is firing: the most populated shard when the
+        population share trips the cap (a structural imbalance no amount
+        of traffic redistributes), otherwise the busiest shard, otherwise
+        the most populated."""
+        if self.populations and self.population_share >= self.population_cap:
+            return max(
+                range(len(self.populations)), key=lambda s: self.populations[s]
+            )
+        if self.busy_seconds and max(self.busy_seconds) > 0:
+            return max(
+                range(len(self.busy_seconds)), key=lambda s: self.busy_seconds[s]
+            )
+        if self.populations:
+            return max(
+                range(len(self.populations)), key=lambda s: self.populations[s]
+            )
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shards": self.shards,
+            "populations": list(self.populations),
+            "busy_seconds": list(self.busy_seconds),
+            "population_share": self.population_share,
+            "busy_share": self.busy_share,
+            "busy_utilization": self.busy_utilization,
+            "degenerate": self.degenerate,
+        }

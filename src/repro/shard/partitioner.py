@@ -94,6 +94,17 @@ class SemanticShardPartitioner:
         LSI component, the default) or ``"kmeans"`` (balanced K-means over
         the full LSI subspace) — see the module docstring for the
         trade-off.
+    balance_fallback:
+        When True (the default) a slice split whose weighted cuts leave
+        one shard with more than ``2/num_shards`` of the corpus is redone
+        as population-balanced quantile cuts.  Weighted cuts degrade that
+        way when the popularity weights are near-uniform *and* the
+        component has long runs of near-identical values (the CLI-default
+        seed-42 corpus): every tied record lands on one side of a cut, so
+        one shard swallows half the corpus and scatter throughput
+        collapses to the single hot shard.  ``False`` preserves the
+        legacy behaviour (the ``reshard-bench`` harness uses it to
+        reproduce the degenerate build the live reshard must repair).
     """
 
     kind = "semantic"
@@ -107,6 +118,7 @@ class SemanticShardPartitioner:
         rank: int = 5,
         seed: Optional[int] = None,
         strategy: str = "slice",
+        balance_fallback: bool = True,
     ) -> None:
         files = list(files)
         if not files:
@@ -117,7 +129,11 @@ class SemanticShardPartitioner:
             raise ValueError(f"unknown strategy {strategy!r}; expected 'slice' or 'kmeans'")
         self.schema = schema
         self.strategy = strategy
+        self.balance_fallback = balance_fallback
         self.num_shards = min(num_shards, len(files))
+        # Fit knobs, kept so refit() can recut a live corpus consistently.
+        self._rank = rank
+        self._seed = seed
 
         matrix = log_transform(attribute_matrix(files, schema), schema)
         self._lower = matrix.min(axis=0)
@@ -131,6 +147,10 @@ class SemanticShardPartitioner:
         self._lsi = LSIModel.fit_items(normalised - self._center, rank)
         sem = self._lsi.item_vectors()
         self._cuts: Optional[np.ndarray] = None
+        # Slice-interval index -> shard id.  Identity on a fresh build;
+        # split_slice() inserts new shard ids without renumbering existing
+        # ones, so routed ownership and summaries survive a live reshard.
+        self._slice_shards: Optional[List[int]] = None
         if self.num_shards == 1:
             labels = np.zeros(len(files), dtype=np.intp)
         elif strategy == "slice":
@@ -158,6 +178,7 @@ class SemanticShardPartitioner:
         post-build routing consistent).
         """
         n = self.num_shards
+        m = len(files)
         weights = np.asarray(
             [float(f.attributes.get(POPULARITY_ATTRIBUTE, 1.0)) + 1.0 for f in files]
         )
@@ -165,21 +186,77 @@ class SemanticShardPartitioner:
         cumulative = np.cumsum(weights[order])
         cumulative = cumulative / cumulative[-1]
         cut_positions = np.searchsorted(cumulative, np.arange(1, n) / n)
-        cuts = c1[order[np.minimum(cut_positions, len(files) - 1)]]
+        cuts = c1[order[np.minimum(cut_positions, m - 1)]]
         labels = np.searchsorted(cuts, c1, side="left")
-        if np.unique(labels).size < n:
-            # Degenerate component (long runs of identical values): fall
-            # back to equal-count chunks so no shard is empty.  Post-build
-            # routing still uses the (re-derived) cut values; a boundary tie
-            # may then route to a neighbouring shard, which is harmless —
-            # ownership of build-time records is tracked by the router.
-            chunk = np.minimum(np.arange(len(files)) * n // len(files), n - 1)
-            labels = np.empty(len(files), dtype=np.intp)
+        counts = np.bincount(labels, minlength=n)
+        skewed = self.balance_fallback and counts.max() * n > 2 * m
+        if np.unique(labels).size < n or skewed:
+            # Two failure modes of the value-based weighted cuts collapse
+            # here.  (1) Degenerate component (long runs of identical
+            # values): a cut lands inside a tied run and every tied record
+            # falls on one side, leaving a shard empty.  (2) The same tie
+            # mechanics silently hand one shard >2/n of the corpus while
+            # the linear ``access_count`` weights understate how hard the
+            # Zipf-anchored workloads actually hammer the hot region (the
+            # seed-42 skew PR 8 diagnosed: 51% of the corpus and 49% of
+            # busy time on one shard).  The fallback re-cuts by sorted
+            # *position* (splitting tied runs), balancing the Zipf-by-rank
+            # load the generators emit, under a hard population cap that
+            # keeps every slice strictly under 2/n of the corpus.
+            # Post-build routing still uses the (re-derived) cut values; a
+            # boundary tie may then route to a neighbouring shard, which
+            # is harmless — ownership of build-time records is tracked by
+            # the router.
+            boundaries = self._balanced_boundaries(files, order)
+            chunk = np.searchsorted(boundaries, np.arange(m), side="left")
+            labels = np.empty(m, dtype=np.intp)
             labels[order] = chunk
-            boundaries = [order[(chunk == j).nonzero()[0][-1]] for j in range(n - 1)]
-            cuts = c1[boundaries]
+            cuts = c1[order[boundaries]]
         self._cuts = np.asarray(cuts, dtype=np.float64)
+        self._slice_shards = list(range(n))
         return labels
+
+    def _balanced_boundaries(self, files: Sequence[FileMetadata], order: np.ndarray) -> np.ndarray:
+        """Greedy position boundaries balancing Zipf load under a size cap.
+
+        Each slice extends along the sorted component until it has
+        absorbed its 1/n share of the modelled query load — Zipf weight by
+        ``access_count`` rank, the distribution the workload generators
+        anchor traffic on; uniform when popularity is flat, which reduces
+        to population-balanced quantiles — clamped so no slice (including
+        the implicit last one) ever holds more than ``1.8/n`` of the
+        corpus: comfortably below the 2/n degeneracy threshold the router
+        monitors.  Returns the index (into ``order``) of the last member
+        of each of the first ``n-1`` slices.
+        """
+        n = self.num_shards
+        m = len(files)
+        popularity = np.asarray(
+            [float(f.attributes.get(POPULARITY_ATTRIBUTE, 0.0)) for f in files]
+        )
+        if popularity.max() > popularity.min():
+            ranks = np.argsort(-popularity, kind="stable")
+            weights = np.empty(m)
+            weights[ranks] = 1.0 / np.arange(1, m + 1)
+        else:
+            weights = np.ones(m)
+        prefix = np.cumsum(weights[order])
+        total = prefix[-1]
+        cap = max(1, int(np.ceil(1.8 * m / n)))
+        boundaries = np.empty(n - 1, dtype=np.intp)
+        start = 0
+        for j in range(n - 1):
+            # End position hitting this slice's cumulative load target...
+            end = int(np.searchsorted(prefix, total * (j + 1) / n)) + 1
+            # ...clamped so this slice keeps >=1 file and <=cap files, every
+            # remaining slice keeps >=1 file, and the files left over for
+            # the remaining slices still fit under their caps.
+            remaining = n - 1 - j
+            end = max(end, start + 1, m - remaining * cap)
+            end = min(end, start + cap, m - remaining)
+            boundaries[j] = end - 1
+            start = end
+        return boundaries
 
     @property
     def labels(self) -> np.ndarray:
@@ -221,9 +298,80 @@ class SemanticShardPartitioner:
         """
         vector = self.fold(file)
         if self._cuts is not None:
-            return int(np.searchsorted(self._cuts, vector[0], side="left"))
+            interval = int(np.searchsorted(self._cuts, vector[0], side="left"))
+            if self._slice_shards is not None:
+                return self._slice_shards[interval]
+            return interval
         distances = np.linalg.norm(self._centroids - vector, axis=1)
         return int(np.argmin(distances))
+
+    # ------------------------------------------------------------------ live reshard
+    def refit(self, files: Sequence[FileMetadata]) -> "SemanticShardPartitioner":
+        """A fresh partitioner over the *live* corpus with this one's knobs.
+
+        Recuts the principal component at fresh popularity-weighted
+        quantiles for the current shard count — the planning step of a
+        live rebalance.  The balanced fallback is always on for a refit
+        (recutting into the degenerate legacy shape would be pointless),
+        and slice intervals map to shard ids in order, matching the
+        identity layout the router's shards are stored in.
+        """
+        return SemanticShardPartitioner(
+            files,
+            self.num_shards,
+            self.schema,
+            rank=self._rank,
+            seed=self._seed,
+            strategy=self.strategy,
+            balance_fallback=True,
+        )
+
+    @property
+    def supports_split(self) -> bool:
+        """Whether :meth:`split_slice` can recut this partitioner live
+        (slice strategy with fitted cuts; kmeans/hash cannot)."""
+        return self._cuts is not None and self._slice_shards is not None
+
+    def principal_value(self, file: FileMetadata) -> float:
+        """One record's coordinate on the principal component — the axis
+        the slice cuts live on (what a live split recuts against)."""
+        return float(self.fold(file)[0])
+
+    def split_slice(self, shard_id: int, cut: float) -> int:
+        """Split ``shard_id``'s slice at ``cut``; returns the new shard id.
+
+        The lower sub-interval (component value <= ``cut``, matching the
+        ``side="left"`` tie rule everywhere else) keeps ``shard_id``; the
+        upper one is assigned the next free shard id.  Existing shard ids
+        never renumber — the interval->shard indirection absorbs the
+        insertion — so router ownership maps, summaries and busy
+        accounting stay valid across the recut.
+        """
+        if self._cuts is None or self._slice_shards is None:
+            raise ValueError(
+                "split_slice requires the fitted 'slice' strategy "
+                f"(strategy={self.strategy!r}, cuts fitted: {self._cuts is not None})"
+            )
+        try:
+            interval = self._slice_shards.index(shard_id)
+        except ValueError:
+            raise ValueError(f"shard {shard_id} owns no slice interval") from None
+        lower = -np.inf if interval == 0 else float(self._cuts[interval - 1])
+        upper = (
+            np.inf
+            if interval == len(self._cuts)
+            else float(self._cuts[interval])
+        )
+        if not lower < cut < upper:
+            raise ValueError(
+                f"cut {cut!r} outside shard {shard_id}'s slice "
+                f"({lower!r}, {upper!r}]"
+            )
+        new_id = self.num_shards
+        self._cuts = np.insert(self._cuts, interval, cut)
+        self._slice_shards.insert(interval + 1, new_id)
+        self.num_shards += 1
+        return new_id
 
 
 class HashShardPartitioner:
@@ -260,11 +408,18 @@ def make_partitioner(
     rank: int = 5,
     seed: Optional[int] = None,
     strategy: str = "slice",
+    balance_fallback: bool = True,
 ) -> "ShardPartitioner":
     """Factory over the partitioner strategies (``semantic`` / ``hash``)."""
     if kind == "semantic":
         return SemanticShardPartitioner(
-            files, num_shards, schema, rank=rank, seed=seed, strategy=strategy
+            files,
+            num_shards,
+            schema,
+            rank=rank,
+            seed=seed,
+            strategy=strategy,
+            balance_fallback=balance_fallback,
         )
     if kind == "hash":
         return HashShardPartitioner(num_shards)

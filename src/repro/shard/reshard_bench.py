@@ -1,0 +1,388 @@
+"""Reshard-storm equivalence + throughput harness behind ``repro reshard-bench``.
+
+PR 8's scaling bench could *diagnose* the degenerate seed-42 partition
+(51% of the corpus on one shard, 0.99x "speedup"); this harness proves the
+:class:`~repro.shard.reshard.ReshardController` *repairs* it live, the
+same way ``replica-bench`` proves failover is invisible:
+
+1. an **unsharded baseline** answers the mixed workload through the usual
+   three phases (pre-mutation, mutations in flight, drained), producing
+   reference fingerprints for the first cycle;
+2. a **deliberately degenerate router** (the legacy weighted cuts,
+   ``balance_fallback=False``) runs the identical cycle — every
+   fingerprint must match, and its measured utilization/speedup document
+   the bug being repaired;
+3. a **reshard storm**: reader threads hammer the router with the full
+   query mix while the main thread interleaves a second mutation stream
+   with *unforced* controller passes — :meth:`ReshardController.run_once`
+   fires on the real degeneracy verdict (the busy accounting the first
+   cycle left behind), recuts, migrates and repacks under live
+   concurrent traffic, then sits out its cooldown instead of flapping
+   on the thin post-reset busy sample.  Gates: **zero failed requests**
+   and at least one reshard actually performed;
+4. a **second cycle** against the baseline brought to the identical
+   population: every fingerprint must *still* match (placement changed,
+   answers did not), and the rebalanced topology must clear the
+   utilization and scatter-speedup floors the degenerate build failed
+   (CLI defaults: > 0.55 effective utilization and > 1.3x vs the
+   unsharded baseline, against the bug's 0.51 / ~1.0x).
+
+Throughput is the same simulated busy-time currency every other bench
+uses: a cluster of independent shards sustains ``queries /
+busy-time-of-the-busiest-shard``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest.pipeline import IngestPipeline
+from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.shard.benchmarking import PHASES, _run_phases, _workload
+from repro.shard.load import PartitionLoad
+from repro.shard.reshard import ReshardController, ReshardPolicy
+from repro.shard.router import ShardRouter, _build_shard_router
+from repro.workloads.generator import QueryWorkloadGenerator
+
+__all__ = [
+    "ReshardCycleRow",
+    "ReshardStormStats",
+    "ReshardBenchReport",
+    "run_reshard_bench",
+]
+
+
+@dataclass
+class ReshardCycleRow:
+    """Measurements for one full three-phase cycle of the router."""
+
+    cycle: str
+    shards: int
+    identical: bool
+    busy_makespan: float
+    scatter_qps: float
+    speedup: float
+    populations: List[int] = field(default_factory=list)
+    shard_busy: List[float] = field(default_factory=list)
+
+    @property
+    def load(self) -> PartitionLoad:
+        return PartitionLoad(
+            shards=self.shards,
+            populations=list(self.populations),
+            busy_seconds=list(self.shard_busy),
+        )
+
+    @property
+    def utilization(self) -> float:
+        return self.load.busy_utilization
+
+    @property
+    def degenerate(self) -> bool:
+        return self.load.degenerate
+
+    def as_table_row(self) -> List[str]:
+        return [
+            self.cycle,
+            f"{self.shards}",
+            f"{self.busy_makespan * 1e3:.2f}",
+            f"{self.scatter_qps:.0f}",
+            f"{self.speedup:.2f}x",
+            f"{self.utilization:.2f}" + ("!" if self.degenerate else ""),
+            "yes" if self.identical else "NO",
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cycle": self.cycle,
+            "shards": self.shards,
+            "identical": self.identical,
+            "busy_makespan": self.busy_makespan,
+            "scatter_qps": self.scatter_qps,
+            "speedup": self.speedup,
+            "utilization": self.utilization,
+            "degenerate": self.degenerate,
+            "populations": list(self.populations),
+            "shard_busy": list(self.shard_busy),
+        }
+
+
+@dataclass
+class ReshardStormStats:
+    """What happened while the controller resharded under live traffic."""
+
+    requests: int = 0
+    failed_requests: int = 0
+    writes: int = 0
+    actions: int = 0
+    splits: int = 0
+    rebalances: int = 0
+    moved: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "failed_requests": self.failed_requests,
+            "writes": self.writes,
+            "actions": self.actions,
+            "splits": self.splits,
+            "rebalances": self.rebalances,
+            "moved": self.moved,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class ReshardBenchReport:
+    """Everything the CLI / benchmark needs to print and gate on."""
+
+    rows: List[ReshardCycleRow]
+    storm: ReshardStormStats
+    gates: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+    def row(self, cycle: str) -> Optional[ReshardCycleRow]:
+        return next((r for r in self.rows if r.cycle == cycle), None)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": [r.as_dict() for r in self.rows],
+            "storm": self.storm.as_dict(),
+            "gates": dict(self.gates),
+            "passed": self.passed,
+        }
+
+
+def _mutation_stream(
+    corpus: Sequence[FileMetadata],
+    schema: AttributeSchema,
+    n_mutations: int,
+    seed: int,
+) -> List[Tuple[str, FileMetadata]]:
+    """The shard-bench mutation mix (insert-heavy, a third deletes, a
+    sixth modifies) generated over ``corpus`` — pass the *live* corpus so
+    deletes and modifies always target existing files."""
+    generator = QueryWorkloadGenerator(list(corpus), schema, seed=seed)
+    n_del = n_mutations // 3
+    n_mod = n_mutations // 6
+    return generator.mutation_stream(n_mutations - n_del - n_mod, n_del, n_mod)
+
+
+def _storm(
+    router: ShardRouter,
+    controller: ReshardController,
+    queries: Sequence[Any],
+    mutations: Sequence[Tuple[str, FileMetadata]],
+    *,
+    readers: int,
+    rounds: int,
+) -> ReshardStormStats:
+    """Mixed read/write traffic with controller passes interleaved.
+
+    Reader threads loop the query mix (each starting at a different
+    offset) until the storm ends; the main thread alternates mutation
+    chunks with unforced ``run_once()`` — the controller acts on the
+    real degeneracy verdict, then cools down rather than re-judging the
+    fresh placement on a thin busy sample (forcing a pass on a balanced
+    partition would *manufacture* churn, and a forced fallback split
+    through the Zipf-hot head measurably hurts).  Reader results
+    are *not* fingerprint-checked here — they race live migrations by
+    design — but every single request must complete; the equivalence
+    gate is the full second cycle that follows the storm.
+    """
+    stats = ReshardStormStats()
+    stop = threading.Event()
+    counts = [0] * max(0, readers)
+    errors: List[BaseException] = []
+
+    def read_loop(idx: int) -> None:
+        position = idx
+        while not stop.is_set():
+            query = queries[position % len(queries)]
+            position += 1
+            try:
+                router.execute(query)
+            except BaseException as exc:  # any failure fails the gate
+                errors.append(exc)
+                return
+            counts[idx] += 1
+
+    threads = [
+        threading.Thread(target=read_loop, args=(i,), daemon=True)
+        for i in range(max(0, readers))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    try:
+        rounds = max(1, rounds)
+        mutations = list(mutations)
+        chunk = max(1, -(-len(mutations) // rounds)) if mutations else 0
+        for round_index in range(rounds):
+            batch = (
+                mutations[round_index * chunk : (round_index + 1) * chunk]
+                if chunk
+                else []
+            )
+            for kind, file in batch:
+                getattr(router, kind)(file)
+                stats.writes += 1
+            outcome = controller.run_once()
+            if outcome.performed:
+                stats.actions += 1
+                stats.moved += outcome.moved
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+    stats.wall_seconds = time.perf_counter() - started
+    stats.requests = sum(counts)
+    stats.failed_requests = len(errors)
+    stats.splits = controller.splits
+    stats.rebalances = controller.rebalances
+    return stats
+
+
+def run_reshard_bench(
+    files: Sequence[FileMetadata],
+    config: SmartStoreConfig,
+    num_shards: int = 4,
+    *,
+    schema: AttributeSchema = DEFAULT_SCHEMA,
+    queries_per_type: int = 8,
+    n_mutations: int = 45,
+    workload_seed: int = 13,
+    storm_readers: int = 4,
+    storm_rounds: int = 2,
+    min_utilization: float = 0.55,
+    min_speedup: float = 1.3,
+    policy: Optional[ReshardPolicy] = None,
+    max_workers: Optional[int] = None,
+) -> ReshardBenchReport:
+    """Run the degenerate cycle, the reshard storm, and the repaired cycle.
+
+    The router is built with the *legacy* weighted cuts
+    (``balance_fallback=False``) so the degenerate partition the
+    controller must repair is reproduced on purpose — on the CLI-default
+    seed-42/16-unit corpus that build measures ~0.51 utilization and a
+    ~1.0x "speedup".
+    """
+    files = list(files)
+    points, complex_mix = _workload(files, schema, queries_per_type, workload_seed)
+    n_complex = len(complex_mix) * len(PHASES)
+    mutations_1 = _mutation_stream(files, schema, n_mutations, workload_seed + 1)
+
+    baseline = SmartStore.build(files, config, schema)
+    baseline_pipe = IngestPipeline(baseline)
+    reference_1, _, _, base_busy_1 = _run_phases(
+        baseline, baseline_pipe, points, complex_mix, mutations_1
+    )
+
+    router = _build_shard_router(
+        files,
+        num_shards,
+        config,
+        schema,
+        max_workers=max_workers,
+        balance_fallback=False,
+    )
+    controller = ReshardController(router, policy)
+    report = ReshardBenchReport(rows=[], storm=ReshardStormStats())
+    try:
+        # ---- cycle 1: the degenerate build, fingerprint-gated
+        prints_1, _, _, busy_1 = _run_phases(
+            router, router, points, complex_mix, mutations_1
+        )
+        identical_1 = True
+        for phase in PHASES:
+            ok = prints_1[phase] == reference_1[phase]
+            report.gates[f"degenerate cycle: {phase} identical"] = ok
+            identical_1 = identical_1 and ok
+        makespan_1 = max(busy_1)
+        report.rows.append(
+            ReshardCycleRow(
+                cycle="degenerate",
+                shards=router.num_shards,
+                identical=identical_1,
+                busy_makespan=makespan_1,
+                scatter_qps=n_complex / makespan_1 if makespan_1 > 0 else 0.0,
+                speedup=(base_busy_1[0] / makespan_1) if makespan_1 > 0 else 0.0,
+                populations=[
+                    len(pipe.materialized_files()) for pipe in router.pipelines
+                ],
+                shard_busy=list(busy_1),
+            )
+        )
+
+        # ---- the storm: live resharding under mixed read/write traffic
+        live = baseline_pipe.materialized_files()
+        storm_mutations = _mutation_stream(
+            live, schema, n_mutations, workload_seed + 2
+        )
+        report.storm = _storm(
+            router,
+            controller,
+            list(points) + list(complex_mix),
+            storm_mutations,
+            readers=storm_readers,
+            rounds=storm_rounds,
+        )
+        report.gates["storm: zero failed requests"] = (
+            report.storm.failed_requests == 0
+        )
+        report.gates["storm: reshard performed"] = report.storm.actions >= 1
+        # Bring the baseline to the identical population (storm writes
+        # replay in order; reader traffic and reshards changed nothing).
+        for kind, file in storm_mutations:
+            getattr(baseline_pipe, kind)(file)
+        baseline_pipe.compactor.drain()
+        router.compactor.drain()
+
+        # ---- cycle 2: the repaired topology, fingerprint- and perf-gated.
+        # The storm's stream already mutated both sides to the identical
+        # population; the cycle probes that state with an empty mutation
+        # list so the measurement isolates the topology repair.
+        reference_2, _, _, base_busy_2 = _run_phases(
+            baseline, baseline_pipe, points, complex_mix, []
+        )
+        prints_2, _, _, busy_2 = _run_phases(
+            router, router, points, complex_mix, []
+        )
+        identical_2 = True
+        for phase in PHASES:
+            ok = prints_2[phase] == reference_2[phase]
+            report.gates[f"rebalanced cycle: {phase} identical"] = ok
+            identical_2 = identical_2 and ok
+        makespan_2 = max(busy_2)
+        row_2 = ReshardCycleRow(
+            cycle="rebalanced",
+            shards=router.num_shards,
+            identical=identical_2,
+            busy_makespan=makespan_2,
+            scatter_qps=n_complex / makespan_2 if makespan_2 > 0 else 0.0,
+            speedup=(base_busy_2[0] / makespan_2) if makespan_2 > 0 else 0.0,
+            populations=[
+                len(pipe.materialized_files()) for pipe in router.pipelines
+            ],
+            shard_busy=list(busy_2),
+        )
+        report.rows.append(row_2)
+        report.gates[
+            f"rebalanced: utilization > {min_utilization:.2f}"
+        ] = row_2.utilization > min_utilization
+        report.gates[
+            f"rebalanced: speedup > {min_speedup:.1f}x"
+        ] = row_2.speedup > min_speedup
+    finally:
+        controller.stop()
+        router.close()
+    return report

@@ -114,6 +114,7 @@ if TYPE_CHECKING:  # runtime import would cycle through repro.api.__init__
 
 from repro.bloom.bloom import BloomFilter
 from repro.cluster.metrics import Metrics
+from repro.concurrency import ReadWriteLock
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.core.versioning import VersioningManager
@@ -125,6 +126,7 @@ from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
 from repro.obs import TraceContext, get_tracer
 from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
+from repro.shard.load import PartitionLoad
 from repro.shard.partitioner import (
     ShardPartitioner,
     corpus_index_bounds,
@@ -239,24 +241,51 @@ class _CompositeVersioning:
     ``change_clock`` is the tuple of per-shard clocks: the service snapshots
     it as the cache epoch, so a mutation on *any* shard makes in-flight
     results stale — per-shard cache epochs without teaching the cache about
-    shards.  Subscribers are registered on every shard, so each shard's
-    mutations flush the service cache exactly as a single store's would.
+    shards.  A topology change (live shard split) grows the tuple's arity,
+    which can never compare equal to any pre-split epoch: every stale
+    snapshot reads as a global flush by construction.
+
+    Subscribers are registered on every shard *and remembered*, so each
+    shard's mutations flush the service cache exactly as a single store's
+    would — including shards installed after the subscription
+    (:meth:`attach` rewires every remembered listener onto the new
+    shard's manager; without that memory a split-off shard's mutations
+    would silently never flush the cache).
     """
 
     def __init__(self, managers: Sequence[VersioningManager]) -> None:
         self._managers = list(managers)
+        self._listeners: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
 
     @property
     def change_clock(self) -> Tuple[int, ...]:
         return tuple(m.change_clock for m in self._managers)
 
     def subscribe(self, listener: Callable[[], None]) -> None:
-        for manager in self._managers:
+        with self._lock:
+            self._listeners.append(listener)
+            managers = list(self._managers)
+        for manager in managers:
             manager.subscribe(listener)
 
     def unsubscribe(self, listener: Callable[[], None]) -> None:
-        for manager in self._managers:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+            managers = list(self._managers)
+        for manager in managers:
             manager.unsubscribe(listener)
+
+    def attach(self, manager: VersioningManager) -> None:
+        """Fold a new shard's manager into the composite (live reshard):
+        the clock tuple grows and every remembered listener starts hearing
+        the new shard's flushes."""
+        with self._lock:
+            self._managers.append(manager)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            manager.subscribe(listener)
 
 
 class _RouterCluster:
@@ -371,6 +400,14 @@ class ShardRouter:
         self._mutation_lock = threading.Lock()
         self._shard_locks = [threading.Lock() for _ in self.shards]
         self._stats_lock = threading.Lock()
+        # Topology gate: queries and routed mutations take the read side
+        # (many in parallel, as before); installing a split-off shard takes
+        # the write side, so the shard/pipeline/summary/lock lists never
+        # change shape under an in-flight scatter.  Lock order is topology
+        # -> _mutation_lock -> _shard_locks[i]; the flip itself touches
+        # only pipeline-level locks below the write side.
+        self._topology = ReadWriteLock()
+        self.reshards = 0
         self.queries: Dict[str, int] = {"point": 0, "range": 0, "topk": 0}
         self.shards_contacted = 0
         self.shards_pruned = 0
@@ -575,6 +612,24 @@ class ShardRouter:
         max_staleness: int = 0,
     ) -> QueryResult:
         """Filename point query over the shards the Bloom summaries admit."""
+        with self._topology.read_locked():
+            return self._point_query_locked(
+                query,
+                home_unit=home_unit,
+                deadline=deadline,
+                consistency=consistency,
+                max_staleness=max_staleness,
+            )
+
+    def _point_query_locked(
+        self,
+        query: PointQuery,
+        *,
+        home_unit: Optional[int],
+        deadline: Optional[Deadline],
+        consistency: Optional[str],
+        max_staleness: int,
+    ) -> QueryResult:
         # Captured on the submitting thread: scatter pool threads do not
         # inherit thread-local trace context.
         trace_ctx = get_tracer().current()
@@ -609,6 +664,24 @@ class ShardRouter:
         max_staleness: int = 0,
     ) -> QueryResult:
         """Range query over the shards whose boxes intersect the window."""
+        with self._topology.read_locked():
+            return self._range_query_locked(
+                query,
+                home_unit=home_unit,
+                deadline=deadline,
+                consistency=consistency,
+                max_staleness=max_staleness,
+            )
+
+    def _range_query_locked(
+        self,
+        query: RangeQuery,
+        *,
+        home_unit: Optional[int],
+        deadline: Optional[Deadline],
+        consistency: Optional[str],
+        max_staleness: int,
+    ) -> QueryResult:
         trace_ctx = get_tracer().current()
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
@@ -654,6 +727,24 @@ class ShardRouter:
         candidates by ``(distance, file_id)`` — the same canonical order a
         single store produces — and truncates to ``k``.
         """
+        with self._topology.read_locked():
+            return self._topk_query_locked(
+                query,
+                home_unit=home_unit,
+                deadline=deadline,
+                consistency=consistency,
+                max_staleness=max_staleness,
+            )
+
+    def _topk_query_locked(
+        self,
+        query: TopKQuery,
+        *,
+        home_unit: Optional[int],
+        deadline: Optional[Deadline],
+        consistency: Optional[str],
+        max_staleness: int,
+    ) -> QueryResult:
         trace_ctx = get_tracer().current()
         metrics = Metrics()
         metrics.record_index_access(len(self.shards))
@@ -750,6 +841,13 @@ class ShardRouter:
 
     # ------------------------------------------------------------------ mutations
     def _route_mutation(self, kind: str, file: FileMetadata) -> MutationReceipt:
+        # The topology read side pins the shard/pipeline lists for the
+        # whole route-stage-account sequence: a live split can neither
+        # renumber the owner map nor swap the summary list mid-mutation.
+        with self._topology.read_locked():
+            return self._route_mutation_locked(kind, file)
+
+    def _route_mutation_locked(self, kind: str, file: FileMetadata) -> MutationReceipt:
         # Routing (owner map lookup) holds the router-wide lock only
         # briefly; the pipeline call — which may fsync a WAL — holds just
         # its shard's lock, so writers to different shards proceed in
@@ -804,6 +902,65 @@ class ShardRouter:
             for sid, shard in enumerate(self.shards)
             if not getattr(shard, "alive", True)
         ]
+
+    # ------------------------------------------------------------------ topology
+    def load_report(self) -> PartitionLoad:
+        """Snapshot the live partition-load picture for elasticity decisions.
+
+        Populations come from each pipeline's materialized file set (base
+        population plus staged net effect — what the shard actually owns
+        right now), busy seconds from the scatter accounting.  The
+        :class:`~repro.shard.reshard.ReshardController` feeds this to
+        :class:`~repro.shard.load.PartitionLoad.degenerate` to decide when
+        a split is warranted.
+        """
+        with self._topology.read_locked():
+            populations = [len(p.materialized_files()) for p in self.pipelines]
+            with self._stats_lock:
+                busy = list(self.shard_busy_seconds)
+        return PartitionLoad(
+            shards=len(populations), populations=populations, busy_seconds=busy
+        )
+
+    def _install_shard_locked(
+        self,
+        store: SmartStore,
+        pipeline: IngestPipeline,
+        summary: ShardSummary,
+        moving_ids: Sequence[int],
+    ) -> int:
+        """Flip a fully backfilled shard into the topology.
+
+        The caller — the reshard controller — MUST hold the topology
+        *write* side (``self._topology.write_locked()``): the flip spans
+        several steps (final backlog drain, partitioner recut, this
+        install, handoff deletes) that must all land inside one exclusive
+        section, so the controller owns the lock and this method only does
+        the list surgery.  With the write side held, the append across the
+        five parallel per-shard lists plus the owner-map rewrite is one
+        atomic transition as far as queries and routed mutations are
+        concerned.  ``versioning.attach`` grows the cache-epoch tuple's
+        arity, which no pre-split epoch can compare equal to: every cached
+        result goes stale at the flip, by construction.
+        """
+        new_id = len(self.shards)
+        if summary.shard_id != new_id:
+            raise ValueError(
+                f"summary built for shard {summary.shard_id}, "
+                f"installing as {new_id}"
+            )
+        self.shards.append(store)
+        self.pipelines.append(pipeline)
+        self._summaries.append(summary)
+        self._shard_locks.append(threading.Lock())
+        with self._stats_lock:
+            self.shard_busy_seconds.append(0.0)
+        with self._mutation_lock:
+            for fid in moving_ids:
+                self._owner[fid] = new_id
+            self.reshards += 1
+        self.versioning.attach(store.versioning)
+        return new_id
 
     # ------------------------------------------------------------------ replication
     def replica_groups(self) -> List[ReplicaGroup]:
@@ -860,6 +1017,7 @@ class ShardRouter:
             "shard_calls_failed": self.shard_calls_failed,
             "dead_shards": self.dead_shards(),
             "mutations_routed": self.mutations_routed,
+            "reshards": self.reshards,
             "shard_busy_seconds": list(self.shard_busy_seconds),
             "staged_per_shard": [len(p.overlay) for p in self.pipelines],
             "compactions": sum(
@@ -913,6 +1071,7 @@ def _build_shard_router(
     *,
     partitioner: str = "semantic",
     strategy: str = "slice",
+    balance_fallback: bool = True,
     units_per_shard: Optional[int] = None,
     wal_dir: Optional[Union[str, Path]] = None,
     fsync_every: int = 1,
@@ -955,6 +1114,7 @@ def _build_shard_router(
         rank=config.lsi_rank,
         seed=config.seed,
         strategy=strategy,
+        balance_fallback=balance_fallback,
     )
     labels = part.assign(files)
     effective = getattr(part, "num_shards", num_shards)
