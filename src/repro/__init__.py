@@ -91,7 +91,7 @@ from repro.api import (
     connect,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AttributeSchema",

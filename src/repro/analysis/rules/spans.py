@@ -33,6 +33,10 @@ _TARGETS: Tuple[Tuple[str, str], ...] = (
     ("service/service.py", "QueryService._execute_on_engine"),
     ("ingest/pipeline.py", "IngestPipeline._apply"),
     ("ingest/wal.py", "WriteAheadLog.sync"),
+    ("storage/store.py", "SegmentStore.fault_in"),
+    ("storage/store.py", "SegmentStore._evict_locked"),
+    ("storage/store.py", "SegmentStore.publish_snapshot"),
+    ("replication/group.py", "ReplicaGroup._resync_snapshot"),
 )
 
 

@@ -49,7 +49,7 @@ from repro.api.response import Response, ResultPage
 from repro.api.spec import DeploymentSpec
 from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore
-from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt, recover_from_storage
 from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
@@ -59,6 +59,7 @@ from repro.replication.group import ReplicaGroup, _build_replica_group
 from repro.service.service import QueryService
 from repro.shard.reshard import ReshardController
 from repro.shard.router import ShardRouter, _build_shard_router
+from repro.storage import SegmentStore, has_snapshot
 from repro.workloads.types import Query, TopKQuery
 
 __all__ = ["Client", "connect"]
@@ -102,24 +103,39 @@ def connect(
 
         return connect_remote(spec)
     if files is None:
-        if spec.population is None:
+        if _storage_restorable(spec):
+            # Cold start from the spec's snapshot root(s): the population
+            # lives in the segments, O(tail) to come back.
+            files = []
+        elif spec.population is None:
             raise ValueError(
                 "connect() needs a file population: pass files=... or set "
                 "DeploymentSpec.population to a JSON-Lines path"
             )
-        files = load_files(spec.population)
+        else:
+            files = load_files(spec.population)
     files = list(files)
 
     pipeline: Optional[IngestPipeline] = None
     if spec.topology == "plain":
-        store: object = SmartStore.build(files, spec.store, schema)
+        if spec.storage is not None:
+            pipeline = _open_single_store(spec, files, schema, wal_path=None)
+            store: object = pipeline.store
+        else:
+            store = SmartStore.build(files, spec.store, schema)
     elif spec.topology == "durable":
-        plain = SmartStore.build(files, spec.store, schema)
         wal_dir = Path(spec.wal_dir)  # type: ignore[arg-type]  # validated by the spec
         wal_dir.mkdir(parents=True, exist_ok=True)
-        wal = WriteAheadLog(wal_dir / "store.wal", fsync_every=spec.fsync_every)
-        pipeline = IngestPipeline(plain, wal)
-        store = plain
+        if spec.storage is not None:
+            pipeline = _open_single_store(
+                spec, files, schema, wal_path=wal_dir / "store.wal"
+            )
+            store = pipeline.store
+        else:
+            plain = SmartStore.build(files, spec.store, schema)
+            wal = WriteAheadLog(wal_dir / "store.wal", fsync_every=spec.fsync_every)
+            pipeline = IngestPipeline(plain, wal)
+            store = plain
     elif spec.sharded:
         if spec.execution == "processes":
             # One worker OS process per shard, scattered to over the wire
@@ -150,6 +166,7 @@ def connect(
                 wal_dir=spec.wal_dir,
                 fsync_every=spec.fsync_every,
                 replication=spec.replication_config() if spec.replicated else None,
+                storage=spec.storage,
             )
     else:  # replicated
         wal_path = None
@@ -164,9 +181,54 @@ def connect(
             replication=spec.replication_config(),
             wal_path=wal_path,
             fsync_every=spec.fsync_every,
+            storage=spec.storage,
         )
     service = QueryService(store, spec.service, pipeline=pipeline)
     return Client(spec, store, service)
+
+
+def _storage_restorable(spec: DeploymentSpec) -> bool:
+    """True when the spec's snapshot root(s) can stand the topology up
+    without a file population."""
+    if spec.storage is None or spec.storage.root is None:
+        return False
+    root = Path(spec.storage.root)
+    if spec.sharded:
+        return any(has_snapshot(path) for path in root.glob("shard-*"))
+    return has_snapshot(root)
+
+
+def _open_single_store(
+    spec: DeploymentSpec,
+    files: List[FileMetadata],
+    schema: AttributeSchema,
+    *,
+    wal_path: Optional[Path],
+) -> IngestPipeline:
+    """Stand up one storage-backed store: restore from the snapshot root
+    when it holds a published manifest, else build fresh and attach a
+    segment store so the first ``checkpoint()`` publishes there."""
+    storage = spec.storage
+    assert storage is not None and storage.root is not None  # spec-validated
+    if has_snapshot(storage.root):
+        pipeline, _report = recover_from_storage(
+            storage.root,
+            wal_path=wal_path,
+            fsync_every=spec.fsync_every,
+            resident_segments=storage.resident_segments,
+        )
+        return pipeline
+    plain = SmartStore.build(files, spec.store, schema)
+    wal = (
+        WriteAheadLog(wal_path, fsync_every=spec.fsync_every)
+        if wal_path is not None
+        else None
+    )
+    pipeline = IngestPipeline(plain, wal)
+    pipeline.attach_storage(
+        SegmentStore(storage.root, resident_segments=storage.resident_segments)
+    )
+    return pipeline
 
 
 class Client:
@@ -336,6 +398,31 @@ class Client:
         )
         self._maybe_slowlog(response)
         return response
+
+    # ------------------------------------------------------------------ durability
+    def checkpoint(self) -> Dict[str, object]:
+        """Publish a segment snapshot through the deployment's storage.
+
+        Every storage-backed layer of the topology publishes: a plain or
+        durable deployment snapshots its one store, a replica group
+        snapshots every member, a sharded deployment snapshots every
+        shard (and every replica of every shard).  After this returns, a
+        new ``connect`` with the same spec cold-starts from the published
+        manifests in O(WAL tail).  Raises ``ValueError`` when the spec
+        has no ``storage`` block.
+        """
+        store = self.store
+        if isinstance(store, ShardRouter):
+            return {"shards": store.checkpoint()}
+        if isinstance(store, ReplicaGroup):
+            return store.checkpoint()
+        pipeline = self.service.pipeline
+        if pipeline is not None and getattr(pipeline, "storage", None) is not None:
+            return pipeline.checkpoint()
+        raise ValueError(
+            "checkpoint() needs a tiered-storage deployment "
+            "(DeploymentSpec.storage with a root directory)"
+        )
 
     # ------------------------------------------------------------------ elasticity
     def reshard(self, force: bool = False) -> Dict[str, object]:

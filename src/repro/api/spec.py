@@ -37,6 +37,11 @@ from repro.core.smartstore import SmartStoreConfig
 from repro.persistence.snapshot import config_from_dict, config_to_dict
 from repro.replication.group import REPLICATION_MODES, ReplicationConfig
 from repro.service.service import ServiceConfig
+from repro.storage import (
+    StorageConfig,
+    storage_config_from_dict,
+    storage_config_to_dict,
+)
 
 __all__ = [
     "EXECUTION_MODES",
@@ -111,6 +116,11 @@ class DeploymentSpec:
     # Durability (durable always; optional for sharded/replicated shapes).
     wal_dir: Optional[str] = None
     fsync_every: int = 1
+    # Tiered segment storage (any topology): a root directory makes
+    # checkpoints publish mmap-able segment snapshots there, cold starts
+    # restore from them in O(WAL tail), and replica resync ships
+    # snapshots instead of rebuilding.
+    storage: Optional[StorageConfig] = None
     # Serving.
     service: ServiceConfig = field(default_factory=ServiceConfig)
     # Transport: scatter execution mode and the optional default bind
@@ -151,6 +161,15 @@ class DeploymentSpec:
         if self.listen is not None and not self.listen.startswith("tcp://"):
             raise ValueError(
                 f"listen must be a tcp://host:port address, got {self.listen!r}"
+            )
+        if self.storage is not None and self.storage.root is None:
+            raise ValueError(
+                "spec.storage needs a root directory (StorageConfig.root)"
+            )
+        if self.storage is not None and self.execution == "processes":
+            raise ValueError(
+                "spec.storage is in-process tiered storage; execution "
+                "'processes' workers manage their own state"
             )
 
     # ------------------------------------------------------------------ derived views
@@ -193,6 +212,11 @@ class DeploymentSpec:
             "max_lag": self.max_lag,
             "wal_dir": self.wal_dir,
             "fsync_every": self.fsync_every,
+            "storage": (
+                storage_config_to_dict(self.storage)
+                if self.storage is not None
+                else None
+            ),
             "service": service_config_to_dict(self.service),
             "execution": self.execution,
             "listen": self.listen,
@@ -225,6 +249,8 @@ class DeploymentSpec:
                 kwargs[key] = payload[key]
         if payload.get("store") is not None:
             kwargs["store"] = config_from_dict(dict(payload["store"]))
+        if payload.get("storage") is not None:
+            kwargs["storage"] = storage_config_from_dict(dict(payload["storage"]))
         if payload.get("service") is not None:
             kwargs["service"] = service_config_from_dict(dict(payload["service"]))
         return cls(**kwargs)

@@ -82,6 +82,16 @@ Subcommands
     scaling (wall-clock scaling is additionally gated where the host has
     the cores).  Writes ``BENCH_net.json``; every other bench subcommand
     writes its own ``BENCH_<name>.json`` alongside its tables too.
+``storage-bench``
+    Benchmark the tiered segment store's cold-start story: publish a
+    snapshot, keep writing a WAL tail, then race the O(tail) recovery
+    (mmap the segments, replay only the tail) against the legacy
+    O(corpus) full rebuild over the same final state.  Exit-code-asserted
+    gates: the recovered store answers every probe identically to the
+    pre-crash live store, the replay touched exactly the tail, the
+    recovery beats the rebuild by ``--min-speedup`` (default 5x), and a
+    recovery starved to one resident segment (every query faulting
+    groups in through the LRU) stays byte-identical too.
 ``lint``
     Run repro-lint — the project-specific invariant rules (deadline
     propagation, WAL-first ordering, lock discipline, error-envelope
@@ -1081,6 +1091,77 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_storage_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.storage.benchmarking import run_storage_bench
+
+    files = _load_population(args.input) if args.input else _make_trace(
+        args.profile, args.scale, args.seed, 1
+    ).file_metadata()
+
+    # Exhaustive search breadth: the equivalence gates compare a snapshot
+    # restart, an LRU-starved restart and a fresh rebuild, so bounded-
+    # breadth recall loss must not masquerade as a storage bug.
+    config = SmartStoreConfig(
+        num_units=args.units, seed=args.seed, search_breadth=max(64, args.units)
+    )
+    workdir = Path(args.root) if args.root else Path(
+        tempfile.mkdtemp(prefix="repro-storage-")
+    )
+    report = run_storage_bench(
+        files,
+        config,
+        workdir=workdir,
+        tail_mutations=args.tail,
+        probes_per_type=args.probes,
+        seed=args.seed,
+        min_recovery_speedup=args.min_speedup,
+        repeats=args.repeats,
+    )
+
+    _print(
+        format_table(
+            ["cold-start path", "wall (s)", "work"],
+            [
+                [
+                    "snapshot + WAL tail",
+                    f"{report.recovery_seconds:.4f}",
+                    f"{report.segments_published} segments mmap'd, "
+                    f"{report.wal_records_replayed} tail records replayed",
+                ],
+                [
+                    "full rebuild",
+                    f"{report.rebuild_seconds:.4f}",
+                    "full corpus re-indexed from scratch",
+                ],
+            ],
+            title=f"storage-bench: {report.files} files, "
+            f"{report.tail_mutations} tail mutations, "
+            f"{report.speedup:.1f}x recovery speedup "
+            f"(LRU drill: {report.faults} faults / {report.evictions} evictions)",
+        )
+    )
+    gate_rows = [[name, "yes" if ok else "NO"] for name, ok in report.gates.items()]
+    _print(format_table(["storage gate", "passed"], gate_rows, title="tiered-storage gates"))
+    path = write_bench_json(
+        "storage",
+        report.metrics(),
+        {
+            "files": report.files,
+            "units": args.units,
+            "tail_mutations": args.tail,
+            "probes_per_type": args.probes,
+            "min_speedup": args.min_speedup,
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+        gates=report.gates,
+    )
+    _print(f"[bench json written to {path}]")
+    return 0 if report.passed else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run repro-lint (the project invariant rules) over a source tree.
 
@@ -1405,6 +1486,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail unless the largest worker count reaches this "
                        "scatter-throughput speedup over 1 worker")
     p_net.set_defaults(func=_cmd_net_bench)
+
+    p_storage = sub.add_parser(
+        "storage-bench",
+        help="benchmark O(tail) snapshot recovery against a full rebuild",
+    )
+    add_trace_source(p_storage)
+    p_storage.add_argument("--input", help="population or trace JSON-Lines to index")
+    p_storage.add_argument("--units", type=int, default=16,
+                           help="storage-unit budget for the deployment")
+    p_storage.add_argument("--root", default=None,
+                           help="working directory for the WAL and segment "
+                           "root (default: a fresh temp dir)")
+    p_storage.add_argument("--tail", type=int, default=48,
+                           help="post-checkpoint mutations forming the WAL tail")
+    p_storage.add_argument("--probes", type=int, default=6,
+                           help="equivalence probe queries per type")
+    p_storage.add_argument("--repeats", type=int, default=3,
+                           help="timing repeats (best-of) for both cold starts")
+    p_storage.add_argument("--min-speedup", type=float, default=5.0,
+                           help="fail unless snapshot+tail recovery beats the "
+                           "full rebuild by this factor")
+    p_storage.set_defaults(func=_cmd_storage_bench)
 
     p_lint = sub.add_parser(
         "lint",

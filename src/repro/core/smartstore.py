@@ -163,6 +163,10 @@ class SmartStore:
         for unit_id, server in cluster.servers.items():
             for f in server.files:
                 self._file_locations[f.file_id] = unit_id
+        # Optional dirty-unit listener (set by the tiered segment store);
+        # called with the unit ids each apply_changes batch touched so an
+        # incremental snapshot publish only rewrites changed groups.
+        self.on_units_touched = None
 
     @property
     def files(self) -> List[FileMetadata]:
@@ -612,6 +616,8 @@ class SmartStore:
                 file_count=len(server),
                 new_filenames=new_names,
             )
+        if touched and self.on_units_touched is not None:
+            self.on_units_touched(list(touched.keys()))
         return applied
 
     def reconfigure(self) -> int:

@@ -35,7 +35,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.smartstore import SmartStore, StageOutcome, UNKNOWN_GROUP
 from repro.ingest.compactor import CompactionPolicy, Compactor
@@ -46,7 +46,13 @@ from repro.obs import get_tracer
 from repro.persistence.jsonl import load_files, save_files, schema_from_dict, schema_to_dict
 from repro.persistence.snapshot import config_from_dict, config_to_dict
 
-__all__ = ["MutationReceipt", "IngestPipeline", "recover", "CHECKPOINT_FORMAT"]
+__all__ = [
+    "MutationReceipt",
+    "IngestPipeline",
+    "recover",
+    "recover_from_storage",
+    "CHECKPOINT_FORMAT",
+]
 
 PathLike = Union[str, Path]
 
@@ -113,6 +119,10 @@ class IngestPipeline:
         self._mutation_listeners: List[Callable[[WALRecord], None]] = []
         if wal is not None:
             wal.subscribe(self._forward_record)
+        # Optional tiered segment store (repro.storage.SegmentStore); when
+        # attached, checkpoint() publishes an mmap-able snapshot instead of
+        # (or as well as) the legacy JSONL population dump.
+        self.storage: Optional[Any] = None
         self._closed = False
 
     # ------------------------------------------------------------------ lifecycle
@@ -267,8 +277,26 @@ class IngestPipeline:
         return d
 
     # ------------------------------------------------------------------ checkpointing
-    def checkpoint(self, directory: PathLike) -> Dict[str, object]:
+    def attach_storage(self, storage: Any) -> None:
+        """Bind a tiered segment store; ``checkpoint()`` (no directory)
+        then publishes snapshots through it."""
+        self.storage = storage
+        storage.attach(self.store)
+
+    def checkpoint(self, directory: Optional[PathLike] = None) -> Dict[str, object]:
         """Persist the logical population and truncate the log.
+
+        With a :class:`~repro.storage.store.SegmentStore` attached and no
+        ``directory`` given, the checkpoint is a *snapshot publish*: the
+        compactor drains the staging overlay (so the live servers hold
+        exactly the applied state), changed groups are frozen into
+        immutable segment files, the manifest is swapped atomically, and
+        only then is the WAL tail truncated.  Recovery from that snapshot
+        is O(tail): :func:`recover_from_storage` mmaps the segments and
+        replays only post-checkpoint WAL records.
+
+        With a ``directory``, the legacy JSONL checkpoint is written (and
+        recovery rebuilds the store from the full population).
 
         The checkpoint captures everything logged so far (applied *and*
         staged mutations — recovery rebuilds the overlay-visible state from
@@ -282,6 +310,13 @@ class IngestPipeline:
         logged mutation is idempotent (inserts/modifies replace in place,
         deletes of absent files are observable no-ops).
         """
+        if directory is None:
+            if self.storage is None:
+                raise ValueError(
+                    "checkpoint() needs a directory unless a segment store "
+                    "is attached (attach_storage)"
+                )
+            return self._checkpoint_storage()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with self.lock:
@@ -316,6 +351,19 @@ class IngestPipeline:
             if self.wal is not None:
                 self.wal.truncate_through(seq)
             return meta
+
+    def _checkpoint_storage(self) -> Dict[str, object]:
+        """Publish an mmap-able snapshot through the attached segment store."""
+        with self.lock:
+            # Drain first: segments freeze *applied* state, so the staging
+            # overlay must be empty when the groups are written.  The
+            # compactor's drain re-enters the pipeline lock (RLock).
+            self.compactor.drain()
+            seq = self.wal.last_seq if self.wal is not None else self._next_local_seq - 1
+            manifest = self.storage.publish_snapshot(self.store, wal_seq=seq)
+            if self.wal is not None:
+                self.wal.truncate_through(seq)
+            return manifest
 
     def __repr__(self) -> str:
         return (
@@ -369,3 +417,52 @@ def recover(
             pipeline.mutations += 1
             pipeline.applied_seq = record.seq
     return pipeline
+
+
+def recover_from_storage(
+    root: PathLike,
+    *,
+    wal_path: Optional[PathLike] = None,
+    fsync_every: int = 1,
+    policy: Optional[CompactionPolicy] = None,
+    resident_segments: int = 8,
+) -> Tuple[IngestPipeline, Any]:
+    """Cold-start a pipeline from a segment snapshot + the WAL tail.
+
+    O(tail) recovery: the manifest restores the tree, LSI projection and
+    normalisation bounds directly (no SVD, no k-means), the segments are
+    mmap'd without decoding a single record, and only WAL records with a
+    sequence number above the manifest's ``wal_seq`` are re-staged.
+    Segments that fail their checksum are quarantined by
+    :func:`repro.storage.open_storage`; their groups restore empty and
+    the replay brings back whatever the tail holds — a detected,
+    degraded-but-correct answer, never a wrong one.
+
+    Returns ``(pipeline, report)`` where ``report`` is a
+    :class:`repro.storage.RecoveryReport` whose ``wal_records_replayed``
+    is the O(tail) witness.
+    """
+    from repro.storage import open_storage
+
+    store, segstore, report = open_storage(root, resident_segments=resident_segments)
+    wal = WriteAheadLog(wal_path, fsync_every=fsync_every) if wal_path is not None else None
+    pipeline = IngestPipeline(store, wal, policy=policy)
+    pipeline.attach_storage(segstore)
+    snapshot_seq = report.wal_seq
+    if wal is not None:
+        for record in wal.replay():
+            if record.seq <= snapshot_seq or record.kind == "checkpoint":
+                continue
+            if record.file is None:
+                continue
+            store.stage_mutation(record.kind, record.file, seq=record.seq)
+            pipeline.mutations += 1
+            pipeline.applied_seq = record.seq
+            report.wal_records_replayed += 1
+        pipeline._next_local_seq = max(pipeline._next_local_seq, pipeline.applied_seq + 1)
+    else:
+        # Volatile (plain-topology) deployments keep the snapshot's
+        # sequence numbering so a later publish stays monotone.
+        pipeline.applied_seq = snapshot_seq
+        pipeline._next_local_seq = snapshot_seq + 1
+    return pipeline, report

@@ -42,9 +42,15 @@ watermark makes a double-shipped record idempotent).  Promotion during
 catch-up failure falls back to the next-freshest replica.
 
 **Anti-entropy**: :meth:`ReplicaGroup.anti_entropy` compares per-replica
-population fingerprints and rebuilds any divergent replica from the
-primary's materialised population — how a crashed ex-primary (which may
-hold a record that never shipped) rejoins safely.
+population fingerprints and repairs any divergent replica — how a
+crashed ex-primary (which may hold a record that never shipped) rejoins
+safely.  When both the primary and the divergent member run over tiered
+segment storage the repair is *snapshot-shipping resync*: the primary's
+manifest plus the segments the member is missing are copied over, the
+member cold-starts from them (O(tail), mmap — no rebuild), and the WAL
+tail beyond the snapshot is replayed through the normal replication
+apply.  Without storage on both ends the legacy path rebuilds the member
+from the primary's materialised population.
 """
 
 from __future__ import annotations
@@ -63,11 +69,11 @@ import numpy as np
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.ingest.compactor import CompactionPolicy, CompactionStats
 from repro.ingest.overlay import StagingOverlay
-from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt, recover_from_storage
 from repro.ingest.wal import WALRecord, WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 from repro.replication.fault import (
     GroupUnavailableError,
     ReplicaCrashedError,
@@ -75,6 +81,7 @@ from repro.replication.fault import (
     ReplicaUnavailableError,
 )
 from repro.replication.health import BreakerPolicy, HealthTracker
+from repro.storage import SegmentStore, has_snapshot, ship_snapshot
 
 __all__ = [
     "ReplicationConfig",
@@ -313,6 +320,7 @@ class ReplicaGroup:
         *,
         mode: str = "async",
         max_lag: int = 64,
+        snapshot_policy: str = "checkpoint",
     ) -> None:
         if len(members) < 2:
             raise ValueError("a replica group needs a primary and >= 1 replica")
@@ -321,6 +329,10 @@ class ReplicaGroup:
         self.members = list(members)
         self.mode = mode
         self.max_lag = max_lag
+        #: "checkpoint" publishes a fresh primary snapshot before every
+        #: snapshot-shipping resync; "manual" ships the last published
+        #: snapshot plus a WAL-tail catch-up.
+        self.snapshot_policy = snapshot_policy
         self._primary_id = 0
         self._lock = threading.RLock()
         self._rr = 0
@@ -334,6 +346,18 @@ class ReplicaGroup:
         self.reads_served = 0
         self.writes_acked = 0
         self.resyncs = 0
+        self.snapshot_ships = 0
+        self.snapshot_bytes = 0
+        self.rebuild_resyncs = 0
+        registry = get_registry()
+        self._ship_counter = registry.counter(
+            "resync_snapshot_ship_total",
+            "Replica resyncs served by snapshot shipping (vs full rebuild)",
+        )
+        self._ship_bytes_counter = registry.counter(
+            "resync_snapshot_bytes_total",
+            "Bytes (segments + manifest) copied during snapshot-shipping resyncs",
+        )
         self.anti_entropy_checks = 0
         self.anti_entropy_repairs = 0
         self.max_observed_lag = 0
@@ -418,6 +442,36 @@ class ReplicaGroup:
 
     def materialized_files(self) -> List[FileMetadata]:
         return self.primary.pipeline.materialized_files()
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Publish a segment snapshot on every storage-backed member.
+
+        Replicas are pumped down to the primary's watermark first, so all
+        members freeze the same logical population and a later cold start
+        restores a coherent group.  Returns the primary's manifest.
+        """
+        result: Dict[str, object] = {}
+        published = 0
+        with self._lock:
+            primary = self.members[self._primary_id]
+            for member in self.members:
+                if member.crashed or member.paused:
+                    continue
+                if getattr(member.pipeline, "storage", None) is None:
+                    continue
+                with member.lock:
+                    if member is not primary:
+                        self._pump_quietly(member)
+                    manifest = member.pipeline.checkpoint()
+                    published += 1
+                    if member is primary:
+                        result = manifest
+        if not published:
+            raise ValueError(
+                "checkpoint() needs a segment store attached to at least "
+                "the primary (DeploymentSpec.storage / attach_storage)"
+            )
+        return result
 
     # ------------------------------------------------------------------ shipping
     def _on_record(self, source: Replica, record: WALRecord) -> None:
@@ -788,13 +842,116 @@ class ReplicaGroup:
             member.tracker.record_success()
 
     def _resync(self, member: Replica) -> None:
+        """Bring one divergent replica back in line with the primary.
+
+        Snapshot-shipping is preferred whenever both ends run over tiered
+        segment storage: ship the primary's manifest plus whatever
+        segments the member is missing, cold-start the member from them
+        (mmap, no rebuild) and replay the WAL tail beyond the snapshot.
+        Anything that disqualifies or fails the ship — no storage on
+        either side, shared root, no published snapshot under the
+        ``manual`` policy, or damage detected while restoring the shipped
+        bytes — falls back to the legacy full rebuild from the primary's
+        materialised population.
+        """
+        primary = self.members[self._primary_id]
+        if self._resync_snapshot(primary, member):
+            return
+        self._resync_rebuild(primary, member)
+
+    def _resync_snapshot(self, primary: Replica, member: Replica) -> bool:
+        src = getattr(primary.pipeline, "storage", None)
+        dst = getattr(member.pipeline, "storage", None)
+        if src is None or dst is None:
+            return False
+        if Path(src.root) == Path(dst.root):
+            return False
+        try:
+            with primary.lock:
+                if self.snapshot_policy == "checkpoint":
+                    manifest = primary.pipeline.checkpoint()
+                else:
+                    manifest = src.manifest
+                    if manifest is None:
+                        return False
+                watermark = int(manifest["wal_seq"])  # type: ignore[arg-type]
+                tail: List[WALRecord] = []
+                if primary.pipeline.applied_seq > watermark:
+                    wal = primary.pipeline.wal
+                    if wal is None:
+                        # Volatile primary with a stale manifest: the gap
+                        # beyond the snapshot is unrecoverable here.
+                        return False
+                    tail = [
+                        r
+                        for r in wal.replay()
+                        if r.seq > watermark
+                        and r.kind != "checkpoint"
+                        and r.file is not None
+                    ]
+            with get_tracer().span(
+                "storage.resync_ship",
+                replica=member.replica_id,
+                watermark=watermark,
+            ) as span:
+                bytes_shipped, segments_shipped = ship_snapshot(
+                    src, dst.root, manifest
+                )
+                span.tag(bytes=bytes_shipped, segments=segments_shipped)
+        except (OSError, ValueError, KeyError):
+            return False
+        with member.lock:
+            old = member.pipeline
+            policy = old.compactor.policy
+            resident = dst.resident_budget
+            wal_path = old.wal.path if old.wal is not None else None
+            fsync_every = old.wal.fsync_every if old.wal is not None else 1
+            old.close()
+            dst.close()
+            if wal_path is not None:
+                wal_path.unlink(missing_ok=True)
+            try:
+                pipeline, report = recover_from_storage(
+                    dst.root,
+                    wal_path=wal_path,
+                    fsync_every=fsync_every,
+                    policy=policy,
+                    resident_segments=resident,
+                )
+            except (OSError, ValueError):
+                return False
+            pipeline.applied_seq = watermark
+            pipeline._next_local_seq = watermark + 1
+            member.store = pipeline.store
+            member.pipeline = pipeline
+            member.clear_pending()
+            if report.segments_quarantined:
+                # The shipped bytes were damaged in flight: the member is
+                # consistent but degraded — let the rebuild path finish.
+                self._wire_shipping(member)
+                self.versioning.rewire(pipeline.store.versioning)
+                return False
+            for record in tail:
+                pipeline.apply_replicated(record)
+        self._wire_shipping(member)
+        self.versioning.rewire(member.store.versioning)
+        self.resyncs += 1
+        self.snapshot_ships += 1
+        self.snapshot_bytes += bytes_shipped
+        self._ship_counter.inc()
+        self._ship_bytes_counter.inc(bytes_shipped)
+        return True
+
+    def _resync_rebuild(self, primary: Replica, member: Replica) -> None:
         """Rebuild one replica from the primary's logical population.
 
         The member keeps its compaction policy, and a durable member gets
         a fresh log at its old path (the rebuilt population supersedes the
-        divergent records; shipped segments resume at the watermark).
+        divergent records; shipped segments resume at the watermark).  A
+        storage-backed member gets a fresh segment store on its old root
+        — generation continues from the root's published manifest, so the
+        next publish never overwrites a live segment file.
         """
-        primary = self.members[self._primary_id]
         with primary.lock:
             files = sorted(
                 primary.pipeline.materialized_files(), key=lambda f: f.file_id
@@ -809,6 +966,7 @@ class ReplicaGroup:
         with member.lock:
             old = member.pipeline
             policy = old.compactor.policy
+            old_storage = getattr(old, "storage", None)
             old.close()
             wal = None
             if old.wal is not None:
@@ -817,12 +975,20 @@ class ReplicaGroup:
             pipeline = IngestPipeline(store, wal, policy=policy)
             pipeline.applied_seq = watermark
             pipeline._next_local_seq = watermark + 1
+            if old_storage is not None:
+                root = old_storage.root
+                budget = old_storage.resident_budget
+                old_storage.close()
+                pipeline.attach_storage(
+                    SegmentStore(root, resident_segments=budget)
+                )
             member.store = store
             member.pipeline = pipeline
             member.clear_pending()
         self._wire_shipping(member)
         self.versioning.rewire(store.versioning)
         self.resyncs += 1
+        self.rebuild_resyncs += 1
 
     # ------------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -852,6 +1018,9 @@ class ReplicaGroup:
             "reads_served": self.reads_served,
             "writes_acked": self.writes_acked,
             "resyncs": self.resyncs,
+            "snapshot_ships": self.snapshot_ships,
+            "snapshot_bytes": self.snapshot_bytes,
+            "rebuild_resyncs": self.rebuild_resyncs,
             "anti_entropy": {
                 "checked": self.anti_entropy_checks,
                 "repaired": self.anti_entropy_repairs,
@@ -888,6 +1057,7 @@ def _build_replica_group(
     wal_path: Optional[Union[str, Path]] = None,
     fsync_every: int = 1,
     policy: Optional[CompactionPolicy] = None,
+    storage: Optional[Any] = None,
 ) -> ReplicaGroup:
     """Build ``replication.replicas + 1`` identical deployments as one group.
 
@@ -898,25 +1068,82 @@ def _build_replica_group(
     at that path and every replica archives the shipped segments in its
     own log beside it (``<name>.r<i>``) — each machine's disk is its own,
     and a promoted primary therefore keeps writing WAL-first.
+
+    ``storage`` (a :class:`~repro.storage.StorageConfig` with a root)
+    gives every member its own segment-store root beside the primary's
+    (``<root>`` for the primary, ``<root>/r<i>`` per replica).  A member
+    whose root already holds a published snapshot cold-starts from it —
+    manifest + mmap'd segments + WAL tail, O(tail) — instead of being
+    rebuilt from ``files``; resync then ships snapshots between those
+    roots instead of rebuilding.
     """
     config = config if config is not None else SmartStoreConfig()
     replication = replication if replication is not None else ReplicationConfig()
     files = list(files)
     members: List[Replica] = []
+    snapshot_policy = "checkpoint"
     for replica_id in range(replication.replicas + 1):
-        store = SmartStore.build(files, config, schema, index_bounds=index_bounds)
-        wal = None
+        path = None
         if wal_path is not None:
             path = Path(wal_path)
             if replica_id:
                 path = path.with_name(f"{path.name}.r{replica_id}")
-            wal = WriteAheadLog(path, fsync_every=fsync_every)
+        if storage is not None and storage.root:
+            snapshot_policy = storage.snapshot_policy
+            member_root = Path(storage.root)
+            if replica_id:
+                member_root = member_root / f"r{replica_id}"
+            if has_snapshot(member_root):
+                pipeline, _report = recover_from_storage(
+                    member_root,
+                    wal_path=path,
+                    fsync_every=fsync_every,
+                    policy=policy,
+                    resident_segments=storage.resident_segments,
+                )
+                members.append(
+                    Replica(
+                        replica_id,
+                        pipeline.store,
+                        pipeline,
+                        breaker=replication.breaker,
+                    )
+                )
+                continue
+            build_files = files
+            if not build_files and members:
+                # Restore flow where this member's root was never
+                # checkpointed: rebuild it from the restored primary's
+                # population (anti-entropy would do the same later).
+                build_files = sorted(
+                    members[0].pipeline.materialized_files(),
+                    key=lambda f: f.file_id,
+                )
+            store = SmartStore.build(
+                build_files, config, schema, index_bounds=index_bounds
+            )
+            wal = WriteAheadLog(path, fsync_every=fsync_every) if path is not None else None
+            pipeline = IngestPipeline(store, wal, policy=policy)
+            pipeline.attach_storage(
+                SegmentStore(
+                    member_root, resident_segments=storage.resident_segments
+                )
+            )
+            members.append(
+                Replica(replica_id, store, pipeline, breaker=replication.breaker)
+            )
+            continue
+        store = SmartStore.build(files, config, schema, index_bounds=index_bounds)
+        wal = WriteAheadLog(path, fsync_every=fsync_every) if path is not None else None
         pipeline = IngestPipeline(store, wal, policy=policy)
         members.append(
             Replica(replica_id, store, pipeline, breaker=replication.breaker)
         )
     return ReplicaGroup(
-        members, mode=replication.mode, max_lag=replication.max_lag
+        members,
+        mode=replication.mode,
+        max_lag=replication.max_lag,
+        snapshot_policy=snapshot_policy,
     )
 
 

@@ -84,6 +84,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -95,6 +96,7 @@ from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
 from repro.obs import get_registry, get_tracer
 from repro.shard.load import PartitionLoad
+from repro.storage import SegmentStore
 from repro.shard.partitioner import (
     POPULARITY_ATTRIBUTE,
     SemanticShardPartitioner,
@@ -436,6 +438,16 @@ class ReshardController:
                     for shard_id in range(len(router.shards)):
                         self._repack_shard_locked(shard_id)
 
+            # Freeze the repacked placement into fresh segments — outside
+            # the exclusive section (no segment fsync under the topology
+            # lock), one pipeline lock at a time.
+            for pipe in list(router.pipelines):
+                if (
+                    isinstance(pipe, IngestPipeline)
+                    and pipe.storage is not None
+                ):
+                    pipe.checkpoint()
+
             # Pre-rebalance busy accounting measured the old placement.
             router.reset_busy()
             self.rebalances += 1
@@ -491,6 +503,14 @@ class ReshardController:
         new_pipe = IngestPipeline(rebuilt, pipe.wal)
         new_pipe.applied_seq = pipe.applied_seq
         new_pipe._next_local_seq = pipe._next_local_seq
+        storage = pipe.storage
+        if storage is not None:
+            # Same segment root follows the rebuilt store; the repack
+            # rewrote every group's layout, so every segment is stale.
+            # Publishing happens *after* the exclusive section (no
+            # segment fsync under the topology lock — INVARIANTS §12).
+            new_pipe.attach_storage(storage)
+            storage.mark_all_dirty()
         router.shards[shard_id] = rebuilt
         router.pipelines[shard_id] = new_pipe
         router.versioning.attach(rebuilt.versioning)
@@ -630,6 +650,22 @@ class ReshardController:
                             fsync_every=source_pipe.wal.fsync_every,
                         )
                     new_pipe = IngestPipeline(new_store, new_wal)
+                    source_storage = source_pipe.storage
+                    if source_storage is not None:
+                        # The split-off shard gets its own segment root
+                        # beside the source's (shard-<i> siblings under
+                        # one storage root), born all-dirty so its first
+                        # publish freezes the whole moved population.
+                        new_root = (
+                            Path(source_storage.root).parent
+                            / f"shard-{len(router.shards)}"
+                        )
+                        new_pipe.attach_storage(
+                            SegmentStore(
+                                new_root,
+                                resident_segments=source_storage.resident_budget,
+                            )
+                        )
                     # Same numbering adjustment a replica resync performs:
                     # the snapshot covers everything through the watermark,
                     # so apply_replicated()'s idempotence filter starts
@@ -673,6 +709,15 @@ class ReshardController:
                         ]
                         for file in handoff:
                             source_pipe.delete(file)
+
+                # Drain+repack emits segments: both halves of the split
+                # publish their new placement — outside the flip's
+                # exclusive section (no segment fsync under the topology
+                # lock), serialised on each pipeline's own lock.
+                if source_pipe.storage is not None:
+                    source_pipe.checkpoint()
+                if new_pipe.storage is not None:
+                    new_pipe.checkpoint()
 
                 # Pre-split busy accounting measured the *old* placement;
                 # left in place it would keep nominating the shard that was

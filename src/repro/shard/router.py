@@ -119,13 +119,18 @@ from repro.core.queries import QueryResult
 from repro.core.smartstore import SmartStore, SmartStoreConfig
 from repro.core.versioning import VersioningManager
 from repro.ingest.compactor import CompactionPolicy
-from repro.ingest.pipeline import IngestPipeline, MutationReceipt
+from repro.ingest.pipeline import IngestPipeline, MutationReceipt, recover_from_storage
 from repro.ingest.wal import WriteAheadLog
 from repro.metadata.attributes import AttributeSchema, DEFAULT_SCHEMA
 from repro.metadata.file_metadata import FileMetadata
 from repro.metadata.matrix import attribute_matrix, log_transform
 from repro.obs import TraceContext, get_tracer
-from repro.replication.group import Replica, ReplicaGroup, ReplicationConfig
+from repro.replication.group import (
+    ReplicaGroup,
+    ReplicationConfig,
+    _build_replica_group,
+)
+from repro.storage import SegmentStore, StorageConfig, has_snapshot
 from repro.shard.load import PartitionLoad
 from repro.shard.partitioner import (
     ShardPartitioner,
@@ -962,6 +967,36 @@ class ShardRouter:
         self.versioning.attach(store.versioning)
         return new_id
 
+    # ------------------------------------------------------------------ storage
+    def checkpoint(self) -> List[Dict[str, object]]:
+        """Publish a segment snapshot on every storage-backed shard.
+
+        The shard list is snapshotted under the topology read gate, but
+        every publish — segment writes and their fsyncs — runs *outside*
+        it (INVARIANTS §12: no segment fsync under the topology lock);
+        each shard's publish serialises on its own pipeline lock, and a
+        shard split concurrent with the walk simply joins the next
+        checkpoint round.  Returns the per-shard manifests.
+        """
+        with self._topology.read_locked():
+            pipelines = list(self.pipelines)
+        manifests: List[Dict[str, object]] = []
+        for pipeline in pipelines:
+            if isinstance(pipeline, ReplicaGroup):
+                if any(
+                    getattr(m.pipeline, "storage", None) is not None
+                    for m in pipeline.members
+                ):
+                    manifests.append(pipeline.checkpoint())
+            elif getattr(pipeline, "storage", None) is not None:
+                manifests.append(pipeline.checkpoint())
+        if not manifests:
+            raise ValueError(
+                "checkpoint() needs segment stores attached to the shards "
+                "(DeploymentSpec.storage)"
+            )
+        return manifests
+
     # ------------------------------------------------------------------ replication
     def replica_groups(self) -> List[ReplicaGroup]:
         """The shards that are replica groups (empty for an unreplicated router)."""
@@ -1078,6 +1113,7 @@ def _build_shard_router(
     policy: Optional[CompactionPolicy] = None,
     max_workers: Optional[int] = None,
     replication: Optional[ReplicationConfig] = None,
+    storage: Optional[StorageConfig] = None,
 ) -> ShardRouter:
     """Split a corpus into ``num_shards`` SmartStore deployments + a router.
 
@@ -1101,11 +1137,44 @@ def _build_shard_router(
     WAL-first to each group's primary and ship to its replicas, reads
     scatter across healthy replicas, and a primary crash promotes the
     freshest replica without failing client requests.
+
+    ``storage`` (a :class:`~repro.storage.StorageConfig` with a root)
+    gives every shard its own segment-store root (``<root>/shard-<i>``,
+    and ``<root>/shard-<i>/r<j>`` per replica when replicated): shard
+    checkpoints publish mmap-able snapshots there, and when the roots
+    already hold published snapshots the whole router cold-starts from
+    them — per-shard manifest + mmap'd segments + WAL tail — instead of
+    re-partitioning and rebuilding ``files``.
     """
     config = config if config is not None else SmartStoreConfig()
+    if storage is not None and storage.root:
+        restored = _restore_shard_router(
+            storage,
+            config,
+            schema,
+            partitioner=partitioner,
+            strategy=strategy,
+            balance_fallback=balance_fallback,
+            wal_dir=wal_dir,
+            fsync_every=fsync_every,
+            policy=policy,
+            max_workers=max_workers,
+            replication=replication,
+        )
+        if restored is not None:
+            return restored
     files = list(files)
     if not files:
         raise ValueError("cannot shard an empty corpus")
+
+    def shard_storage(sid: int) -> Optional[StorageConfig]:
+        if storage is None or not storage.root:
+            return None
+        return StorageConfig(
+            root=str(Path(storage.root) / f"shard-{sid}"),
+            resident_segments=storage.resident_segments,
+            snapshot_policy=storage.snapshot_policy,
+        )
     part = make_partitioner(
         files,
         num_shards,
@@ -1149,27 +1218,26 @@ def _build_shard_router(
         # identical builds over the shard's members.  When durable, the
         # primary logs to shard-<i>.wal and each replica archives the
         # shipped segments in its own shard-<i>.wal.r<j> — so a promoted
-        # primary keeps writing WAL-first on its own "disk".
+        # primary keeps writing WAL-first on its own "disk".  With
+        # storage, each member owns a segment root under shard-<i>/.
         groups: List[ReplicaGroup] = []
         for sid, members in enumerate(shard_files):
-            replicas = []
-            for replica_id in range(replication.replicas + 1):
-                store = SmartStore.build(
-                    members, shard_config, schema, index_bounds=bounds
-                )
-                suffix = f".r{replica_id}" if replica_id else ""
-                wal = shard_wal(f"shard-{sid}.wal{suffix}")
-                replicas.append(
-                    Replica(
-                        replica_id,
-                        store,
-                        IngestPipeline(store, wal, policy=policy),
-                        breaker=replication.breaker,
-                    )
-                )
+            wal_path = None
+            if wal_dir is not None:
+                base = Path(wal_dir)
+                base.mkdir(parents=True, exist_ok=True)
+                wal_path = base / f"shard-{sid}.wal"
             groups.append(
-                ReplicaGroup(
-                    replicas, mode=replication.mode, max_lag=replication.max_lag
+                _build_replica_group(
+                    members,
+                    shard_config,
+                    schema,
+                    replication=replication,
+                    index_bounds=bounds,
+                    wal_path=wal_path,
+                    fsync_every=fsync_every,
+                    policy=policy,
+                    storage=shard_storage(sid),
                 )
             )
         return ShardRouter(groups, part, pipelines=groups, max_workers=max_workers)
@@ -1178,11 +1246,111 @@ def _build_shard_router(
         SmartStore.build(members, shard_config, schema, index_bounds=bounds)
         for members in shard_files
     ]
-    pipelines = [
-        IngestPipeline(store, shard_wal(f"shard-{sid}.wal"), policy=policy)
-        for sid, store in enumerate(stores)
-    ]
+    pipelines = []
+    for sid, store in enumerate(stores):
+        pipeline = IngestPipeline(store, shard_wal(f"shard-{sid}.wal"), policy=policy)
+        scfg = shard_storage(sid)
+        if scfg is not None:
+            pipeline.attach_storage(
+                SegmentStore(
+                    scfg.root,  # type: ignore[arg-type]  # root checked above
+                    resident_segments=scfg.resident_segments,
+                )
+            )
+        pipelines.append(pipeline)
     return ShardRouter(stores, part, pipelines=pipelines, max_workers=max_workers)
+
+
+def _restore_shard_router(
+    storage: StorageConfig,
+    config: SmartStoreConfig,
+    schema: AttributeSchema,
+    *,
+    partitioner: str,
+    strategy: str,
+    balance_fallback: bool,
+    wal_dir: Optional[Union[str, Path]],
+    fsync_every: int,
+    policy: Optional[CompactionPolicy],
+    max_workers: Optional[int],
+    replication: Optional[ReplicationConfig],
+) -> Optional[ShardRouter]:
+    """Cold-start a router from per-shard snapshot roots, or ``None``.
+
+    Requires a contiguous ``shard-0 .. shard-N`` set of roots that all
+    hold published manifests (a partially-checkpointed root falls back to
+    the fresh build).  Each shard restores O(its WAL tail) — manifest +
+    mmap'd segments + tail replay; the partitioner is re-fit over the
+    restored union so new inserts keep routing semantically.  (Router
+    summaries decode each shard's population either way.)
+    """
+    root = Path(storage.root)  # type: ignore[arg-type]  # caller checked root
+    roots: List[Tuple[int, Path]] = []
+    for path in root.glob("shard-*"):
+        if not path.is_dir():
+            continue
+        try:
+            sid = int(path.name.split("-", 1)[1])
+        except ValueError:
+            continue
+        roots.append((sid, path))
+    if not roots:
+        return None
+    roots.sort()
+    if [sid for sid, _ in roots] != list(range(len(roots))):
+        return None
+    if not all(has_snapshot(path) for _, path in roots):
+        return None
+    shards: List[object] = []
+    pipelines: List[object] = []
+    for sid, shard_root in roots:
+        wal_path = None
+        if wal_dir is not None:
+            base = Path(wal_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            wal_path = base / f"shard-{sid}.wal"
+        shard_cfg = StorageConfig(
+            root=str(shard_root),
+            resident_segments=storage.resident_segments,
+            snapshot_policy=storage.snapshot_policy,
+        )
+        if replication is not None:
+            group = _build_replica_group(
+                [],
+                config,
+                schema,
+                replication=replication,
+                wal_path=wal_path,
+                fsync_every=fsync_every,
+                policy=policy,
+                storage=shard_cfg,
+            )
+            shards.append(group)
+            pipelines.append(group)
+        else:
+            pipeline, _report = recover_from_storage(
+                shard_root,
+                wal_path=wal_path,
+                fsync_every=fsync_every,
+                policy=policy,
+                resident_segments=storage.resident_segments,
+            )
+            shards.append(pipeline.store)
+            pipelines.append(pipeline)
+    all_files: List[FileMetadata] = []
+    for shard in shards:
+        all_files.extend(shard.files)  # type: ignore[attr-defined]
+    part = make_partitioner(
+        all_files,
+        len(shards),
+        kind=partitioner,
+        schema=schema,
+        rank=config.lsi_rank,
+        seed=config.seed,
+        strategy=strategy,
+        balance_fallback=balance_fallback,
+    )
+    return ShardRouter(shards, part, pipelines=pipelines, max_workers=max_workers)  # type: ignore[arg-type]
 
 
 def build_shard_router(*args: object, **kwargs: object) -> ShardRouter:

@@ -1,0 +1,204 @@
+"""Tiered-storage benchmark: O(tail) recovery vs full rebuild, plus the
+evicted-vs-resident equivalence drill.
+
+The experiment mirrors the operational story the segment store exists
+for: a durable deployment checkpoints (publishes an immutable segment
+snapshot), keeps taking writes (the WAL tail), and then cold-starts.
+Legacy recovery rebuilds the whole index from the full population —
+O(corpus) of SVD/k-means work.  Snapshot recovery mmaps the published
+segments and replays only the tail — O(tail).  The bench times both
+paths over the *same* final state and gates:
+
+``recovery identical``
+    Every probe query against the snapshot-recovered store is
+    fingerprint-identical to the pre-crash live store.
+``recovery is O(tail)``
+    ``RecoveryReport.wal_records_replayed`` equals the number of
+    post-checkpoint mutations — the recovery touched the tail, not the
+    corpus.
+``recovery speedup >= Nx``
+    Snapshot + tail restart is at least ``min_recovery_speedup`` times
+    faster than the full ``SmartStore.build`` rebuild (wall clock,
+    best-of-``repeats`` for both sides).
+``evicted == resident``
+    A second recovery with ``resident_segments=1`` — every query faults
+    its group in and evicts another — answers every probe identically
+    to the all-resident recovery, and the LRU actually evicted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.smartstore import SmartStore, SmartStoreConfig
+from repro.ingest.pipeline import IngestPipeline, recover_from_storage
+from repro.ingest.wal import WriteAheadLog
+from repro.metadata.attributes import DEFAULT_SCHEMA
+from repro.metadata.file_metadata import FileMetadata
+from repro.storage.store import SegmentStore
+from repro.workloads.generator import QueryWorkloadGenerator
+
+__all__ = ["StorageBenchReport", "run_storage_bench"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class StorageBenchReport:
+    """Wall-clock numbers and exit-code-asserted gates."""
+
+    files: int
+    tail_mutations: int
+    segments_published: int
+    recovery_seconds: float
+    rebuild_seconds: float
+    wal_records_replayed: int
+    faults: int
+    evictions: int
+    gates: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.recovery_seconds <= 0:
+            return float("inf")
+        return self.rebuild_seconds / self.recovery_seconds
+
+    @property
+    def passed(self) -> bool:
+        return all(self.gates.values())
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "recovery_seconds": self.recovery_seconds,
+            "rebuild_seconds": self.rebuild_seconds,
+            "recovery_speedup": self.speedup,
+            "wal_records_replayed": self.wal_records_replayed,
+            "segments_published": self.segments_published,
+            "lru_faults": self.faults,
+            "lru_evictions": self.evictions,
+        }
+
+
+def _probe_queries(
+    files: Sequence[FileMetadata], per_type: int, seed: int
+) -> List[Any]:
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=seed)
+    return (
+        generator.point_queries(per_type, existing_fraction=0.8)
+        + generator.range_queries(per_type)
+        + generator.topk_queries(per_type, k=8)
+    )
+
+
+def _fingerprints(store: SmartStore, probes: Sequence[Any]) -> List[str]:
+    # Imported here: repro.service imports repro.ingest at module load, so
+    # importing the service package at module scope would cycle.
+    from repro.service.cache import result_fingerprint
+
+    return [result_fingerprint(store.execute(q)) for q in probes]
+
+
+def run_storage_bench(
+    files: Sequence[FileMetadata],
+    config: SmartStoreConfig,
+    *,
+    workdir: PathLike,
+    tail_mutations: int = 48,
+    probes_per_type: int = 6,
+    seed: int = 0,
+    min_recovery_speedup: float = 5.0,
+    repeats: int = 3,
+) -> StorageBenchReport:
+    """Publish a snapshot, take a WAL tail, then race the two cold starts.
+
+    ``workdir`` receives the WAL (``storage-bench.wal``) and the segment
+    root (``snap/``).  Both recovery paths are timed best-of-``repeats``
+    so scheduler noise cannot flip the ratio gate.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    wal_path = workdir / "storage-bench.wal"
+    snap_root = workdir / "snap"
+
+    # ---- live deployment: build, publish, then keep writing ------------
+    store = SmartStore.build(files, config)
+    pipeline = IngestPipeline(store, WriteAheadLog(wal_path, fsync_every=1))
+    pipeline.attach_storage(SegmentStore(snap_root, resident_segments=1_000_000))
+    manifest = pipeline.checkpoint()
+    segments_published = len(manifest.get("segments", []))
+
+    generator = QueryWorkloadGenerator(files, DEFAULT_SCHEMA, seed=seed + 7)
+    n_del = tail_mutations // 4
+    n_mod = tail_mutations // 4
+    n_ins = tail_mutations - n_del - n_mod
+    tail = generator.mutation_stream(n_ins, n_del, n_mod)
+    for kind, f in tail:
+        getattr(pipeline, kind)(f)
+
+    probes = _probe_queries(pipeline.materialized_files(), probes_per_type, seed + 1)
+    live = _fingerprints(store, probes)
+    final_files = sorted(
+        pipeline.materialized_files(), key=lambda f: f.file_id
+    )
+    pipeline.close()
+
+    # ---- path A: snapshot + tail (O(tail)) -----------------------------
+    recovery_seconds = float("inf")
+    recovered_fp: Optional[List[str]] = None
+    replayed = 0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        recovered, report = recover_from_storage(
+            snap_root, wal_path=wal_path, resident_segments=1_000_000
+        )
+        recovery_seconds = min(recovery_seconds, time.perf_counter() - started)
+        replayed = report.wal_records_replayed
+        if recovered_fp is None:
+            recovered_fp = _fingerprints(recovered.store, probes)
+        recovered.close()
+
+    # ---- path B: full rebuild (O(corpus)) ------------------------------
+    rebuild_seconds = float("inf")
+    rebuilt: Optional[SmartStore] = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        rebuilt = SmartStore.build(final_files, config)
+        rebuild_seconds = min(rebuild_seconds, time.perf_counter() - started)
+    del rebuilt
+
+    # ---- path C: recovery under memory pressure ------------------------
+    evicted, _ = recover_from_storage(
+        snap_root, wal_path=wal_path, resident_segments=1
+    )
+    evicted_fp = _fingerprints(evicted.store, probes)
+    assert evicted.storage is not None
+    stats = evicted.storage.stats()
+    faults = int(stats["faults"])
+    evictions = int(stats["evictions"])
+    evicted.close()
+
+    speedup = (
+        rebuild_seconds / recovery_seconds if recovery_seconds > 0 else float("inf")
+    )
+    gates = {
+        "recovery identical": recovered_fp == live,
+        "recovery is O(tail)": replayed == len(tail),
+        f"recovery speedup >= {min_recovery_speedup:g}x": (
+            speedup >= min_recovery_speedup
+        ),
+        "evicted == resident": evicted_fp == live and evictions > 0,
+    }
+    return StorageBenchReport(
+        files=len(files),
+        tail_mutations=len(tail),
+        segments_published=segments_published,
+        recovery_seconds=recovery_seconds,
+        rebuild_seconds=rebuild_seconds,
+        wal_records_replayed=replayed,
+        faults=faults,
+        evictions=evictions,
+        gates=gates,
+    )

@@ -1,0 +1,521 @@
+"""The tiered segment store: publish, fault/evict LRU, and recovery.
+
+:class:`SegmentStore` owns one snapshot root::
+
+    <root>/MANIFEST.json      the atomically-swapped snapshot descriptor
+    <root>/segments/          immutable segment files (per group, per
+                              generation — never rewritten in place)
+    <root>/quarantine/        segments that failed checksum validation
+
+Publish ordering (the invariants in docs/INVARIANTS.md §12):
+
+1. every new/changed group's segment is written tmp + fsync + rename;
+2. the manifest naming the full live set is written tmp + fsync + rename
+   (so the manifest only ever points at fsynced segments, and readers
+   see either the old snapshot or the new one — never a mix);
+3. only *after* the manifest rename are unreferenced segment files
+   purged, and the WAL tail truncated by the caller.
+
+Clean groups (no mutations since the previous publish, same unit set)
+re-use their existing segment files, so an incremental checkpoint costs
+O(changed groups), not O(corpus) — and never materializes a cold group.
+
+At query time the store is the fault/evict authority: cold
+:class:`~repro.storage.lazy.SegmentBackedServer` units ask it for
+residency, and an LRU bounded by ``resident_segments`` evicts the
+least-recently-scanned group's arrays (``storage.fault_in`` /
+``storage.evict`` spans + ``storage_segment_*`` counters make the churn
+observable).  Materialized (mutated) units are pinned out of the LRU
+until the next publish demotes them back to cold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.obs import get_registry, get_tracer
+from repro.storage.lazy import LazyFileMap, SegmentBackedServer
+from repro.storage.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_NAME,
+    manifest_from_store,
+    restore_store,
+)
+from repro.storage.segment import Segment, SegmentCorruptError, write_segment
+
+__all__ = [
+    "RecoveryReport",
+    "SegmentStore",
+    "open_storage",
+    "has_snapshot",
+    "ship_snapshot",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RecoveryReport:
+    """What a cold start actually did — the O(tail) proof artifact."""
+
+    root: str
+    wal_seq: int
+    segments_loaded: int
+    files_indexed: int
+    segments_quarantined: List[str] = field(default_factory=list)
+    groups_quarantined: List[int] = field(default_factory=list)
+    wal_records_replayed: int = 0
+
+
+class SegmentStore:
+    """Owner of one snapshot root: publish, residency LRU, quarantine."""
+
+    def __init__(self, root: PathLike, *, resident_segments: int = 8) -> None:
+        self.root = Path(root)
+        self.segments_dir = self.root / "segments"
+        self.quarantine_dir = self.root / "quarantine"
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        self.resident_budget = max(1, int(resident_segments))
+        self._lock = threading.RLock()
+        self._segments: Dict[str, Segment] = {}
+        self._manifest: Optional[Dict[str, Any]] = None
+        # Generation is monotone per root, across restarts AND across a
+        # fresh SegmentStore bound to an old root (a replica rebuilt in
+        # place): peek the published manifest so the next publish can
+        # never reuse — and overwrite — a live segment name.
+        self._generation = 0
+        peek = self.root / MANIFEST_NAME
+        if peek.is_file():
+            try:
+                with peek.open("r", encoding="utf-8") as fh:
+                    self._generation = int(json.load(fh).get("generation", 0))
+            except (OSError, ValueError):
+                self._generation = 0
+        self._dirty_units: Set[int] = set()
+        self._all_dirty = True
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self._group_of_unit: Dict[int, int] = {}
+        self._group_servers: Dict[int, List[SegmentBackedServer]] = {}
+        self.store: Optional[Any] = None
+        self.faults = 0
+        self.evictions = 0
+        self.pins = 0
+        registry = get_registry()
+        self._fault_counter = registry.counter(
+            "storage_segment_fault_total", "Segment groups faulted into residency"
+        )
+        self._evict_counter = registry.counter(
+            "storage_segment_evict_total", "Segment groups evicted from residency"
+        )
+        self._pin_counter = registry.counter(
+            "storage_segment_pin_total",
+            "Segment units materialized (pinned out of the residency LRU)",
+        )
+
+    # ------------------------------------------------------------------ attach
+    def attach(self, store: Any) -> None:
+        """Bind to a SmartStore: dirty-unit tracking + topology map."""
+        self.store = store
+        store.on_units_touched = self._on_units_touched
+        self._reindex_topology(store)
+
+    def _reindex_topology(self, store: Any) -> None:
+        group_of_unit: Dict[int, int] = {}
+        group_servers: Dict[int, List[SegmentBackedServer]] = {}
+        for group in store.tree.first_level_groups():
+            for leaf in group.descendant_leaves():
+                if leaf.unit_id is None:
+                    continue
+                group_of_unit[leaf.unit_id] = group.node_id
+                server = store.cluster.servers.get(leaf.unit_id)
+                if isinstance(server, SegmentBackedServer):
+                    group_servers.setdefault(group.node_id, []).append(server)
+        with self._lock:
+            self._group_of_unit = group_of_unit
+            self._group_servers = group_servers
+
+    def _on_units_touched(self, unit_ids: Any) -> None:
+        with self._lock:
+            self._dirty_units.update(int(u) for u in unit_ids)
+
+    def mark_all_dirty(self) -> None:
+        """Force the next publish to rewrite every group (reshard/repack)."""
+        with self._lock:
+            self._all_dirty = True
+
+    @property
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        return self._manifest
+
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    # ------------------------------------------------------------------ residency LRU
+    def ensure_resident(self, server: SegmentBackedServer) -> None:
+        """Called by a cold server before a scan: fault its group in."""
+        with self._lock:
+            group_id = self._group_of_unit.get(server.unit_id)
+            if group_id is None:
+                server.load_resident()
+                return
+            if group_id in self._resident and server.is_resident:
+                self._resident.move_to_end(group_id)
+                return
+            self.fault_in(group_id)
+            if not server.is_resident:
+                # Topology moved under us (e.g. mid-compaction); load
+                # the asking unit directly rather than answer slowly.
+                server.load_resident()
+
+    def fault_in(self, group_id: int) -> None:
+        """Load one group's arrays into RAM, evicting LRU overflow."""
+        with self._lock:
+            with get_tracer().span("storage.fault_in", group_id=group_id):
+                for server in self._group_servers.get(group_id, []):
+                    server.load_resident()
+                self._resident[group_id] = None
+                self._resident.move_to_end(group_id)
+                self.faults += 1
+                self._fault_counter.inc()
+                while len(self._resident) > self.resident_budget:
+                    victim, _ = self._resident.popitem(last=False)
+                    self._evict_locked(victim)
+
+    def evict(self, group_id: int) -> None:
+        """Drop one group's resident arrays (explicit evict)."""
+        with self._lock:
+            self._resident.pop(group_id, None)
+            self._evict_locked(group_id)
+
+    def _evict_locked(self, group_id: int) -> None:
+        with get_tracer().span("storage.evict", group_id=group_id):
+            for server in self._group_servers.get(group_id, []):
+                server.drop_resident()
+            self.evictions += 1
+            self._evict_counter.inc()
+
+    def note_materialized(self, server: SegmentBackedServer) -> None:
+        """A unit decoded its full file list: pin it out of the LRU."""
+        with self._lock:
+            self.pins += 1
+            self._pin_counter.inc()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "faults": self.faults,
+                "evictions": self.evictions,
+                "pins": self.pins,
+                "resident_groups": len(self._resident),
+                "resident_budget": self.resident_budget,
+                "segments": len(self._segments),
+                "generation": self._generation,
+            }
+
+    # ------------------------------------------------------------------ publish
+    def publish_snapshot(self, store: Any, *, wal_seq: int) -> Dict[str, Any]:
+        """Write segments for changed groups + swap the manifest.
+
+        The caller (``IngestPipeline.checkpoint``) holds the coarse
+        write-path lock and has drained the staging overlay, so the live
+        servers hold exactly the applied state this snapshot freezes.
+        """
+        with get_tracer().span("storage.publish", wal_seq=wal_seq) as span:
+            manifest = self._publish(store, wal_seq=wal_seq)
+            span.tag(
+                generation=manifest["generation"],
+                segments=len(manifest["segments"]),
+            )
+            return manifest
+
+    def _publish(self, store: Any, *, wal_seq: int) -> Dict[str, Any]:
+        tree = store.tree
+        groups = tree.first_level_groups()
+        with self._lock:
+            generation = self._generation + 1
+            prev_segments: Dict[str, Dict[str, Any]] = (
+                dict(self._manifest["segments"]) if self._manifest else {}
+            )
+            dirty_units = set(self._dirty_units)
+            all_dirty = self._all_dirty
+        segments_meta: Dict[str, Dict[str, Any]] = {}
+        for group in groups:
+            group_id = group.node_id
+            unit_ids = sorted(
+                leaf.unit_id
+                for leaf in group.descendant_leaves()
+                if leaf.unit_id is not None
+            )
+            prev = prev_segments.get(str(group_id))
+            prev_units = (
+                sorted(int(u) for u in prev["units"]) if prev is not None else None
+            )
+            clean = (
+                not all_dirty
+                and prev is not None
+                and prev_units == unit_ids
+                and not (dirty_units & set(unit_ids))
+                and prev["name"] in self._segments
+            )
+            if clean:
+                assert prev is not None
+                segments_meta[str(group_id)] = prev
+                continue
+            name = f"seg-{generation:08d}-g{group_id}.seg"
+            units_files = [
+                (uid, list(store.cluster.server(uid).files)) for uid in unit_ids
+            ]
+            info = write_segment(
+                self.segments_dir / name, group_id, units_files, store.schema
+            )
+            segments_meta[str(group_id)] = {
+                "name": info.name,
+                "count": info.count,
+                "bytes": info.size_bytes,
+                "data_crc": info.data_crc,
+                "units": {str(u): [a, b] for u, (a, b) in info.units.items()},
+            }
+        manifest = manifest_from_store(store, wal_seq=wal_seq, segments=segments_meta)
+        # Monotone across restarts (restored from the manifest), so a new
+        # publish can never reuse — and overwrite — an old segment name.
+        manifest["generation"] = generation
+        tmp = self.root / (MANIFEST_NAME + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path())
+        self._install_manifest(store, manifest, generation)
+        return manifest
+
+    def _install_manifest(
+        self, store: Any, manifest: Dict[str, Any], generation: int
+    ) -> None:
+        """Open the published set, demote rewritten groups to cold,
+        refresh the lazy file map, and purge unreferenced segments."""
+        table: Dict[str, Dict[str, Any]] = manifest["segments"]
+        live_names = {entry["name"] for entry in table.values()}
+        new_segments: Dict[str, Segment] = {}
+        opened: Dict[int, Segment] = {}
+        for gid_str, entry in table.items():
+            name = str(entry["name"])
+            segment = self._segments.get(name)
+            if segment is None:
+                segment = Segment.open(
+                    self.segments_dir / name,
+                    expected_crc=int(entry["data_crc"]),
+                    verify=False,
+                )
+            new_segments[name] = segment
+            opened[int(gid_str)] = segment
+
+        # Demote segment-backed servers of rewritten groups back to cold
+        # (their RAM copies are now redundant with the new segments).
+        # Plain in-RAM servers (a freshly built primary) are untouched.
+        any_segment_backed = False
+        for segment in opened.values():
+            for unit_id, row_range in segment.units.items():
+                server = store.cluster.servers.get(unit_id)
+                if not isinstance(server, SegmentBackedServer):
+                    continue
+                any_segment_backed = True
+                if server.backing_segment() is not segment:
+                    server.rebind(segment, row_range)
+
+        if any_segment_backed or isinstance(
+            getattr(store, "_files_by_id", None), LazyFileMap
+        ):
+            locations: Dict[int, Tuple[Segment, int]] = {}
+            for segment in opened.values():
+                for uid, (start, stop) in segment.units.items():
+                    for offset, fid in enumerate(segment.file_ids(start, stop)):
+                        locations[int(fid)] = (segment, start + offset)
+            if isinstance(store._files_by_id, LazyFileMap):
+                store._files_by_id.swap_base(locations)
+
+        with self._lock:
+            stale = [
+                seg for name, seg in self._segments.items() if name not in live_names
+            ]
+            self._segments = new_segments
+            self._manifest = manifest
+            self._generation = generation
+            self._dirty_units.clear()
+            self._all_dirty = False
+            self._resident.clear()
+        self._reindex_topology(store)
+        for segment in stale:
+            segment.close()
+        # Purge-only-after-manifest-publish: by now the renamed manifest
+        # no longer references these files.
+        for path in self.segments_dir.glob("*.seg"):
+            if path.name not in live_names:
+                path.unlink(missing_ok=True)
+        for path in self.segments_dir.glob("*.tmp"):
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ restore
+    def _adopt(
+        self,
+        manifest: Dict[str, Any],
+        segments_by_name: Dict[str, Segment],
+        generation: int,
+    ) -> None:
+        with self._lock:
+            self._segments = segments_by_name
+            self._manifest = manifest
+            self._generation = generation
+            self._all_dirty = False
+            self._dirty_units.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments = {}
+        for segment in segments:
+            segment.close()
+
+
+def ship_snapshot(
+    source: SegmentStore, dest_root: PathLike, manifest: Dict[str, Any]
+) -> Tuple[int, int]:
+    """Copy ``manifest``'s segment set plus the manifest into ``dest_root``.
+
+    The incremental "manifest + missing segments" transfer behind
+    snapshot-shipping resync: a segment the destination already holds
+    under the same name with the same data CRC (per its own published
+    manifest) is skipped; everything else is copied tmp + fsync + rename.
+    The manifest lands *last*, so the receiving root obeys the same §12
+    publish ordering as a local checkpoint — its manifest only ever names
+    fsynced segments.  Returns ``(bytes_shipped, segments_shipped)``.
+    """
+    dest_root = Path(dest_root)
+    dest_segments = dest_root / "segments"
+    dest_segments.mkdir(parents=True, exist_ok=True)
+    have: Dict[str, int] = {}
+    dest_manifest_path = dest_root / MANIFEST_NAME
+    if dest_manifest_path.is_file():
+        try:
+            with dest_manifest_path.open("r", encoding="utf-8") as fh:
+                prev = json.load(fh)
+            for entry in dict(prev.get("segments", {})).values():
+                have[str(entry["name"])] = int(entry["data_crc"])
+        except (OSError, ValueError, KeyError, TypeError):
+            have = {}
+    bytes_shipped = 0
+    segments_shipped = 0
+    for entry in dict(manifest["segments"]).values():
+        name = str(entry["name"])
+        crc = int(entry["data_crc"])
+        dest_path = dest_segments / name
+        if have.get(name) == crc and dest_path.is_file():
+            continue
+        payload = (source.segments_dir / name).read_bytes()
+        tmp = dest_segments / (name + ".tmp")
+        with tmp.open("wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, dest_path)
+        bytes_shipped += len(payload)
+        segments_shipped += 1
+    body = json.dumps(manifest)
+    tmp = dest_root / (MANIFEST_NAME + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, dest_manifest_path)
+    bytes_shipped += len(body)
+    return bytes_shipped, segments_shipped
+
+
+def has_snapshot(root: PathLike) -> bool:
+    """True when ``root`` holds a published manifest to restore from."""
+    return (Path(root) / MANIFEST_NAME).is_file()
+
+
+def open_storage(
+    root: PathLike, *, resident_segments: int = 8
+) -> Tuple[Any, SegmentStore, RecoveryReport]:
+    """Cold-start a store from a snapshot root: O(manifest + tail).
+
+    Opens and checksum-validates every segment the manifest names;
+    segments that fail validation are moved to ``quarantine/`` and their
+    groups restore empty (the caller's WAL replay brings back whatever
+    the tail holds — a detected-and-degraded answer, never a wrong one).
+    Returns ``(smartstore, segment_store, report)``.
+    """
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    with manifest_path.open("r", encoding="utf-8") as fh:
+        manifest: Dict[str, Any] = json.load(fh)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{manifest_path}: not a segment manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    segstore = SegmentStore(root, resident_segments=resident_segments)
+    segments: Dict[int, Segment] = {}
+    segments_by_name: Dict[str, Segment] = {}
+    quarantined_groups: List[int] = []
+    quarantined_files: List[str] = []
+    table: Dict[str, Dict[str, Any]] = dict(manifest["segments"])
+    for gid_str, entry in table.items():
+        group_id = int(gid_str)
+        name = str(entry["name"])
+        path = segstore.segments_dir / name
+        try:
+            segment = Segment.open(
+                path, expected_crc=int(entry["data_crc"]), verify=True
+            )
+            if segment.group_id != group_id or segment.count != int(entry["count"]):
+                segment.close()
+                raise SegmentCorruptError(
+                    f"{path}: header disagrees with manifest "
+                    f"(group={segment.group_id}, count={segment.count})"
+                )
+        except SegmentCorruptError:
+            quarantined_groups.append(group_id)
+            quarantined_files.append(name)
+            segstore.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, segstore.quarantine_dir / name)
+            except OSError:
+                pass
+            continue
+        segments[group_id] = segment
+        segments_by_name[name] = segment
+    # Drop quarantined entries from the adopted manifest so the next
+    # publish rewrites those groups from live state.
+    adopted = dict(manifest)
+    adopted["segments"] = {
+        gid: entry
+        for gid, entry in table.items()
+        if int(gid) not in set(quarantined_groups)
+    }
+    store = restore_store(
+        manifest,
+        segments=segments,
+        quarantined_groups=set(quarantined_groups),
+        segstore=segstore,
+    )
+    segstore._adopt(
+        adopted, segments_by_name, generation=int(manifest.get("generation", 1))
+    )
+    segstore.attach(store)
+    report = RecoveryReport(
+        root=str(root),
+        wal_seq=int(manifest["wal_seq"]),
+        segments_loaded=len(segments),
+        files_indexed=len(store._files_by_id),
+        segments_quarantined=quarantined_files,
+        groups_quarantined=sorted(quarantined_groups),
+    )
+    return store, segstore, report
